@@ -1,0 +1,66 @@
+//===- bench_fig8_mha.cpp - Fig. 8 (MHA panel) reproduction ----------------------===//
+//
+// "MHA performance comparison FP32 & Int8 inference" -- the scaled
+// dot-product attention subgraphs of Table 1 under the same four
+// configurations as the MLP panel.
+//
+// Expected shape: the MHA gap over the baseline exceeds the MLP gap
+// because the baseline cannot fuse softmax into the batched matmul while
+// the compiler commits the decomposed softmax at post-op anchors (§VII);
+// coarse-grain fusion merges the two batch matmuls' loops on top.
+//
+// Memory note: the paper's largest rows (seq 384/512) allocate multi-GB
+// score tensors per executor; default batch sizes are scaled to this
+// host's RAM, GC_BENCH_FULL=1 restores Table 1 batches (needs >= 64 GB).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "workloads/mha.h"
+
+using namespace gc;
+using namespace gc::bench;
+
+namespace {
+
+void runRow(int Row, bool Int8) {
+  // Per-row batch defaults bounded by score-tensor footprint.
+  std::vector<int64_t> Batches;
+  if (fullSweep()) {
+    Batches = {32, 64, 128};
+  } else {
+    switch (Row) {
+    case 1: case 2: Batches = {32}; break;
+    case 3: Batches = {8}; break;
+    default: Batches = {4}; break;
+    }
+  }
+  for (int64_t B : Batches) {
+    workloads::MhaSpec Spec = workloads::mhaTableSpec(Row, B, Int8);
+    Spec.Seed = static_cast<uint64_t>(Row * 100 + B);
+    Instance W(workloads::buildMha(Spec));
+    const double Base = timeLoopNest(W);
+    const double Prim = timeCompiled(W, core::primitivesBaselineOptions());
+    const double GcNc = timeCompiled(W, gcOptionsNoCoarse());
+    const double Gc = timeCompiled(W, gcOptions());
+    std::printf(
+        "MHA-%d %-5s b=%-4lld %10.3f %12.3f %12.3f %12.3f %7.2f %7.2f %7.2f\n",
+        Row, Int8 ? "Int8" : "FP32", (long long)B, Base * 1e3, Prim * 1e3,
+        GcNc * 1e3, Gc * 1e3, Base / Prim, Base / GcNc, Base / Gc);
+  }
+}
+
+} // namespace
+
+int main() {
+  printBanner("Fig. 8 (MHA): attention subgraph comparison with "
+              "coarse-grain fusion ablation");
+  std::printf("%-18s %12s %12s %12s %12s %7s %7s %7s\n", "case",
+              "baseline ms", "primitives", "gc-nocoarse", "gc-full",
+              "prim x", "gc-nc x", "gc x");
+  for (int Row = 1; Row <= 4; ++Row) {
+    runRow(Row, /*Int8=*/false);
+    runRow(Row, /*Int8=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench_fig8_mlp.cpp - Fig. 8 (MLP panel) reproduction ----------------------===//
+//
+// "MLP performance comparison FP32 & Int8 inference" -- whole MLP-1 /
+// MLP-2 subgraphs across batch sizes, four configurations:
+//   1. TVM-like loop-nest baseline,
+//   2. oneDNN primitives + post-ops (plain activations, per-primitive
+//      calls),
+//   3. graph compiler without coarse-grain fusion (ablation),
+//   4. graph compiler (full).
+//
+// Expected shape: GC >= primitives >= baseline; coarse-grain fusion adds a
+// modest extra gain, largest on MLP-1 Int8 where the whole activation set
+// is cache resident (§VII).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "workloads/mlp.h"
+
+using namespace gc;
+using namespace gc::bench;
+
+namespace {
+
+void runCase(const char *Name, const std::vector<int64_t> &Dims,
+             bool Int8) {
+  std::printf("\n--- %s %s (speedup over loop-nest baseline) ---\n", Name,
+              Int8 ? "Int8" : "FP32");
+  std::printf("%-8s %12s %12s %12s %12s %7s %7s %7s\n", "batch",
+              "baseline ms", "primitives", "gc-nocoarse", "gc-full",
+              "prim x", "gc-nc x", "gc x");
+  const std::vector<int64_t> Batches =
+      fullSweep() ? std::vector<int64_t>{32, 64, 128, 256, 512}
+                  : std::vector<int64_t>{32, 128, 512};
+  for (int64_t B : Batches) {
+    workloads::MlpSpec Spec;
+    Spec.Batch = B;
+    Spec.LayerDims = Dims;
+    Spec.Int8 = Int8;
+    Spec.Seed = static_cast<uint64_t>(B);
+    Instance W(workloads::buildMlp(Spec));
+    const double Base = timeLoopNest(W);
+    const double Prim = timeCompiled(W, core::primitivesBaselineOptions());
+    const double GcNc = timeCompiled(W, gcOptionsNoCoarse());
+    const double Gc = timeCompiled(W, gcOptions());
+    std::printf("%-8lld %12.3f %12.3f %12.3f %12.3f %7.2f %7.2f %7.2f\n",
+                (long long)B, Base * 1e3, Prim * 1e3, GcNc * 1e3, Gc * 1e3,
+                Base / Prim, Base / GcNc, Base / Gc);
+  }
+}
+
+} // namespace
+
+int main() {
+  printBanner("Fig. 8 (MLP): subgraph comparison with coarse-grain "
+              "fusion ablation");
+  runCase("MLP-1", workloads::mlp1Dims(), /*Int8=*/false);
+  runCase("MLP-1", workloads::mlp1Dims(), /*Int8=*/true);
+  runCase("MLP-2", workloads::mlp2Dims(), /*Int8=*/false);
+  runCase("MLP-2", workloads::mlp2Dims(), /*Int8=*/true);
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- quickstart.cpp - build, compile and run a graph in 60 lines ---------------===//
+//
+// Minimal end-to-end use of the public API: build a Graph IR program
+// (matmul + bias + relu), compile it, execute it on runtime tensors, and
+// sanity-check one value. Mirrors the oneDNN Graph API flow the paper's
+// §VII describes: graph -> compiled partition -> repeated execution.
+//
+// Run: ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/compiler.h"
+#include "graph/graph.h"
+
+#include <cstdio>
+
+using namespace gc;
+
+int main() {
+  // --- 1. describe the computation as Graph IR -------------------------
+  graph::Graph G;
+  const int64_t M = 64, K = 128, N = 32;
+  const int64_t X = G.addTensor(DataType::F32, {M, K}, "x");
+  G.markInput(X);
+
+  // Weights/bias are compile-time constants: the compiler prepacks them
+  // into the blocked layout at first execution (constant weight
+  // preprocessing).
+  const int64_t W = G.addTensor(DataType::F32, {K, N}, "w",
+                                graph::TensorProperty::Constant);
+  runtime::TensorData WData(DataType::F32, {K, N});
+  WData.fillConstant(0.01);
+  G.setConstantData(W, std::move(WData));
+  const int64_t B = G.addTensor(DataType::F32, {N}, "b",
+                                graph::TensorProperty::Constant);
+  runtime::TensorData BData(DataType::F32, {N});
+  BData.fillConstant(0.5);
+  G.setConstantData(B, std::move(BData));
+
+  const int64_t Mm = G.addOp(graph::OpKind::MatMul, {X, W}, DataType::F32,
+                             {M, N});
+  const int64_t Biased =
+      G.addOp(graph::OpKind::Add, {Mm, B}, DataType::F32, {M, N});
+  const int64_t Out =
+      G.addOp(graph::OpKind::ReLU, {Biased}, DataType::F32, {M, N});
+  G.markOutput(Out);
+
+  // --- 2. compile -------------------------------------------------------
+  core::CompileOptions Opts; // defaults: full optimization pipeline
+  auto Partition = core::compileGraph(G, Opts);
+  std::printf("compiled: %d parallel nest(s), %lld B scratch arena\n",
+              Partition->stats().ParallelNests,
+              (long long)Partition->stats().ScratchArenaBytes);
+
+  // --- 3. execute --------------------------------------------------------
+  runtime::TensorData Input(DataType::F32, {M, K});
+  Input.fillConstant(1.0);
+  runtime::TensorData Output(DataType::F32, {M, N});
+  Partition->execute({&Input}, {&Output});
+
+  // Every output element is relu(sum_k 1 * 0.01 + 0.5) = 128*0.01 + 0.5.
+  std::printf("output[0][0] = %.4f (expected %.4f)\n",
+              Output.dataAs<float>()[0], K * 0.01f + 0.5f);
+  std::printf("fold cache: %zu tensors, %lld bytes (prepacked weight)\n",
+              Partition->stats().FoldedTensors,
+              (long long)Partition->stats().FoldedBytes);
+  return 0;
+}

@@ -1,0 +1,248 @@
+//===- compiler.cpp - Public compile/execute API -----------------------------------===//
+
+#include "core/compiler.h"
+
+#include "graph/reference.h"
+#include "kernels/packing.h"
+#include "passes/pass.h"
+#include "support/common.h"
+#include "tirpass/tirpass.h"
+
+#include <algorithm>
+
+namespace gc {
+namespace core {
+
+using namespace graph;
+
+//===----------------------------------------------------------------------===//
+// Fold function execution (constant weight preprocessing, §V)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Packs one constant tensor according to its blocked target layout.
+runtime::TensorData packConstant(const LogicalTensor &DstT,
+                                 const runtime::TensorData &Src,
+                                 bool TransposeSrc) {
+  const int64_t Rank = DstT.rank();
+  assert(Rank >= 2 && "blocked reorder needs a matrix");
+  const int64_t Rows = DstT.Shape[static_cast<size_t>(Rank - 2)];
+  const int64_t Cols = DstT.Shape[static_cast<size_t>(Rank - 1)];
+  int64_t Lead = 1;
+  for (int64_t D = 0; D + 2 < Rank; ++D)
+    Lead *= DstT.Shape[static_cast<size_t>(D)];
+  runtime::TensorData Out(DstT.Ty, {DstT.paddedNumElements()});
+  const int64_t PerBatchSrc = Rows * Cols;
+  const int64_t PerBatchDst = DstT.paddedNumElements() / Lead;
+  for (int64_t B = 0; B < Lead; ++B) {
+    kernels::PlainMatrix Mat;
+    Mat.Rows = Rows;
+    Mat.Cols = Cols;
+    Mat.Ld = TransposeSrc ? Rows : Cols;
+    Mat.Transposed = TransposeSrc;
+    Mat.Data = static_cast<const char *>(Src.data()) +
+               B * PerBatchSrc * dataTypeSize(DstT.Ty);
+    char *Dst = static_cast<char *>(Out.data()) +
+                B * PerBatchDst * dataTypeSize(DstT.Ty);
+    switch (DstT.Lay.K) {
+    case Layout::Kind::BlockedA:
+      if (DstT.Ty == DataType::U8)
+        kernels::packAU8(Mat, reinterpret_cast<uint8_t *>(Dst),
+                         DstT.Lay.Block0, DstT.Lay.Block1);
+      else
+        kernels::packAF32(Mat, reinterpret_cast<float *>(Dst),
+                          DstT.Lay.Block0, DstT.Lay.Block1);
+      break;
+    case Layout::Kind::BlockedB:
+      kernels::packBF32(Mat, reinterpret_cast<float *>(Dst),
+                        DstT.Lay.Block0, DstT.Lay.Block1);
+      break;
+    case Layout::Kind::BlockedBVnni:
+      kernels::packBS8Vnni(Mat, reinterpret_cast<int8_t *>(Dst),
+                           DstT.Lay.Block0, DstT.Lay.Block1);
+      break;
+    case Layout::Kind::Plain:
+    case Layout::Kind::Any:
+      GC_UNREACHABLE("packConstant called for a plain layout");
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void runFoldGraph(const Graph &FoldGraph,
+                  const std::vector<int64_t> &FoldOutputs,
+                  runtime::ConstCache &Cache) {
+  TensorMap Env;
+  // Bind compile-time constants.
+  for (int64_t TId : FoldGraph.tensorIds())
+    if (const runtime::TensorData *Data = FoldGraph.constantData(TId))
+      Env[TId] = Data->clone();
+  for (int64_t OpId : FoldGraph.topologicalOrder()) {
+    const Op &O = FoldGraph.op(OpId);
+    if (O.kind() == OpKind::Reorder) {
+      // Layout-aware packing (the reference treats Reorder as identity).
+      const LogicalTensor &DstT = FoldGraph.tensor(O.output(0));
+      const auto It = Env.find(O.input(0));
+      if (It == Env.end())
+        fatalError("fold graph reorder input unavailable");
+      if (DstT.Lay.isBlocked()) {
+        Env[O.output(0)] = packConstant(
+            DstT, It->second, O.getAttrInt("transpose_src", 0) != 0);
+        continue;
+      }
+      Env[O.output(0)] = It->second.clone();
+      continue;
+    }
+    std::vector<const runtime::TensorData *> Inputs;
+    for (int64_t In : O.inputs()) {
+      auto It = Env.find(In);
+      if (It == Env.end())
+        fatalError("fold graph input unavailable");
+      Inputs.push_back(&It->second);
+    }
+    std::vector<runtime::TensorData> Outs =
+        evalOpReference(FoldGraph, O, Inputs);
+    for (size_t I = 0; I < Outs.size(); ++I)
+      Env[O.output(I)] = std::move(Outs[I]);
+  }
+  for (int64_t OutId : FoldOutputs) {
+    auto It = Env.find(OutId);
+    if (It == Env.end())
+      fatalError("fold output was not computed");
+    Cache.put(OutId, std::move(It->second));
+  }
+  Cache.markPopulated();
+}
+
+//===----------------------------------------------------------------------===//
+// CompiledPartition
+//===----------------------------------------------------------------------===//
+
+void CompiledPartition::runFoldFunction() {
+  runFoldGraph(Prog.FoldGraph, Prog.FoldOutputs, Cache);
+}
+
+void CompiledPartition::execute(
+    const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) {
+  assert(Inputs.size() == InputIds.size() && "input arity mismatch");
+  assert(Outputs.size() == OutputIds.size() && "output arity mismatch");
+  if (!Cache.isPopulated())
+    runFoldFunction();
+
+  for (const lower::Binding &B : Prog.Bindings) {
+    switch (B.Kind) {
+    case lower::BindingKind::Input: {
+      const auto It =
+          std::find(InputIds.begin(), InputIds.end(), B.TensorId);
+      assert(It != InputIds.end() && "binding refers to unknown input");
+      runtime::TensorData *T =
+          Inputs[static_cast<size_t>(It - InputIds.begin())];
+      Eval->bindBuffer(B.BufferId, T->data());
+      break;
+    }
+    case lower::BindingKind::Output: {
+      const auto It =
+          std::find(OutputIds.begin(), OutputIds.end(), B.TensorId);
+      assert(It != OutputIds.end() && "binding refers to unknown output");
+      runtime::TensorData *T =
+          Outputs[static_cast<size_t>(It - OutputIds.begin())];
+      Eval->bindBuffer(B.BufferId, T->data());
+      break;
+    }
+    case lower::BindingKind::Folded: {
+      const runtime::TensorData *T = Cache.get(B.TensorId);
+      if (!T)
+        fatalError("folded constant missing from the cache");
+      Eval->bindBuffer(B.BufferId, const_cast<void *>(T->data()));
+      break;
+    }
+    case lower::BindingKind::ConstData: {
+      const runtime::TensorData *T = OptimizedG.constantData(B.TensorId);
+      if (!T)
+        fatalError("constant binding without data");
+      Eval->bindBuffer(B.BufferId, const_cast<void *>(T->data()));
+      break;
+    }
+    }
+  }
+  Eval->run();
+}
+
+PartitionStats CompiledPartition::stats() const {
+  PartitionStats S;
+  S.CoarseGrainMerges = Prog.CoarseGrainMerges;
+  S.ParallelNests = tirpass::countParallelNests(Prog.Entry);
+  S.ScratchArenaBytes = Prog.Entry.ArenaBytes;
+  S.ScratchArenaBytesNoReuse = Prog.Entry.ArenaBytesNoReuse;
+  S.FoldedTensors = Cache.size();
+  S.FoldedBytes = Cache.totalBytes();
+  return S;
+}
+
+std::vector<std::vector<int64_t>> CompiledPartition::outputShapes() const {
+  std::vector<std::vector<int64_t>> Shapes;
+  for (int64_t Out : OutputIds)
+    Shapes.push_back(OptimizedG.tensor(Out).Shape);
+  return Shapes;
+}
+
+CompileOptions primitivesBaselineOptions(int Threads) {
+  CompileOptions Opts;
+  Opts.Threads = Threads;
+  Opts.PrimitivesMode = true;
+  Opts.EnableCoarseGrainFusion = false;
+  // Primitives compute the reference (stable) softmax.
+  Opts.FastSoftmax = false;
+  return Opts;
+}
+
+std::unique_ptr<CompiledPartition> compileGraph(const Graph &G,
+                                                const CompileOptions &Opts) {
+  auto Partition = std::unique_ptr<CompiledPartition>(new CompiledPartition);
+  Partition->OptimizedG = G.clone();
+
+  // Thread pool.
+  if (Opts.Threads > 0) {
+    Partition->OwnedPool =
+        std::make_unique<runtime::ThreadPool>(Opts.Threads);
+    Partition->Pool = Partition->OwnedPool.get();
+  } else {
+    Partition->Pool = &runtime::ThreadPool::global();
+  }
+  const int Threads = Partition->Pool->numThreads();
+
+  // §V Graph IR pipeline.
+  passes::PassOptions PassOpts;
+  PassOpts.Threads = Threads;
+  PassOpts.FastSoftmax = Opts.FastSoftmax;
+  PassOpts.EnableLowPrecision = Opts.EnableLowPrecision;
+  PassOpts.EnableFineGrainFusion = Opts.EnableFineGrainFusion;
+  PassOpts.EnableLayoutPropagation = Opts.EnableLayoutPropagation;
+  PassOpts.PrimitivesMode = Opts.PrimitivesMode;
+  passes::PassManager PM(PassOpts);
+  for (auto &P : passes::buildStandardPipeline(PassOpts))
+    PM.addPass(std::move(P));
+  PM.run(Partition->OptimizedG);
+
+  // Stable boundary ids (inputs never rewritten; outputs keep order).
+  Partition->InputIds = Partition->OptimizedG.inputs();
+  Partition->OutputIds = Partition->OptimizedG.outputs();
+
+  // Lowering + Tensor IR passes.
+  lower::DriverOptions DrvOpts;
+  DrvOpts.Threads = Threads;
+  DrvOpts.EnableCoarseGrainFusion = Opts.EnableCoarseGrainFusion;
+  DrvOpts.EnableBufferReuse = Opts.EnableBufferReuse;
+  Partition->Prog = lower::lowerGraph(Partition->OptimizedG, DrvOpts);
+
+  Partition->Eval = std::make_unique<tir::Evaluator>(Partition->Prog.Entry,
+                                                     *Partition->Pool);
+  return Partition;
+}
+
+} // namespace core
+} // namespace gc

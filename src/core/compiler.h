@@ -1,0 +1,121 @@
+//===- compiler.h - Public compile/execute API -------------------*- C++ -*-===//
+///
+/// \file
+/// The public entry point of the oneDNN Graph Compiler reproduction,
+/// mirroring the oneDNN Graph API flow (§VII): build a Graph IR graph,
+/// compile it into a CompiledPartition, then execute it repeatedly with
+/// runtime tensors. The first execution runs the fold function (constant
+/// weight preprocessing); its outputs are cached and reused.
+///
+/// Typical use:
+/// \code
+///   graph::Graph G = ...;                 // matmuls, eltwise, quant ops
+///   core::CompileOptions Opts;
+///   auto Partition = core::compileGraph(G, Opts);
+///   Partition->execute({&X}, {&Y});       // graph-input / output order
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_CORE_COMPILER_H
+#define GC_CORE_COMPILER_H
+
+#include "graph/graph.h"
+#include "lower/driver.h"
+#include "runtime/const_cache.h"
+#include "runtime/thread_pool.h"
+#include "tir/eval.h"
+
+#include <memory>
+
+namespace gc {
+namespace core {
+
+/// Knobs of the whole compilation pipeline. The Enable* flags exist for
+/// the paper's ablations; defaults reproduce the full compiler.
+struct CompileOptions {
+  /// Worker threads (0 = GC_NUM_THREADS or hardware concurrency).
+  int Threads = 0;
+  /// §V low-precision conversion (int8 rewrite of DQ->MatMul->Q chains).
+  bool EnableLowPrecision = true;
+  /// §V fine-grain fusion (anchor-committed fusible ops).
+  bool EnableFineGrainFusion = true;
+  /// §V coarse-grain fusion (parallel loop merging).
+  bool EnableCoarseGrainFusion = true;
+  /// §V layout propagation (blocked layouts + prepacked weights).
+  bool EnableLayoutPropagation = true;
+  /// §VI memory buffer reuse.
+  bool EnableBufferReuse = true;
+  /// §VII fast softmax (drop the max-subtraction).
+  bool FastSoftmax = true;
+  /// Emulate the "oneDNN primitives + post-op" baseline: per-primitive
+  /// execution with prepacked weights, plain activations between
+  /// primitives, post-op-API-shaped fusion only, no coarse-grain merging.
+  bool PrimitivesMode = false;
+};
+
+/// Compile options preset for the primitives-library baseline of §VII.
+CompileOptions primitivesBaselineOptions(int Threads = 0);
+
+/// Statistics describing one compiled partition; used by tests, the
+/// ablation benches and EXPERIMENTS.md.
+struct PartitionStats {
+  int CoarseGrainMerges = 0;
+  int ParallelNests = 0;
+  int64_t ScratchArenaBytes = 0;
+  int64_t ScratchArenaBytesNoReuse = 0;
+  size_t FoldedTensors = 0;
+  int64_t FoldedBytes = 0;
+};
+
+/// A compiled DNN computation (sub)graph ready for repeated execution.
+class CompiledPartition {
+public:
+  /// Executes the partition. \p Inputs follow the source graph's input
+  /// declaration order; \p Outputs its output order (caller-allocated,
+  /// plain row-major, logical shapes). The first call runs the fold
+  /// function and populates the constant cache.
+  void execute(const std::vector<runtime::TensorData *> &Inputs,
+               const std::vector<runtime::TensorData *> &Outputs);
+
+  /// Post-optimization Graph IR (inspection / tests).
+  const graph::Graph &optimizedGraph() const { return OptimizedG; }
+  /// Lowered entry function (inspection / tests).
+  const tir::Func &entry() const { return Prog.Entry; }
+  /// Compilation statistics.
+  PartitionStats stats() const;
+  /// Logical shapes of the graph outputs, in output order.
+  std::vector<std::vector<int64_t>> outputShapes() const;
+  /// Thread pool executing this partition.
+  runtime::ThreadPool &threadPool() { return *Pool; }
+
+private:
+  friend std::unique_ptr<CompiledPartition>
+  compileGraph(const graph::Graph &G, const CompileOptions &Opts);
+
+  void runFoldFunction();
+
+  graph::Graph OptimizedG;
+  lower::LoweredProgram Prog;
+  runtime::ConstCache Cache;
+  runtime::ThreadPool *Pool = nullptr;
+  std::unique_ptr<runtime::ThreadPool> OwnedPool;
+  std::unique_ptr<tir::Evaluator> Eval;
+  std::vector<int64_t> InputIds;  // optimized-graph ids in input order
+  std::vector<int64_t> OutputIds; // optimized-graph ids in output order
+};
+
+/// Compiles \p G (copied; the original is untouched) with \p Opts.
+std::unique_ptr<CompiledPartition> compileGraph(const graph::Graph &G,
+                                                const CompileOptions &Opts);
+
+/// Executes the fold graph: reference evaluation with layout-aware Reorder
+/// packing. Exposed for tests of constant weight preprocessing.
+void runFoldGraph(const graph::Graph &FoldGraph,
+                  const std::vector<int64_t> &FoldOutputs,
+                  runtime::ConstCache &Cache);
+
+} // namespace core
+} // namespace gc
+
+#endif // GC_CORE_COMPILER_H

@@ -1,0 +1,446 @@
+//===- graph.cpp - Graph IR ------------------------------------------------===//
+
+#include "graph/graph.h"
+
+#include "support/common.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace gc {
+namespace graph {
+
+//===----------------------------------------------------------------------===//
+// LogicalTensor
+//===----------------------------------------------------------------------===//
+
+int64_t LogicalTensor::paddedNumElements() const {
+  if (!Lay.isBlocked() || rank() < 2)
+    return numElements();
+  int64_t Lead = 1;
+  for (int64_t I = 0; I + 2 < rank(); ++I)
+    Lead *= Shape[static_cast<size_t>(I)];
+  const int64_t R = Shape[static_cast<size_t>(rank() - 2)];
+  const int64_t C = Shape[static_cast<size_t>(rank() - 1)];
+  return Lead * ceilDiv(R, Lay.Block0) * ceilDiv(C, Lay.Block1) * Lay.Block0 *
+         Lay.Block1;
+}
+
+//===----------------------------------------------------------------------===//
+// Op
+//===----------------------------------------------------------------------===//
+
+int64_t Op::getAttrInt(const std::string &Name, int64_t Default) const {
+  auto It = Attrs.find(Name);
+  if (It == Attrs.end())
+    return Default;
+  if (const int64_t *V = std::get_if<int64_t>(&It->second))
+    return *V;
+  if (const double *V = std::get_if<double>(&It->second))
+    return static_cast<int64_t>(*V);
+  return Default;
+}
+
+double Op::getAttrFloat(const std::string &Name, double Default) const {
+  auto It = Attrs.find(Name);
+  if (It == Attrs.end())
+    return Default;
+  if (const double *V = std::get_if<double>(&It->second))
+    return *V;
+  if (const int64_t *V = std::get_if<int64_t>(&It->second))
+    return static_cast<double>(*V);
+  return Default;
+}
+
+std::string Op::getAttrString(const std::string &Name,
+                              const std::string &Default) const {
+  auto It = Attrs.find(Name);
+  if (It == Attrs.end())
+    return Default;
+  if (const std::string *V = std::get_if<std::string>(&It->second))
+    return *V;
+  return Default;
+}
+
+std::vector<int64_t> Op::getAttrIntVec(const std::string &Name) const {
+  auto It = Attrs.find(Name);
+  if (It == Attrs.end())
+    return {};
+  if (const auto *V = std::get_if<std::vector<int64_t>>(&It->second))
+    return *V;
+  return {};
+}
+
+std::vector<double> Op::getAttrFloatVec(const std::string &Name) const {
+  auto It = Attrs.find(Name);
+  if (It == Attrs.end())
+    return {};
+  if (const auto *V = std::get_if<std::vector<double>>(&It->second))
+    return *V;
+  return {};
+}
+
+void Op::setSubgraph(std::unique_ptr<Graph> G) { Sub = std::move(G); }
+
+std::string Op::toString(const Graph &Parent) const {
+  std::vector<std::string> Ins, Outs;
+  for (int64_t T : Inputs)
+    Ins.push_back(Parent.tensor(T).toString());
+  for (int64_t T : Outputs)
+    Outs.push_back(Parent.tensor(T).toString());
+  std::string AttrStr;
+  for (const auto &[Name, Value] : Attrs) {
+    if (!AttrStr.empty())
+      AttrStr += ", ";
+    AttrStr += Name + "=";
+    if (const int64_t *V = std::get_if<int64_t>(&Value))
+      AttrStr += formatString("%lld", (long long)*V);
+    else if (const double *V = std::get_if<double>(&Value))
+      AttrStr += formatString("%g", *V);
+    else if (const std::string *V = std::get_if<std::string>(&Value))
+      AttrStr += *V;
+    else if (const auto *V = std::get_if<std::vector<int64_t>>(&Value))
+      AttrStr += shapeToString(*V);
+    else if (const auto *V = std::get_if<std::vector<double>>(&Value))
+      AttrStr += formatString("<%zu doubles>", V->size());
+  }
+  return formatString("op%lld %s(%s) -> (%s)%s%s", (long long)Id,
+                      opKindName(Kind), joinStrings(Ins, ", ").c_str(),
+                      joinStrings(Outs, ", ").c_str(),
+                      AttrStr.empty() ? "" : (" {" + AttrStr + "}").c_str(),
+                      Sub ? " [has subgraph]" : "");
+}
+
+//===----------------------------------------------------------------------===//
+// Graph: construction
+//===----------------------------------------------------------------------===//
+
+int64_t Graph::addTensor(DataType Ty, std::vector<int64_t> Shape,
+                         const std::string &Name, TensorProperty Property) {
+  LogicalTensor T;
+  T.Id = NextTensorId++;
+  T.Name = Name;
+  T.Ty = Ty;
+  T.Shape = std::move(Shape);
+  T.Property = Property;
+  const int64_t Id = T.Id;
+  Tensors.emplace(Id, std::move(T));
+  return Id;
+}
+
+int64_t Graph::addOp(OpKind Kind, const std::vector<int64_t> &Inputs,
+                     DataType OutTy, std::vector<int64_t> OutShape,
+                     AttrMap Attrs, const std::string &Name) {
+  const int64_t OutId = addTensor(OutTy, std::move(OutShape), Name);
+  addOpExplicit(Kind, Inputs, {OutId}, std::move(Attrs));
+  return OutId;
+}
+
+int64_t Graph::addOpExplicit(OpKind Kind, const std::vector<int64_t> &Inputs,
+                             const std::vector<int64_t> &Outputs,
+                             AttrMap Attrs) {
+  Op NewOp(NextOpId++, Kind);
+  NewOp.Inputs = Inputs;
+  NewOp.Outputs = Outputs;
+  NewOp.Attrs = std::move(Attrs);
+  const int64_t Id = NewOp.Id;
+  Ops.emplace(Id, std::move(NewOp));
+  recordOpLinks(Id);
+  return Id;
+}
+
+void Graph::setConstantData(int64_t TensorId, runtime::TensorData Data) {
+  assert(Tensors.count(TensorId) && "unknown tensor");
+  Tensors.at(TensorId).Property = TensorProperty::Constant;
+  ConstData[TensorId] = std::move(Data);
+}
+
+//===----------------------------------------------------------------------===//
+// Graph: access
+//===----------------------------------------------------------------------===//
+
+LogicalTensor &Graph::tensor(int64_t Id) {
+  auto It = Tensors.find(Id);
+  assert(It != Tensors.end() && "unknown tensor id");
+  return It->second;
+}
+
+const LogicalTensor &Graph::tensor(int64_t Id) const {
+  auto It = Tensors.find(Id);
+  assert(It != Tensors.end() && "unknown tensor id");
+  return It->second;
+}
+
+Op &Graph::op(int64_t Id) {
+  auto It = Ops.find(Id);
+  assert(It != Ops.end() && "unknown op id");
+  return It->second;
+}
+
+const Op &Graph::op(int64_t Id) const {
+  auto It = Ops.find(Id);
+  assert(It != Ops.end() && "unknown op id");
+  return It->second;
+}
+
+std::vector<int64_t> Graph::opIds() const {
+  std::vector<int64_t> Ids;
+  Ids.reserve(Ops.size());
+  for (const auto &[Id, O] : Ops)
+    Ids.push_back(Id);
+  return Ids;
+}
+
+std::vector<int64_t> Graph::tensorIds() const {
+  std::vector<int64_t> Ids;
+  Ids.reserve(Tensors.size());
+  for (const auto &[Id, T] : Tensors)
+    Ids.push_back(Id);
+  return Ids;
+}
+
+size_t Graph::numOps() const { return Ops.size(); }
+
+int64_t Graph::producerOf(int64_t TensorId) const {
+  auto It = Producer.find(TensorId);
+  if (It == Producer.end())
+    return -1;
+  return It->second;
+}
+
+std::vector<int64_t> Graph::consumersOf(int64_t TensorId) const {
+  auto It = Consumers.find(TensorId);
+  if (It == Consumers.end())
+    return {};
+  return It->second;
+}
+
+bool Graph::isOutput(int64_t TensorId) const {
+  return std::find(OutputIds.begin(), OutputIds.end(), TensorId) !=
+         OutputIds.end();
+}
+
+bool Graph::isInput(int64_t TensorId) const {
+  return std::find(InputIds.begin(), InputIds.end(), TensorId) !=
+         InputIds.end();
+}
+
+const runtime::TensorData *Graph::constantData(int64_t TensorId) const {
+  auto It = ConstData.find(TensorId);
+  if (It == ConstData.end())
+    return nullptr;
+  return &It->second;
+}
+
+runtime::TensorData *Graph::mutableConstantData(int64_t TensorId) {
+  auto It = ConstData.find(TensorId);
+  if (It == ConstData.end())
+    return nullptr;
+  return &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph: mutation
+//===----------------------------------------------------------------------===//
+
+void Graph::recordOpLinks(int64_t OpId) {
+  const Op &O = Ops.at(OpId);
+  for (int64_t In : O.Inputs)
+    Consumers[In].push_back(OpId);
+  for (int64_t Out : O.Outputs) {
+    assert(!Producer.count(Out) && "tensor already has a producer");
+    Producer[Out] = OpId;
+  }
+}
+
+void Graph::forgetOpLinks(int64_t OpId) {
+  const Op &O = Ops.at(OpId);
+  for (int64_t In : O.Inputs) {
+    auto It = Consumers.find(In);
+    if (It == Consumers.end())
+      continue;
+    auto &Vec = It->second;
+    Vec.erase(std::remove(Vec.begin(), Vec.end(), OpId), Vec.end());
+  }
+  for (int64_t Out : O.Outputs)
+    Producer.erase(Out);
+}
+
+void Graph::replaceAllUses(int64_t OldTensor, int64_t NewTensor) {
+  if (OldTensor == NewTensor)
+    return;
+  auto It = Consumers.find(OldTensor);
+  if (It != Consumers.end()) {
+    const std::vector<int64_t> Users = It->second;
+    for (int64_t User : Users) {
+      Op &O = Ops.at(User);
+      for (int64_t &In : O.Inputs) {
+        if (In != OldTensor)
+          continue;
+        In = NewTensor;
+        Consumers[NewTensor].push_back(User);
+      }
+    }
+    Consumers.erase(OldTensor);
+  }
+  for (int64_t &Out : OutputIds)
+    if (Out == OldTensor)
+      Out = NewTensor;
+}
+
+void Graph::eraseOp(int64_t OpId) {
+  assert(Ops.count(OpId) && "unknown op");
+  forgetOpLinks(OpId);
+  Ops.erase(OpId);
+}
+
+void Graph::eraseTensor(int64_t TensorId) {
+  assert(producerOf(TensorId) < 0 && consumersOf(TensorId).empty() &&
+         "erasing a tensor still in use");
+  Tensors.erase(TensorId);
+  ConstData.erase(TensorId);
+  InputIds.erase(std::remove(InputIds.begin(), InputIds.end(), TensorId),
+                 InputIds.end());
+}
+
+void Graph::setOpInputs(int64_t OpId, std::vector<int64_t> NewInputs) {
+  Op &O = Ops.at(OpId);
+  for (int64_t In : O.Inputs) {
+    auto It = Consumers.find(In);
+    if (It == Consumers.end())
+      continue;
+    auto &Vec = It->second;
+    Vec.erase(std::remove(Vec.begin(), Vec.end(), OpId), Vec.end());
+  }
+  O.Inputs = std::move(NewInputs);
+  for (int64_t In : O.Inputs)
+    Consumers[In].push_back(OpId);
+}
+
+//===----------------------------------------------------------------------===//
+// Graph: analysis
+//===----------------------------------------------------------------------===//
+
+std::vector<int64_t> Graph::topologicalOrder() const {
+  std::unordered_map<int64_t, int> PendingInputs;
+  std::deque<int64_t> Ready;
+  for (const auto &[Id, O] : Ops) {
+    int Count = 0;
+    for (int64_t In : O.Inputs)
+      if (producerOf(In) >= 0)
+        ++Count;
+    PendingInputs[Id] = Count;
+    if (Count == 0)
+      Ready.push_back(Id);
+  }
+  std::vector<int64_t> Order;
+  Order.reserve(Ops.size());
+  while (!Ready.empty()) {
+    // Pick the smallest ready id for determinism.
+    auto MinIt = std::min_element(Ready.begin(), Ready.end());
+    const int64_t Id = *MinIt;
+    Ready.erase(MinIt);
+    Order.push_back(Id);
+    for (int64_t Out : Ops.at(Id).Outputs)
+      for (int64_t User : consumersOf(Out))
+        if (--PendingInputs[User] == 0)
+          Ready.push_back(User);
+  }
+  if (Order.size() != Ops.size())
+    fatalError("cycle detected in graph");
+  return Order;
+}
+
+std::string Graph::verify() const {
+  for (const auto &[Id, O] : Ops) {
+    for (int64_t In : O.Inputs)
+      if (!Tensors.count(In))
+        return formatString("op%lld reads unknown tensor %lld", (long long)Id,
+                            (long long)In);
+    for (int64_t Out : O.Outputs) {
+      if (!Tensors.count(Out))
+        return formatString("op%lld writes unknown tensor %lld",
+                            (long long)Id, (long long)Out);
+      auto It = Producer.find(Out);
+      if (It == Producer.end() || It->second != Id)
+        return formatString("producer map inconsistent for tensor %lld",
+                            (long long)Out);
+    }
+  }
+  for (int64_t Out : OutputIds)
+    if (!Tensors.count(Out))
+      return formatString("graph output %lld is not a tensor",
+                          (long long)Out);
+  for (int64_t In : InputIds)
+    if (!Tensors.count(In))
+      return formatString("graph input %lld is not a tensor", (long long)In);
+  // Every non-input, non-constant tensor consumed by an op needs a producer.
+  for (const auto &[Id, O] : Ops)
+    for (int64_t In : O.Inputs) {
+      const LogicalTensor &T = Tensors.at(In);
+      if (T.isConstant() || isInput(In))
+        continue;
+      if (producerOf(In) < 0)
+        return formatString("tensor %lld consumed by op%lld has no producer",
+                            (long long)In, (long long)Id);
+    }
+  return std::string();
+}
+
+Graph Graph::clone() const {
+  Graph Copy;
+  Copy.Tensors = Tensors;
+  Copy.InputIds = InputIds;
+  Copy.OutputIds = OutputIds;
+  Copy.NextTensorId = NextTensorId;
+  Copy.NextOpId = NextOpId;
+  for (const auto &[Id, O] : Ops) {
+    Op NewOp(O.Id, O.Kind);
+    NewOp.Inputs = O.Inputs;
+    NewOp.Outputs = O.Outputs;
+    NewOp.Attrs = O.Attrs;
+    if (O.Sub) {
+      auto SubCopy = std::make_unique<Graph>(O.Sub->clone());
+      NewOp.Sub = std::move(SubCopy);
+    }
+    Copy.Ops.emplace(Id, std::move(NewOp));
+    Copy.recordOpLinks(Id);
+  }
+  for (const auto &[Id, Data] : ConstData)
+    Copy.ConstData[Id] = Data.clone();
+  return Copy;
+}
+
+std::string Graph::toString() const {
+  std::string Out = "graph {\n";
+  Out += "  inputs: ";
+  std::vector<std::string> Parts;
+  for (int64_t In : InputIds)
+    Parts.push_back(tensor(In).toString());
+  Out += joinStrings(Parts, ", ") + "\n";
+  for (int64_t Id : topologicalOrder()) {
+    Out += "  " + op(Id).toString(*this) + "\n";
+    if (const Graph *Sub = op(Id).subgraph()) {
+      std::string SubStr = Sub->toString();
+      // Indent nested dump.
+      std::string Indented;
+      size_t Pos = 0;
+      while (Pos < SubStr.size()) {
+        size_t Eol = SubStr.find('\n', Pos);
+        if (Eol == std::string::npos)
+          Eol = SubStr.size();
+        Indented += "    " + SubStr.substr(Pos, Eol - Pos) + "\n";
+        Pos = Eol + 1;
+      }
+      Out += Indented;
+    }
+  }
+  Parts.clear();
+  for (int64_t OutId : OutputIds)
+    Parts.push_back(tensor(OutId).toString());
+  Out += "  outputs: " + joinStrings(Parts, ", ") + "\n}\n";
+  return Out;
+}
+
+} // namespace graph
+} // namespace gc

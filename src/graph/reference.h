@@ -1,0 +1,54 @@
+//===- reference.h - Reference evaluator for Graph IR -----------*- C++ -*-===//
+///
+/// \file
+/// A slow, obviously-correct interpreter for Graph IR operating on plain
+/// row-major tensors. Three roles:
+///  1. ground truth for every correctness test of the compiler and the
+///     baselines,
+///  2. the evaluation engine of the constant-folding pass (§V),
+///  3. the executor of the compile-time half of constant weight
+///     preprocessing (the "fold graph").
+///
+/// Layout attributes are ignored: the reference computes value semantics
+/// (a Reorder is the identity on logical values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_GRAPH_REFERENCE_H
+#define GC_GRAPH_REFERENCE_H
+
+#include "graph/graph.h"
+#include "runtime/tensor_data.h"
+
+#include <unordered_map>
+
+namespace gc {
+namespace graph {
+
+/// Tensor environment: logical tensor id -> runtime value.
+using TensorMap = std::unordered_map<int64_t, runtime::TensorData>;
+
+/// Evaluates a single op. \p Inputs are indexed like the op's input list.
+/// Returns one value per op output.
+std::vector<runtime::TensorData> evalOpReference(const Graph &G, const Op &O,
+                                                 const std::vector<const runtime::TensorData *> &Inputs);
+
+/// Evaluates a whole graph: \p Env must bind every graph input; constant
+/// tensors are read from the graph's constant data (unless already bound).
+/// On return \p Env additionally binds every op output.
+void evalGraphReference(const Graph &G, TensorMap &Env);
+
+/// Convenience: evaluates \p G on \p Env and returns the graph outputs in
+/// declaration order.
+std::vector<runtime::TensorData> runGraphReference(const Graph &G,
+                                                   TensorMap Env);
+
+/// Computes the numpy-style broadcast shape of two shapes; aborts when the
+/// shapes are incompatible. Exposed for tests.
+std::vector<int64_t> broadcastShapes(const std::vector<int64_t> &A,
+                                     const std::vector<int64_t> &B);
+
+} // namespace graph
+} // namespace gc
+
+#endif // GC_GRAPH_REFERENCE_H

@@ -1,0 +1,241 @@
+//===- brgemm.cpp - Batch-reduce GEMM microkernel ----------------------------===//
+//
+// Register-blocked implementations of the brgemm contract. The FP32 kernel
+// keeps a panel of C rows in zmm/ymm accumulators across the whole K*Batch
+// reduction; the int8 kernel consumes VNNI-packed B tiles with dpbusd. Both
+// fall back to portable loops that GCC auto-vectorizes when the target ISA
+// is unavailable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/brgemm.h"
+
+#include "support/common.h"
+
+#include <cassert>
+#include <cstring>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Portable reference kernels
+//===----------------------------------------------------------------------===//
+
+void brgemmF32Portable(const BrgemmF32Args &Args) {
+  for (int64_t MI = 0; MI < Args.M; ++MI) {
+    float *CRow = Args.C + MI * Args.Ldc;
+    if (Args.InitC)
+      std::memset(CRow, 0, sizeof(float) * static_cast<size_t>(Args.N));
+    for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+      const float *ATile = Args.A + BI * Args.AStrideBatch + MI * Args.Lda;
+      const float *BTile = Args.B + BI * Args.BStrideBatch;
+      for (int64_t KI = 0; KI < Args.K; ++KI) {
+        const float AVal = ATile[KI];
+        const float *BRow = BTile + KI * Args.Ldb;
+        for (int64_t NI = 0; NI < Args.N; ++NI)
+          CRow[NI] += AVal * BRow[NI];
+      }
+    }
+  }
+}
+
+void brgemmU8S8Portable(const BrgemmU8S8Args &Args) {
+  assert(Args.K % 4 == 0 && "packed K must be a multiple of 4");
+  for (int64_t MI = 0; MI < Args.M; ++MI) {
+    int32_t *CRow = Args.C + MI * Args.Ldc;
+    if (Args.InitC)
+      std::memset(CRow, 0, sizeof(int32_t) * static_cast<size_t>(Args.N));
+    for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+      const uint8_t *ATile = Args.A + BI * Args.AStrideBatch + MI * Args.Lda;
+      const int8_t *BTile = Args.B + BI * Args.BStrideBatch;
+      for (int64_t KG = 0; KG < Args.K / 4; ++KG) {
+        const int8_t *BGroup = BTile + KG * Args.NPadded * 4;
+        for (int64_t NI = 0; NI < Args.N; ++NI) {
+          int32_t Acc = 0;
+          for (int64_t KL = 0; KL < 4; ++KL)
+            Acc += static_cast<int32_t>(ATile[KG * 4 + KL]) *
+                   static_cast<int32_t>(BGroup[NI * 4 + KL]);
+          CRow[NI] += Acc;
+        }
+      }
+    }
+  }
+}
+
+#if defined(__AVX512F__)
+
+//===----------------------------------------------------------------------===//
+// AVX-512 FP32 kernel
+//===----------------------------------------------------------------------===//
+
+/// Computes an MRows x 16 C panel (MRows <= 8) with masked N tail.
+template <int MRows>
+void brgemmF32PanelAvx512(const BrgemmF32Args &Args, int64_t MBase,
+                          int64_t NBase, __mmask16 Mask) {
+  __m512 Acc[MRows];
+  if (Args.InitC) {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_setzero_ps();
+  } else {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_maskz_loadu_ps(
+          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
+  }
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const float *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const float *BTile = Args.B + BI * Args.BStrideBatch + NBase;
+    for (int64_t KI = 0; KI < Args.K; ++KI) {
+      const __m512 BVec = _mm512_maskz_loadu_ps(Mask, BTile + KI * Args.Ldb);
+      for (int R = 0; R < MRows; ++R) {
+        const __m512 AVec = _mm512_set1_ps(ATile[R * Args.Lda + KI]);
+        Acc[R] = _mm512_fmadd_ps(AVec, BVec, Acc[R]);
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R)
+    _mm512_mask_storeu_ps(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
+                          Acc[R]);
+}
+
+void brgemmF32Avx512(const BrgemmF32Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
+    const int64_t NRem = Args.N - NBase;
+    const __mmask16 Mask =
+        NRem >= 16 ? static_cast<__mmask16>(0xffff)
+                   : static_cast<__mmask16>((1u << NRem) - 1u);
+    int64_t MBase = 0;
+    for (; MBase + 8 <= Args.M; MBase += 8)
+      brgemmF32PanelAvx512<8>(Args, MBase, NBase, Mask);
+    switch (Args.M - MBase) {
+    case 7: brgemmF32PanelAvx512<7>(Args, MBase, NBase, Mask); break;
+    case 6: brgemmF32PanelAvx512<6>(Args, MBase, NBase, Mask); break;
+    case 5: brgemmF32PanelAvx512<5>(Args, MBase, NBase, Mask); break;
+    case 4: brgemmF32PanelAvx512<4>(Args, MBase, NBase, Mask); break;
+    case 3: brgemmF32PanelAvx512<3>(Args, MBase, NBase, Mask); break;
+    case 2: brgemmF32PanelAvx512<2>(Args, MBase, NBase, Mask); break;
+    case 1: brgemmF32PanelAvx512<1>(Args, MBase, NBase, Mask); break;
+    case 0: break;
+    default: GC_UNREACHABLE("tail larger than panel");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AVX-512 (VNNI) u8s8s32 kernel
+//===----------------------------------------------------------------------===//
+
+#if defined(__AVX512VNNI__) || defined(__AVX512BW__)
+#define GC_HAVE_AVX512_INT8 1
+
+inline __m512i dotProductU8S8(__m512i Acc, __m512i AVec, __m512i BVec) {
+#if defined(__AVX512VNNI__)
+  return _mm512_dpbusd_epi32(Acc, AVec, BVec);
+#else
+  // Emulation: u8*s8 horizontal pairs via maddubs, then widen-add.
+  const __m512i OnesEpi16 = _mm512_set1_epi16(1);
+  const __m512i Prod16 = _mm512_maddubs_epi16(AVec, BVec);
+  const __m512i Prod32 = _mm512_madd_epi16(Prod16, OnesEpi16);
+  return _mm512_add_epi32(Acc, Prod32);
+#endif
+}
+
+/// Computes an MRows x 16 s32 C panel from VNNI-packed B.
+template <int MRows>
+void brgemmU8S8PanelAvx512(const BrgemmU8S8Args &Args, int64_t MBase,
+                           int64_t NBase, __mmask16 Mask) {
+  __m512i Acc[MRows];
+  if (Args.InitC) {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_setzero_si512();
+  } else {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_maskz_loadu_epi32(
+          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
+  }
+  const int64_t KGroups = Args.K / 4;
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const uint8_t *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const int8_t *BTile = Args.B + BI * Args.BStrideBatch + NBase * 4;
+    for (int64_t KG = 0; KG < KGroups; ++KG) {
+      // 16 columns x 4 interleaved k values = 64 bytes per k-group.
+      const __m512i BVec = _mm512_maskz_loadu_epi32(
+          Mask, reinterpret_cast<const int32_t *>(BTile +
+                                                  KG * Args.NPadded * 4));
+      for (int R = 0; R < MRows; ++R) {
+        int32_t APack;
+        std::memcpy(&APack, ATile + R * Args.Lda + KG * 4, sizeof(APack));
+        const __m512i AVec = _mm512_set1_epi32(APack);
+        Acc[R] = dotProductU8S8(Acc[R], AVec, BVec);
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R)
+    _mm512_mask_storeu_epi32(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
+                             Acc[R]);
+}
+
+void brgemmU8S8Avx512(const BrgemmU8S8Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
+    const int64_t NRem = Args.N - NBase;
+    const __mmask16 Mask =
+        NRem >= 16 ? static_cast<__mmask16>(0xffff)
+                   : static_cast<__mmask16>((1u << NRem) - 1u);
+    int64_t MBase = 0;
+    for (; MBase + 8 <= Args.M; MBase += 8)
+      brgemmU8S8PanelAvx512<8>(Args, MBase, NBase, Mask);
+    switch (Args.M - MBase) {
+    case 7: brgemmU8S8PanelAvx512<7>(Args, MBase, NBase, Mask); break;
+    case 6: brgemmU8S8PanelAvx512<6>(Args, MBase, NBase, Mask); break;
+    case 5: brgemmU8S8PanelAvx512<5>(Args, MBase, NBase, Mask); break;
+    case 4: brgemmU8S8PanelAvx512<4>(Args, MBase, NBase, Mask); break;
+    case 3: brgemmU8S8PanelAvx512<3>(Args, MBase, NBase, Mask); break;
+    case 2: brgemmU8S8PanelAvx512<2>(Args, MBase, NBase, Mask); break;
+    case 1: brgemmU8S8PanelAvx512<1>(Args, MBase, NBase, Mask); break;
+    case 0: break;
+    default: GC_UNREACHABLE("tail larger than panel");
+    }
+  }
+}
+
+#endif // GC_HAVE_AVX512_INT8
+
+#endif // __AVX512F__
+
+} // namespace
+
+void brgemmF32(const BrgemmF32Args &Args) {
+  assert(Args.M >= 0 && Args.N >= 0 && Args.K >= 0 && Args.Batch >= 0);
+  if (Args.M == 0 || Args.N == 0)
+    return;
+#if defined(__AVX512F__)
+  brgemmF32Avx512(Args);
+#else
+  brgemmF32Portable(Args);
+#endif
+}
+
+void brgemmU8S8(const BrgemmU8S8Args &Args) {
+  assert(Args.M >= 0 && Args.N >= 0 && Args.K >= 0 && Args.Batch >= 0);
+  assert(Args.K % 4 == 0 && "packed K must be a multiple of 4");
+  if (Args.M == 0 || Args.N == 0)
+    return;
+#if defined(__AVX512F__) && defined(GC_HAVE_AVX512_INT8)
+  brgemmU8S8Avx512(Args);
+#else
+  brgemmU8S8Portable(Args);
+#endif
+}
+
+void brgemmF32Ref(const BrgemmF32Args &Args) { brgemmF32Portable(Args); }
+
+void brgemmU8S8Ref(const BrgemmU8S8Args &Args) { brgemmU8S8Portable(Args); }
+
+} // namespace kernels
+} // namespace gc

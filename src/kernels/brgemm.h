@@ -1,0 +1,90 @@
+//===- brgemm.h - Batch-reduce GEMM microkernel -----------------*- C++ -*-===//
+///
+/// \file
+/// The batch-reduce GEMM (brgemm) microkernel of §III: given a batch of A
+/// tiles and a batch of B tiles, it multiplies each pair and accumulates the
+/// partial products into one C tile that stays resident in registers / L1.
+///
+/// The paper's brgemm interface takes arrays of tile addresses; in the
+/// compiler's blocked layouts consecutive tiles are equidistant, so this
+/// implementation takes a base address plus a batch stride (the strided
+/// special case of the address-array interface; see DESIGN.md substitution
+/// #3). Tail tiles (M/N/K smaller than the full block) are supported so the
+/// template can pad ragged problem sizes the way the paper describes for
+/// GEMMV inputs.
+///
+/// Two data-type flavours exist, matching oneDNN's inference use:
+///  * F32:      C_f32 [+]= sum_b A_f32[b] * B_f32[b]
+///  * U8S8S32:  C_s32 [+]= sum_b A_u8[b] * B_s8[b]   (VNNI-packed B)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_KERNELS_BRGEMM_H
+#define GC_KERNELS_BRGEMM_H
+
+#include <cstdint>
+
+namespace gc {
+namespace kernels {
+
+/// Arguments of one FP32 batch-reduce GEMM call.
+///
+/// A tiles are row-major M x K with leading dimension \c Lda; B tiles are
+/// row-major K x N with leading dimension \c Ldb; the C tile is row-major
+/// M x N with leading dimension \c Ldc. Batches advance by \c AStrideBatch /
+/// \c BStrideBatch elements.
+struct BrgemmF32Args {
+  const float *A = nullptr;
+  int64_t AStrideBatch = 0;
+  int64_t Lda = 0;
+  const float *B = nullptr;
+  int64_t BStrideBatch = 0;
+  int64_t Ldb = 0;
+  float *C = nullptr;
+  int64_t Ldc = 0;
+  int64_t M = 0;
+  int64_t N = 0;
+  int64_t K = 0;
+  int64_t Batch = 1;
+  /// When true, C is overwritten (beta = 0); otherwise accumulated into.
+  bool InitC = true;
+};
+
+/// Executes one FP32 batch-reduce GEMM.
+void brgemmF32(const BrgemmF32Args &Args);
+
+/// Arguments of one u8 x s8 -> s32 batch-reduce GEMM call.
+///
+/// A tiles are row-major M x K (u8, leading dimension \c Lda). B tiles use
+/// the VNNI-packed layout [K/4][N][4] with \c NPadded columns, i.e. element
+/// (k, n) lives at (k/4)*NPadded*4 + n*4 + k%4. K must be padded to a
+/// multiple of 4 by the packing routines (zero fill keeps results exact).
+struct BrgemmU8S8Args {
+  const uint8_t *A = nullptr;
+  int64_t AStrideBatch = 0;
+  int64_t Lda = 0;
+  const int8_t *B = nullptr;
+  int64_t BStrideBatch = 0;
+  /// Column count of the packed B tile (>= N, the stride of one k-group).
+  int64_t NPadded = 0;
+  int32_t *C = nullptr;
+  int64_t Ldc = 0;
+  int64_t M = 0;
+  int64_t N = 0;
+  int64_t K = 0;
+  int64_t Batch = 1;
+  bool InitC = true;
+};
+
+/// Executes one u8s8s32 batch-reduce GEMM. Uses AVX512-VNNI when the build
+/// enables it, otherwise a portable widening loop.
+void brgemmU8S8(const BrgemmU8S8Args &Args);
+
+/// Reference implementations used by tests (always the portable path).
+void brgemmF32Ref(const BrgemmF32Args &Args);
+void brgemmU8S8Ref(const BrgemmU8S8Args &Args);
+
+} // namespace kernels
+} // namespace gc
+
+#endif // GC_KERNELS_BRGEMM_H

@@ -1,0 +1,37 @@
+//===- cpu_features.cpp - ISA capability reporting --------------------------===//
+
+#include "kernels/cpu_features.h"
+
+namespace gc {
+namespace kernels {
+
+const CpuFeatures &cpuFeatures() {
+  static const CpuFeatures Features = [] {
+    CpuFeatures F;
+#ifdef __AVX2__
+    F.HasAvx2 = true;
+#endif
+#ifdef __AVX512F__
+    F.HasAvx512f = true;
+#endif
+#ifdef __AVX512VNNI__
+    F.HasAvx512Vnni = true;
+#endif
+    return F;
+  }();
+  return Features;
+}
+
+std::string isaName() {
+  const CpuFeatures &F = cpuFeatures();
+  if (F.HasAvx512Vnni)
+    return "avx512f+vnni";
+  if (F.HasAvx512f)
+    return "avx512f";
+  if (F.HasAvx2)
+    return "avx2";
+  return "generic";
+}
+
+} // namespace kernels
+} // namespace gc

@@ -1,0 +1,35 @@
+//===- cpu_features.h - ISA capability reporting ----------------*- C++ -*-===//
+///
+/// \file
+/// Reports which SIMD paths this build of the microkernels uses. The paper's
+/// brgemm is JIT-generated per ISA via Xbyak; this reproduction selects the
+/// ISA at compile time (-march=native) and exposes the choice for logging
+/// and for tests that assert the expected path is active.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_KERNELS_CPU_FEATURES_H
+#define GC_KERNELS_CPU_FEATURES_H
+
+#include <string>
+
+namespace gc {
+namespace kernels {
+
+/// Compile-time ISA capabilities of the microkernel library.
+struct CpuFeatures {
+  bool HasAvx2 = false;
+  bool HasAvx512f = false;
+  bool HasAvx512Vnni = false;
+};
+
+/// Returns the capabilities the kernels were compiled with.
+const CpuFeatures &cpuFeatures();
+
+/// Human-readable ISA summary, e.g. "avx512f+vnni".
+std::string isaName();
+
+} // namespace kernels
+} // namespace gc
+
+#endif // GC_KERNELS_CPU_FEATURES_H

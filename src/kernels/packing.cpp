@@ -1,0 +1,163 @@
+//===- packing.cpp - Blocked/VNNI layout packing ------------------------------===//
+
+#include "kernels/packing.h"
+
+#include "support/common.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+/// Reads logical element (R, C) of a plain matrix honoring transposition.
+template <typename T>
+inline T readPlain(const PlainMatrix &Src, int64_t R, int64_t C) {
+  const T *Data = static_cast<const T *>(Src.Data);
+  if (Src.Transposed)
+    return Data[C * Src.Ld + R];
+  return Data[R * Src.Ld + C];
+}
+
+/// Generic A-format packing: tiles of MB x KB, zero padded.
+template <typename T>
+void packAImpl(const PlainMatrix &Src, T *Dst, int64_t MB, int64_t KB) {
+  const int64_t M = Src.Rows;
+  const int64_t K = Src.Cols;
+  const int64_t MBlocks = ceilDiv(M, MB);
+  const int64_t KBlocks = ceilDiv(K, KB);
+  for (int64_t MBlk = 0; MBlk < MBlocks; ++MBlk) {
+    for (int64_t KBlk = 0; KBlk < KBlocks; ++KBlk) {
+      T *Tile = Dst + (MBlk * KBlocks + KBlk) * MB * KB;
+      const int64_t MValid = std::min(MB, M - MBlk * MB);
+      const int64_t KValid = std::min(KB, K - KBlk * KB);
+      for (int64_t MI = 0; MI < MB; ++MI) {
+        T *Row = Tile + MI * KB;
+        if (MI >= MValid) {
+          std::memset(Row, 0, sizeof(T) * static_cast<size_t>(KB));
+          continue;
+        }
+        const int64_t SrcR = MBlk * MB + MI;
+        if (!Src.Transposed) {
+          const T *SrcRow =
+              static_cast<const T *>(Src.Data) + SrcR * Src.Ld + KBlk * KB;
+          std::memcpy(Row, SrcRow, sizeof(T) * static_cast<size_t>(KValid));
+        } else {
+          for (int64_t KI = 0; KI < KValid; ++KI)
+            Row[KI] = readPlain<T>(Src, SrcR, KBlk * KB + KI);
+        }
+        if (KValid < KB)
+          std::memset(Row + KValid, 0,
+                      sizeof(T) * static_cast<size_t>(KB - KValid));
+      }
+    }
+  }
+}
+
+} // namespace
+
+void packAF32(const PlainMatrix &Src, float *Dst, int64_t MB, int64_t KB) {
+  packAImpl<float>(Src, Dst, MB, KB);
+}
+
+void packAU8(const PlainMatrix &Src, uint8_t *Dst, int64_t MB, int64_t KB) {
+  packAImpl<uint8_t>(Src, Dst, MB, KB);
+}
+
+void packBF32(const PlainMatrix &Src, float *Dst, int64_t KB, int64_t NB) {
+  const int64_t K = Src.Rows;
+  const int64_t N = Src.Cols;
+  const int64_t KBlocks = ceilDiv(K, KB);
+  const int64_t NBlocks = ceilDiv(N, NB);
+  for (int64_t KBlk = 0; KBlk < KBlocks; ++KBlk) {
+    for (int64_t NBlk = 0; NBlk < NBlocks; ++NBlk) {
+      float *Tile = Dst + (KBlk * NBlocks + NBlk) * KB * NB;
+      const int64_t KValid = std::min(KB, K - KBlk * KB);
+      const int64_t NValid = std::min(NB, N - NBlk * NB);
+      for (int64_t KI = 0; KI < KB; ++KI) {
+        float *Row = Tile + KI * NB;
+        if (KI >= KValid) {
+          std::memset(Row, 0, sizeof(float) * static_cast<size_t>(NB));
+          continue;
+        }
+        for (int64_t NI = 0; NI < NValid; ++NI)
+          Row[NI] = readPlain<float>(Src, KBlk * KB + KI, NBlk * NB + NI);
+        if (NValid < NB)
+          std::memset(Row + NValid, 0,
+                      sizeof(float) * static_cast<size_t>(NB - NValid));
+      }
+    }
+  }
+}
+
+void packBS8Vnni(const PlainMatrix &Src, int8_t *Dst, int64_t KB, int64_t NB) {
+  assert(KB % 4 == 0 && "VNNI packing requires KB % 4 == 0");
+  const int64_t K = Src.Rows;
+  const int64_t N = Src.Cols;
+  const int64_t KBlocks = ceilDiv(K, KB);
+  const int64_t NBlocks = ceilDiv(N, NB);
+  for (int64_t KBlk = 0; KBlk < KBlocks; ++KBlk) {
+    for (int64_t NBlk = 0; NBlk < NBlocks; ++NBlk) {
+      int8_t *Tile = Dst + (KBlk * NBlocks + NBlk) * KB * NB;
+      std::memset(Tile, 0, static_cast<size_t>(KB * NB));
+      const int64_t KValid = std::min(KB, K - KBlk * KB);
+      const int64_t NValid = std::min(NB, N - NBlk * NB);
+      for (int64_t KI = 0; KI < KValid; ++KI) {
+        const int64_t KGroup = KI / 4;
+        const int64_t KLane = KI % 4;
+        int8_t *GroupBase = Tile + KGroup * NB * 4;
+        for (int64_t NI = 0; NI < NValid; ++NI)
+          GroupBase[NI * 4 + KLane] =
+              readPlain<int8_t>(Src, KBlk * KB + KI, NBlk * NB + NI);
+      }
+    }
+  }
+}
+
+void unpackAF32(const float *Src, float *Dst, int64_t M, int64_t K,
+                int64_t MB, int64_t KB, int64_t DstLd) {
+  const int64_t KBlocks = ceilDiv(K, KB);
+  for (int64_t MI = 0; MI < M; ++MI) {
+    const int64_t MBlk = MI / MB;
+    const int64_t MOff = MI % MB;
+    for (int64_t KBlk = 0; KBlk < KBlocks; ++KBlk) {
+      const float *TileRow =
+          Src + (MBlk * KBlocks + KBlk) * MB * KB + MOff * KB;
+      const int64_t KValid = std::min(KB, K - KBlk * KB);
+      std::memcpy(Dst + MI * DstLd + KBlk * KB, TileRow,
+                  sizeof(float) * static_cast<size_t>(KValid));
+    }
+  }
+}
+
+void unpackAU8(const uint8_t *Src, uint8_t *Dst, int64_t M, int64_t K,
+               int64_t MB, int64_t KB, int64_t DstLd) {
+  const int64_t KBlocks = ceilDiv(K, KB);
+  for (int64_t MI = 0; MI < M; ++MI) {
+    const int64_t MBlk = MI / MB;
+    const int64_t MOff = MI % MB;
+    for (int64_t KBlk = 0; KBlk < KBlocks; ++KBlk) {
+      const uint8_t *TileRow =
+          Src + (MBlk * KBlocks + KBlk) * MB * KB + MOff * KB;
+      const int64_t KValid = std::min(KB, K - KBlk * KB);
+      std::memcpy(Dst + MI * DstLd + KBlk * KB, TileRow,
+                  static_cast<size_t>(KValid));
+    }
+  }
+}
+
+void colSumS8(const PlainMatrix &Src, int32_t *Comp) {
+  const int64_t K = Src.Rows;
+  const int64_t N = Src.Cols;
+  for (int64_t NI = 0; NI < N; ++NI)
+    Comp[NI] = 0;
+  for (int64_t KI = 0; KI < K; ++KI)
+    for (int64_t NI = 0; NI < N; ++NI)
+      Comp[NI] += readPlain<int8_t>(Src, KI, NI);
+}
+
+} // namespace kernels
+} // namespace gc

@@ -1,0 +1,378 @@
+//===- tile_ops.cpp - Tile-granularity fusible-op kernels ---------------------===//
+//
+// Straight-line loops over tile rows; GCC auto-vectorizes the inner column
+// loops at -O3 -march=native. Transcendental kernels call libm per element,
+// which is the same cost for every executor in this repo (compiler and both
+// baselines), so relative comparisons stay fair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/tile_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+template <typename Fn> void forEachRow(const TileF32 &X, Fn &&Body) {
+  for (int64_t R = 0; R < X.Rows; ++R)
+    Body(X.Data + R * X.Ld);
+}
+
+template <typename Fn>
+void forEachRowPair(const TileF32 &X, const ConstTileF32 &Y, Fn &&Body) {
+  for (int64_t R = 0; R < X.Rows; ++R)
+    Body(X.Data + R * X.Ld, Y.Data + R * Y.Ld);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Elementwise (unary)
+//===----------------------------------------------------------------------===//
+
+void reluTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = Row[C] > 0.0f ? Row[C] : 0.0f;
+  });
+}
+
+void expTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = std::exp(Row[C]);
+  });
+}
+
+void tanhTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = std::tanh(Row[C]);
+  });
+}
+
+void sqrtTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = std::sqrt(Row[C]);
+  });
+}
+
+void recipTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = 1.0f / Row[C];
+  });
+}
+
+void affineTile(const TileF32 &X, float A, float B) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = Row[C] * A + B;
+  });
+}
+
+void geluTanhTile(const TileF32 &X) {
+  constexpr float Sqrt2OverPi = 0.7978845608028654f;
+  constexpr float Coeff = 0.044715f;
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C) {
+      const float V = Row[C];
+      const float Inner = Sqrt2OverPi * (V + Coeff * V * V * V);
+      Row[C] = 0.5f * V * (1.0f + std::tanh(Inner));
+    }
+  });
+}
+
+void sigmoidTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = 1.0f / (1.0f + std::exp(-Row[C]));
+  });
+}
+
+void squareTile(const TileF32 &X) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = Row[C] * Row[C];
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise (binary)
+//===----------------------------------------------------------------------===//
+
+void addTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] += YR[C];
+  });
+}
+
+void subTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] -= YR[C];
+  });
+}
+
+void mulTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] *= YR[C];
+  });
+}
+
+void divTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] /= YR[C];
+  });
+}
+
+void maxTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] = std::max(XR[C], YR[C]);
+  });
+}
+
+void minTile(const TileF32 &X, const ConstTileF32 &Y) {
+  forEachRowPair(X, Y, [&](float *XR, const float *YR) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      XR[C] = std::min(XR[C], YR[C]);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Broadcast binary
+//===----------------------------------------------------------------------===//
+
+void addRowVecTile(const TileF32 &X, const float *V) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] += V[C];
+  });
+}
+
+void subRowVecTile(const TileF32 &X, const float *V) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] -= V[C];
+  });
+}
+
+void mulRowVecTile(const TileF32 &X, const float *V) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] *= V[C];
+  });
+}
+
+void addColVecTile(const TileF32 &X, const float *V) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    float *Row = X.Data + R * X.Ld;
+    const float S = V[R];
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] += S;
+  }
+}
+
+void subColVecTile(const TileF32 &X, const float *V) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    float *Row = X.Data + R * X.Ld;
+    const float S = V[R];
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] -= S;
+  }
+}
+
+void mulColVecTile(const TileF32 &X, const float *V) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    float *Row = X.Data + R * X.Ld;
+    const float S = V[R];
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] *= S;
+  }
+}
+
+void divColVecTile(const TileF32 &X, const float *V) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    float *Row = X.Data + R * X.Ld;
+    const float S = 1.0f / V[R];
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] *= S;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reductions
+//===----------------------------------------------------------------------===//
+
+void reduceSumRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    const float *Row = X.Data + R * X.Ld;
+    float Sum = 0.0f;
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Sum += Row[C];
+    Out[R] = Accumulate ? Out[R] + Sum : Sum;
+  }
+}
+
+void reduceMaxRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+  for (int64_t R = 0; R < X.Rows; ++R) {
+    const float *Row = X.Data + R * X.Ld;
+    float Max = Row[0];
+    for (int64_t C = 1; C < X.Cols; ++C)
+      Max = std::max(Max, Row[C]);
+    Out[R] = Accumulate ? std::max(Out[R], Max) : Max;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Data movement
+//===----------------------------------------------------------------------===//
+
+void copyTile(const TileF32 &Dst, const ConstTileF32 &Src) {
+  for (int64_t R = 0; R < Dst.Rows; ++R) {
+    float *DRow = Dst.Data + R * Dst.Ld;
+    const float *SRow = Src.Data + R * Src.Ld;
+    for (int64_t C = 0; C < Dst.Cols; ++C)
+      DRow[C] = SRow[C];
+  }
+}
+
+void copyTileRaw(void *Dst, int64_t DstLd, const void *Src, int64_t SrcLd,
+                 int64_t Rows, int64_t Cols, int64_t ElemSize) {
+  for (int64_t R = 0; R < Rows; ++R)
+    std::memcpy(static_cast<char *>(Dst) + R * DstLd * ElemSize,
+                static_cast<const char *>(Src) + R * SrcLd * ElemSize,
+                static_cast<size_t>(Cols * ElemSize));
+}
+
+void permute0213(void *Dst, const void *Src, int64_t A, int64_t B, int64_t C,
+                 int64_t D, int64_t ElemSize) {
+  const int64_t RowBytes = D * ElemSize;
+  for (int64_t AI = 0; AI < A; ++AI)
+    for (int64_t BI = 0; BI < B; ++BI)
+      for (int64_t CI = 0; CI < C; ++CI)
+        std::memcpy(static_cast<char *>(Dst) +
+                        ((AI * C + CI) * B + BI) * RowBytes,
+                    static_cast<const char *>(Src) +
+                        ((AI * B + BI) * C + CI) * RowBytes,
+                    static_cast<size_t>(RowBytes));
+}
+
+void transposeTile(const TileF32 &Dst, const ConstTileF32 &Src) {
+  for (int64_t R = 0; R < Dst.Rows; ++R) {
+    float *DRow = Dst.Data + R * Dst.Ld;
+    for (int64_t C = 0; C < Dst.Cols; ++C)
+      DRow[C] = Src.Data[C * Src.Ld + R];
+  }
+}
+
+void fillTile(const TileF32 &X, float Value) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = Value;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Quantization bridges
+//===----------------------------------------------------------------------===//
+
+void dequantAccTile(float *Dst, int64_t DstLd, const int32_t *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols,
+                    const int32_t *Comp, int32_t AZp, const float *ScaleVec) {
+  if (AZp == 0 || !Comp) {
+    // Symmetric activations: no zero-point compensation term.
+    for (int64_t R = 0; R < Rows; ++R) {
+      float *DRow = Dst + R * DstLd;
+      const int32_t *SRow = Src + R * SrcLd;
+      for (int64_t C = 0; C < Cols; ++C)
+        DRow[C] = static_cast<float>(SRow[C]) * ScaleVec[C];
+    }
+    return;
+  }
+  for (int64_t R = 0; R < Rows; ++R) {
+    float *DRow = Dst + R * DstLd;
+    const int32_t *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C) {
+      const int32_t Adjusted = SRow[C] - AZp * Comp[C];
+      DRow[C] = static_cast<float>(Adjusted) * ScaleVec[C];
+    }
+  }
+}
+
+namespace {
+inline int32_t roundToNearestInt(float V) {
+  return static_cast<int32_t>(std::lrintf(V));
+}
+} // namespace
+
+void quantizeU8Tile(uint8_t *Dst, int64_t DstLd, const float *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols, float InvScale,
+                    int32_t Zp) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    uint8_t *DRow = Dst + R * DstLd;
+    const float *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C) {
+      const int32_t Q = roundToNearestInt(SRow[C] * InvScale) + Zp;
+      DRow[C] = static_cast<uint8_t>(std::clamp(Q, 0, 255));
+    }
+  }
+}
+
+void quantizeS8Tile(int8_t *Dst, int64_t DstLd, const float *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols,
+                    float InvScale) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    int8_t *DRow = Dst + R * DstLd;
+    const float *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C) {
+      const int32_t Q = roundToNearestInt(SRow[C] * InvScale);
+      DRow[C] = static_cast<int8_t>(std::clamp(Q, -128, 127));
+    }
+  }
+}
+
+void dequantU8Tile(float *Dst, int64_t DstLd, const uint8_t *Src,
+                   int64_t SrcLd, int64_t Rows, int64_t Cols, float Scale,
+                   int32_t Zp) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float *DRow = Dst + R * DstLd;
+    const uint8_t *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C)
+      DRow[C] = static_cast<float>(static_cast<int32_t>(SRow[C]) - Zp) * Scale;
+  }
+}
+
+void dequantS8PerChannelTile(float *Dst, int64_t DstLd, const int8_t *Src,
+                             int64_t SrcLd, int64_t Rows, int64_t Cols,
+                             const float *ScaleVec) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float *DRow = Dst + R * DstLd;
+    const int8_t *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C)
+      DRow[C] = static_cast<float>(SRow[C]) * ScaleVec[C];
+  }
+}
+
+void castS32F32Tile(float *Dst, int64_t DstLd, const int32_t *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols, float Scale) {
+  for (int64_t R = 0; R < Rows; ++R) {
+    float *DRow = Dst + R * DstLd;
+    const int32_t *SRow = Src + R * SrcLd;
+    for (int64_t C = 0; C < Cols; ++C)
+      DRow[C] = static_cast<float>(SRow[C]) * Scale;
+  }
+}
+
+} // namespace kernels
+} // namespace gc

@@ -1,0 +1,155 @@
+//===- tile_ops.h - Tile-granularity fusible-op kernels ---------*- C++ -*-===//
+///
+/// \file
+/// The kernel vocabulary that Fusible OPs lower to at template anchor points
+/// (§IV). Each kernel transforms one tensor slice ("tile") described by a
+/// base pointer, a row/column extent and a leading dimension, so the Tensor
+/// IR evaluator moves whole tiles per statement — mirroring how the paper's
+/// generated code keeps the per-element work inside compiled loops.
+///
+/// Naming: suffix RowVec means a length-Cols vector broadcast across rows
+/// (bias/scale per output channel); suffix ColVec means a length-Rows vector
+/// broadcast across columns (softmax denominators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_KERNELS_TILE_OPS_H
+#define GC_KERNELS_TILE_OPS_H
+
+#include <cstdint>
+
+namespace gc {
+namespace kernels {
+
+/// View of a mutable f32 tile.
+struct TileF32 {
+  float *Data = nullptr;
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  int64_t Ld = 0;
+};
+
+/// View of a const f32 tile.
+struct ConstTileF32 {
+  const float *Data = nullptr;
+  int64_t Ld = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Elementwise (unary)
+//===----------------------------------------------------------------------===//
+
+/// x = max(x, 0)
+void reluTile(const TileF32 &X);
+/// x = exp(x)
+void expTile(const TileF32 &X);
+/// x = tanh(x)
+void tanhTile(const TileF32 &X);
+/// x = sqrt(x)
+void sqrtTile(const TileF32 &X);
+/// x = 1 / x
+void recipTile(const TileF32 &X);
+/// x = x * A + B (affine; covers scalar mul and add)
+void affineTile(const TileF32 &X, float A, float B);
+/// x = 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3))) (fused GELU,
+/// used when the decomposed chain is recognized back into one kernel)
+void geluTanhTile(const TileF32 &X);
+/// x = sigmoid(x)
+void sigmoidTile(const TileF32 &X);
+/// x = x^2
+void squareTile(const TileF32 &X);
+
+//===----------------------------------------------------------------------===//
+// Elementwise (binary, second operand tile)
+//===----------------------------------------------------------------------===//
+
+void addTile(const TileF32 &X, const ConstTileF32 &Y);
+void subTile(const TileF32 &X, const ConstTileF32 &Y);
+void mulTile(const TileF32 &X, const ConstTileF32 &Y);
+void divTile(const TileF32 &X, const ConstTileF32 &Y);
+void maxTile(const TileF32 &X, const ConstTileF32 &Y);
+void minTile(const TileF32 &X, const ConstTileF32 &Y);
+
+//===----------------------------------------------------------------------===//
+// Broadcast binary
+//===----------------------------------------------------------------------===//
+
+/// x[r][c] op= v[c]
+void addRowVecTile(const TileF32 &X, const float *V);
+void subRowVecTile(const TileF32 &X, const float *V);
+void mulRowVecTile(const TileF32 &X, const float *V);
+/// x[r][c] op= v[r]
+void addColVecTile(const TileF32 &X, const float *V);
+void subColVecTile(const TileF32 &X, const float *V);
+void mulColVecTile(const TileF32 &X, const float *V);
+void divColVecTile(const TileF32 &X, const float *V);
+
+//===----------------------------------------------------------------------===//
+// Reductions (over the column axis of the tile)
+//===----------------------------------------------------------------------===//
+
+/// Out[r] (+)= sum_c x[r][c]; when !Accumulate Out is overwritten.
+void reduceSumRowsTile(const TileF32 &X, float *Out, bool Accumulate);
+/// Out[r] = max(Out[r], max_c x[r][c]); when !Accumulate Out is overwritten.
+void reduceMaxRowsTile(const TileF32 &X, float *Out, bool Accumulate);
+
+//===----------------------------------------------------------------------===//
+// Data movement
+//===----------------------------------------------------------------------===//
+
+/// Dst tile = Src tile (strided 2-D copy).
+void copyTile(const TileF32 &Dst, const ConstTileF32 &Src);
+/// Type-agnostic strided 2-D copy (leading dimensions in elements of
+/// \p ElemSize bytes); used when moving s32/u8 tiles.
+void copyTileRaw(void *Dst, int64_t DstLd, const void *Src, int64_t SrcLd,
+                 int64_t Rows, int64_t Cols, int64_t ElemSize);
+/// Dst[r][c] = Src[c][r] for a Rows x Cols destination tile.
+void transposeTile(const TileF32 &Dst, const ConstTileF32 &Src);
+/// 4-D permutation [A,B,C,D] -> [A,C,B,D] (the BSHD <-> BHSD layout move
+/// of transformer graphs), type-agnostic.
+void permute0213(void *Dst, const void *Src, int64_t A, int64_t B, int64_t C,
+                 int64_t D, int64_t ElemSize);
+/// Fills the tile with a constant.
+void fillTile(const TileF32 &X, float Value);
+
+//===----------------------------------------------------------------------===//
+// Quantization bridges (int8 pipeline, §V low-precision conversion)
+//===----------------------------------------------------------------------===//
+
+/// Dequantizes an s32 accumulator tile into f32 with per-output-channel
+/// scales and asymmetric-activation compensation:
+///   Dst[r][c] = (Src[r][c] - AZp * Comp[c]) * ScaleVec[c]
+/// Comp[c] is the column sum of the s8 weight (precomputed constant);
+/// ScaleVec[c] = a_scale * b_scale[c] folded at compile time.
+void dequantAccTile(float *Dst, int64_t DstLd, const int32_t *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols,
+                    const int32_t *Comp, int32_t AZp, const float *ScaleVec);
+
+/// Quantizes f32 to u8: Dst = sat_u8(round(Src * InvScale) + Zp).
+void quantizeU8Tile(uint8_t *Dst, int64_t DstLd, const float *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols, float InvScale,
+                    int32_t Zp);
+
+/// Quantizes f32 to s8 symmetric per-tensor: Dst = sat_s8(round(Src*InvScale)).
+void quantizeS8Tile(int8_t *Dst, int64_t DstLd, const float *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols, float InvScale);
+
+/// Dequantizes u8 to f32: Dst = (Src - Zp) * Scale.
+void dequantU8Tile(float *Dst, int64_t DstLd, const uint8_t *Src,
+                   int64_t SrcLd, int64_t Rows, int64_t Cols, float Scale,
+                   int32_t Zp);
+
+/// Dequantizes s8 to f32 with per-column scales (per-channel weights):
+/// Dst[r][c] = Src[r][c] * ScaleVec[c].
+void dequantS8PerChannelTile(float *Dst, int64_t DstLd, const int8_t *Src,
+                             int64_t SrcLd, int64_t Rows, int64_t Cols,
+                             const float *ScaleVec);
+
+/// Converts an s32 tile to f32 with a single scale: Dst = Src * Scale.
+void castS32F32Tile(float *Dst, int64_t DstLd, const int32_t *Src,
+                    int64_t SrcLd, int64_t Rows, int64_t Cols, float Scale);
+
+} // namespace kernels
+} // namespace gc
+
+#endif // GC_KERNELS_TILE_OPS_H

@@ -1,0 +1,157 @@
+//===- anchors.cpp - Fused-OP template anchor cost table (Fig. 3) ----------------===//
+
+#include "lower/anchors.h"
+
+#include "support/common.h"
+
+namespace gc {
+namespace lower {
+
+// Shorthands matching Fig. 3's symbols:
+//   MSN/NSN/KSN  blocks per single-core kernel
+//   NPSN         total N blocks (NSN * NPN)
+//   MSBN/NSBN    elements per single-core kernel along m/n
+
+AnchorCost preOpAnchorCostA(const BlockingParams &P, PreAnchor Anchor) {
+  AnchorCost C;
+  const int64_t ABlock = P.MB * P.KB;
+  switch (Anchor) {
+  case PreAnchor::Pre1:
+  case PreAnchor::Pre2:
+    // A'[MSN, KSN, MB, KB], touched once.
+    C.WorkingSetElems = P.MSN * P.KSN * ABlock;
+    C.AccessTimesPerCore = 1;
+    C.TotalAccessElems = P.MSN * P.MB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre3:
+    // A'[KSN, MB, KB], once per msi.
+    C.WorkingSetElems = P.KSN * ABlock;
+    C.AccessTimesPerCore = P.MSN;
+    C.TotalAccessElems = P.MSN * P.MB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre4:
+    // A'[BS, MB, KB], once per (msi, ksi/BS).
+    C.WorkingSetElems = P.BS * ABlock;
+    C.AccessTimesPerCore = P.MSN * ceilDiv(P.KSN, P.BS);
+    C.TotalAccessElems = P.MSN * P.MB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre5:
+    // A'[BS, MB, KB], repacked for every nsi: NSN-fold redundancy.
+    C.WorkingSetElems = P.BS * ABlock;
+    C.AccessTimesPerCore = P.MSN * P.NSN * ceilDiv(P.KSN, P.BS);
+    C.TotalAccessElems = P.MSN * P.MB * P.KSN * P.KB * P.NSN;
+    return C;
+  }
+  GC_UNREACHABLE("unknown pre anchor");
+}
+
+AnchorCost preOpAnchorCostB(const BlockingParams &P, PreAnchor Anchor) {
+  AnchorCost C;
+  const int64_t BBlock = P.NB * P.KB;
+  const int64_t NPSN = P.NSN * P.NPN;
+  switch (Anchor) {
+  case PreAnchor::Pre1:
+    // B'[KSN, NPSN, NB, KB] - the whole B panel, once.
+    C.WorkingSetElems = P.KSN * NPSN * BBlock;
+    C.AccessTimesPerCore = 1;
+    C.TotalAccessElems = NPSN * P.NB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre2:
+    // B'[KSN, NSN, NB, KB] - this core's slice, once.
+    C.WorkingSetElems = P.KSN * P.NSN * BBlock;
+    C.AccessTimesPerCore = 1;
+    C.TotalAccessElems = P.NSN * P.NB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre3:
+    // Same slice but repacked per msi.
+    C.WorkingSetElems = P.KSN * P.NSN * BBlock;
+    C.AccessTimesPerCore = P.MSN;
+    C.TotalAccessElems = P.MSN * P.NSN * P.NB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre4:
+    // B'[BS, NSN, NB, KB] per (msi, ksi/BS).
+    C.WorkingSetElems = P.BS * P.NSN * BBlock;
+    C.AccessTimesPerCore = P.MSN * ceilDiv(P.KSN, P.BS);
+    C.TotalAccessElems = P.MSN * P.NSN * P.NB * P.KSN * P.KB;
+    return C;
+  case PreAnchor::Pre5:
+    // B'[BS, KB, NB] per (msi, ksi/BS, nsi).
+    C.WorkingSetElems = P.BS * BBlock;
+    C.AccessTimesPerCore = P.MSN * P.NSN * ceilDiv(P.KSN, P.BS);
+    C.TotalAccessElems = P.MSN * P.NSN * P.NB * P.KSN * P.KB;
+    return C;
+  }
+  GC_UNREACHABLE("unknown pre anchor");
+}
+
+AnchorCost postOpAnchorCost(const BlockingParams &P, int64_t N,
+                            PostAnchor Anchor) {
+  AnchorCost C;
+  const int64_t MSBN = P.MB * P.MSN;
+  const int64_t NSBN = P.NB * P.NSN;
+  switch (Anchor) {
+  case PostAnchor::Post1:
+    // C[MB, NSBN] per msi.
+    C.WorkingSetElems = P.MB * NSBN;
+    C.AccessTimesPerCore = P.MSN;
+    C.TotalAccessElems = MSBN * NSBN;
+    return C;
+  case PostAnchor::Post2:
+    // C[MSBN, NSBN] once.
+    C.WorkingSetElems = MSBN * NSBN;
+    C.AccessTimesPerCore = 1;
+    C.TotalAccessElems = MSBN * NSBN;
+    return C;
+  case PostAnchor::Post3:
+    // C[MSBN, N] once (full output width).
+    C.WorkingSetElems = MSBN * N;
+    C.AccessTimesPerCore = 1;
+    C.TotalAccessElems = MSBN * N;
+    return C;
+  }
+  GC_UNREACHABLE("unknown post anchor");
+}
+
+namespace {
+
+/// Picks the anchor with minimal total traffic; among equals, the smallest
+/// working set (innermost) wins.
+template <typename CostFn>
+PreAnchor argminPre(const BlockingParams &P, CostFn &&Cost) {
+  static const PreAnchor All[] = {PreAnchor::Pre1, PreAnchor::Pre2,
+                                  PreAnchor::Pre3, PreAnchor::Pre4,
+                                  PreAnchor::Pre5};
+  PreAnchor Best = PreAnchor::Pre1;
+  AnchorCost BestCost = Cost(P, PreAnchor::Pre1);
+  for (PreAnchor A : All) {
+    const AnchorCost C = Cost(P, A);
+    // Prefer lower traffic, then smaller buffers, then the inner anchor
+    // (ties mean the loop levels are degenerate and equivalent).
+    if (C.TotalAccessElems < BestCost.TotalAccessElems ||
+        (C.TotalAccessElems == BestCost.TotalAccessElems &&
+         C.WorkingSetElems <= BestCost.WorkingSetElems)) {
+      Best = A;
+      BestCost = C;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+PreAnchor choosePreAnchorA(const BlockingParams &P) {
+  return argminPre(P, preOpAnchorCostA);
+}
+
+PreAnchor choosePreAnchorB(const BlockingParams &P) {
+  return argminPre(P, preOpAnchorCostB);
+}
+
+PostAnchor choosePostAnchor(const BlockingParams &P, bool NeedsFullRows) {
+  if (NeedsFullRows && P.NPN > 1)
+    return PostAnchor::Post3;
+  return PostAnchor::Post1;
+}
+
+} // namespace lower
+} // namespace gc

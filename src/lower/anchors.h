@@ -1,0 +1,78 @@
+//===- anchors.h - Fused-OP template anchors (Fig. 3) -----------*- C++ -*-===//
+///
+/// \file
+/// The anchor model of §IV: the matmul template publishes placeholders at
+/// each loop level where Fusible OPs can commit. Each anchor has a
+/// working-set size, an invocation count per core, and a total memory
+/// access count -- the Fig. 3 cost table -- which the fusion optimization
+/// evaluates to place pre-ops and post-ops.
+///
+/// Anchor positions (template of Fig. 2/3):
+///   pre#1  before the npi loop        - whole-core A and B panels
+///   pre#2  inside npi, before msi     - A panel + this core's B slice
+///   pre#3  inside msi, before ksi     - one A row-block strip
+///   pre#4  inside ksi, before nsi     - BS A blocks (the default A pack)
+///   pre#5  inside nsi (innermost)     - BS A blocks, repacked per nsi
+///   post#1 after the ksi loop (per msi)  - one C row strip [MB, NSBN]
+///   post#2 after the msi loop (per npi)  - the core's C panel
+///   post#3 after the npi loop            - the core's full-N C panel
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_LOWER_ANCHORS_H
+#define GC_LOWER_ANCHORS_H
+
+#include "lower/blocking.h"
+
+#include <cstdint>
+
+namespace gc {
+namespace lower {
+
+/// Pre-op anchor positions of Fig. 3.
+enum class PreAnchor : uint8_t { Pre1, Pre2, Pre3, Pre4, Pre5 };
+
+/// Post-op anchor positions of Fig. 3.
+enum class PostAnchor : uint8_t { Post1, Post2, Post3 };
+
+/// One row of the Fig. 3 cost table (element counts, per core).
+struct AnchorCost {
+  /// Tensor-slice working set touched per invocation.
+  int64_t WorkingSetElems = 0;
+  /// Invocations of the fused op per single-core kernel.
+  int64_t AccessTimesPerCore = 0;
+  /// Total tensor elements moved per core across the kernel.
+  int64_t TotalAccessElems = 0;
+};
+
+/// Fig. 3 cost of placing an A-side pre-op at \p Anchor.
+AnchorCost preOpAnchorCostA(const BlockingParams &P, PreAnchor Anchor);
+
+/// Fig. 3 cost of placing a B-side pre-op at \p Anchor.
+AnchorCost preOpAnchorCostB(const BlockingParams &P, PreAnchor Anchor);
+
+/// Fig. 3 cost of placing a post-op at \p Anchor (C-side), for a kernel
+/// with full-problem N of \p N elements.
+AnchorCost postOpAnchorCost(const BlockingParams &P, int64_t N,
+                            PostAnchor Anchor);
+
+/// Chooses the pre-op anchor for packing the A operand: the anchor with
+/// the smallest total memory traffic, tie-broken toward the smaller
+/// working set (the paper: "the anchors at inner loop bodies require
+/// smaller temporary buffer size but may have redundant computations").
+PreAnchor choosePreAnchorA(const BlockingParams &P);
+
+/// Chooses the pre-op anchor for packing the B operand (B tiles are reused
+/// across msi iterations, so inner anchors repack redundantly).
+PreAnchor choosePreAnchorB(const BlockingParams &P);
+
+/// Chooses the post-op anchor: the innermost anchor whose slice covers the
+/// fused chain's needs ("the post-op usually finds the first anchor point
+/// toward the innermost loop the best choice"). Row reductions need the
+/// full row, which post#1 provides only when NPN == 1; otherwise post#3.
+PostAnchor choosePostAnchor(const BlockingParams &P, bool NeedsFullRows);
+
+} // namespace lower
+} // namespace gc
+
+#endif // GC_LOWER_ANCHORS_H

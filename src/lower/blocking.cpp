@@ -1,0 +1,228 @@
+//===- blocking.cpp - Matmul template parameter heuristic -----------------------===//
+//
+// Candidate generation + cost model. The cost of a (grid, microkernel)
+// pair is  parallelPenalty / microkernelEfficiency  where the penalty
+// models load imbalance across single-core kernels and the efficiency
+// models register-tile compute intensity, vector-lane utilization and
+// block padding waste. Deterministic: ties break toward the earlier
+// candidate, so compilations are reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/blocking.h"
+
+#include "support/common.h"
+#include "support/str.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gc {
+namespace lower {
+
+void BlockingParams::derive(const MatmulShape &Shape) {
+  MBlocks = ceilDiv(Shape.M, MB);
+  NBlocks = ceilDiv(Shape.N, NB);
+  KBlocks = ceilDiv(Shape.K, KB);
+  MPN = std::min(MPN, MBlocks);
+  NPN = std::min(NPN, NBlocks);
+  MSN = ceilDiv(MBlocks, MPN);
+  NSN = ceilDiv(NBlocks, NPN);
+  KSN = KBlocks;
+  BS = std::min(BS, KBlocks);
+  if (BS < 1)
+    BS = 1;
+}
+
+std::string BlockingParams::toString() const {
+  return formatString(
+      "MB%lld NB%lld KB%lld BS%lld grid %lldx%lld kslices %lld",
+      (long long)MB, (long long)NB, (long long)KB, (long long)BS,
+      (long long)MPN, (long long)NPN, (long long)KSlices);
+}
+
+double microkernelEfficiency(const MatmulShape &Shape, int64_t MB, int64_t NB,
+                             int64_t KB) {
+  // Vector-lane utilization along N: full 16-lane groups are free, the
+  // masked tail wastes lanes.
+  const int64_t NBEff = std::min(NB, Shape.N);
+  const double LaneEff =
+      static_cast<double>(NBEff) / static_cast<double>(roundUp(NBEff, 16));
+  // Row-panel utilization along M (panels of 8 rows).
+  const int64_t MBEff = std::min(MB, Shape.M);
+  const double RowEff =
+      static_cast<double>(MBEff) / static_cast<double>(roundUp(MBEff, 8));
+  // Compute intensity of the register tile: flops per element moved.
+  const double Intensity =
+      static_cast<double>(MB * NB) / static_cast<double>(MB + NB);
+  const double IntensityNorm = Intensity / (Intensity + 8.0);
+  // Padding waste across the whole problem.
+  const double Padded = static_cast<double>(roundUp(Shape.M, MB)) *
+                        static_cast<double>(roundUp(Shape.N, NB)) *
+                        static_cast<double>(roundUp(Shape.K, KB));
+  const double Real = static_cast<double>(Shape.M) *
+                      static_cast<double>(Shape.N) *
+                      static_cast<double>(Shape.K);
+  const double PadWaste = Padded / Real;
+  // Deeper K blocks amortize per-call overhead and C-tile reloads.
+  const double KbAmortization =
+      static_cast<double>(KB) / (static_cast<double>(KB) + 16.0);
+  return LaneEff * RowEff * IntensityNorm * KbAmortization / PadWaste;
+}
+
+namespace {
+
+struct Candidate {
+  int64_t MB, NB, KB;
+};
+
+/// Proposes microkernel tile options near the problem size.
+std::vector<Candidate> proposeMicrokernels(const MatmulShape &Shape,
+                                           int64_t FixedMB, int64_t FixedKB) {
+  static const int64_t MBOpts[] = {8, 16, 32, 64};
+  static const int64_t NBOpts[] = {16, 32, 64};
+  static const int64_t KBOpts[] = {16, 32, 64, 128};
+  std::vector<Candidate> Out;
+  for (int64_t MB : MBOpts) {
+    if (FixedMB > 0 && MB != FixedMB)
+      continue;
+    if (MB > roundUp(Shape.M, 8) && MB != 8)
+      continue; // don't over-pad tiny M
+    for (int64_t NB : NBOpts) {
+      if (NB > roundUp(Shape.N, 16) && NB != 16)
+        continue;
+      for (int64_t KB : KBOpts) {
+        if (FixedKB > 0 && KB != FixedKB)
+          continue;
+        if (Shape.ADtype == DataType::U8 && KB % 4 != 0)
+          continue;
+        if (KB > roundUp(Shape.K, 16) && KB != 16)
+          continue;
+        Out.push_back({MB, NB, KB});
+      }
+    }
+  }
+  if (Out.empty()) {
+    // Fixed sizes fell outside the normal option set (negotiated layouts);
+    // honor them verbatim.
+    Out.push_back({FixedMB > 0 ? FixedMB : 32, 32, FixedKB > 0 ? FixedKB : 64});
+  }
+  return Out;
+}
+
+/// brgemm batch size: as many K blocks as keep A+B panels in the L1 budget.
+int64_t chooseBatchSize(const MatmulShape &Shape, const Candidate &C,
+                        const CacheModel &Cache) {
+  const int64_t EsA = dataTypeSize(Shape.ADtype);
+  const int64_t EsB = Shape.ADtype == DataType::U8 ? 1 : 4;
+  const int64_t PerBlockBytes = C.KB * (C.MB * EsA + C.NB * EsB);
+  const int64_t CTileBytes = C.MB * C.NB * 4;
+  const int64_t Budget =
+      static_cast<int64_t>(Cache.L1Bytes * Cache.L1Budget) - CTileBytes;
+  int64_t BS = PerBlockBytes > 0 ? Budget / PerBlockBytes : 1;
+  BS = std::clamp<int64_t>(BS, 1, ceilDiv(Shape.K, C.KB));
+  return BS;
+}
+
+/// Parallel penalty >= 1: wasted fraction from grid imbalance and idle
+/// workers.
+double parallelPenalty(const MatmulShape &Shape, const Candidate &C,
+                       int64_t MPN, int64_t NPN, int Threads) {
+  const int64_t MBlocks = ceilDiv(Shape.M, C.MB);
+  const int64_t NBlocks = ceilDiv(Shape.N, C.NB);
+  const int64_t Cells = Shape.Batch * MPN * NPN;
+  // Per-cell work imbalance from uneven block division.
+  const double CellWork = static_cast<double>(ceilDiv(MBlocks, MPN)) *
+                          static_cast<double>(ceilDiv(NBlocks, NPN));
+  const double MeanWork = static_cast<double>(MBlocks) *
+                          static_cast<double>(NBlocks) /
+                          (static_cast<double>(MPN) * static_cast<double>(NPN));
+  const double Imbalance = CellWork / MeanWork;
+  // Idle workers when the grid does not fill a multiple of the pool.
+  const double Rounds = static_cast<double>(ceilDiv(Cells, Threads));
+  const double Occupancy =
+      static_cast<double>(Cells) / (Rounds * static_cast<double>(Threads));
+  return Imbalance / Occupancy;
+}
+
+BlockingParams chooseImpl(const MatmulShape &Shape, int Threads,
+                          bool RequireFullRows, const CacheModel &Cache,
+                          int64_t FixedMB, int64_t FixedKB) {
+  assert(Shape.M > 0 && Shape.N > 0 && Shape.K > 0 && "degenerate matmul");
+  Threads = std::max(1, Threads);
+
+  BlockingParams Best;
+  double BestCost = 1e300;
+  bool HaveFit = false;
+  const int64_t EsA = dataTypeSize(Shape.ADtype);
+  const int64_t EsB = Shape.ADtype == DataType::U8 ? 1 : 4;
+  const int64_t L1Budget =
+      static_cast<int64_t>(Cache.L1Bytes * Cache.L1Budget);
+  std::vector<Candidate> Candidates =
+      proposeMicrokernels(Shape, FixedMB, FixedKB);
+  // Drop candidates whose single-block working set already blows the L1
+  // budget (unless nothing fits, e.g. negotiated sizes).
+  std::vector<Candidate> Fitting;
+  for (const Candidate &C : Candidates)
+    if (C.KB * (C.MB * EsA + C.NB * EsB) + C.MB * C.NB * 4 <= L1Budget)
+      Fitting.push_back(C);
+  if (!Fitting.empty()) {
+    Candidates = std::move(Fitting);
+    HaveFit = true;
+  }
+  (void)HaveFit;
+  for (const Candidate &C : Candidates) {
+    const double Eff = microkernelEfficiency(Shape, C.MB, C.NB, C.KB);
+    const int64_t MBlocks = ceilDiv(Shape.M, C.MB);
+    const int64_t NBlocks = ceilDiv(Shape.N, C.NB);
+    // Grid proposals: split M first; split N only when allowed and M
+    // parallelism (with batch) cannot occupy the pool.
+    for (int64_t MPN = 1; MPN <= std::min<int64_t>(MBlocks, Threads);
+         ++MPN) {
+      const int64_t MaxNPN =
+          RequireFullRows
+              ? 1
+              : std::min<int64_t>(NBlocks,
+                                  std::max<int64_t>(
+                                      1, Threads / (Shape.Batch * MPN)));
+      for (int64_t NPN = 1; NPN <= MaxNPN; NPN *= 2) {
+        const double Cost =
+            parallelPenalty(Shape, C, MPN, NPN, Threads) / Eff;
+        if (Cost + 1e-12 < BestCost) {
+          BestCost = Cost;
+          Best.MB = C.MB;
+          Best.NB = C.NB;
+          Best.KB = C.KB;
+          Best.MPN = MPN;
+          Best.NPN = NPN;
+        }
+      }
+    }
+  }
+  Best.BS = chooseBatchSize(
+      Shape, Candidate{Best.MB, Best.NB, Best.KB}, Cache);
+  Best.KSlices = 1;
+  Best.derive(Shape);
+  return Best;
+}
+
+} // namespace
+
+BlockingParams chooseMatmulBlocking(const MatmulShape &Shape, int Threads,
+                                    bool RequireFullRows,
+                                    const CacheModel &Cache) {
+  return chooseImpl(Shape, Threads, RequireFullRows, Cache, /*FixedMB=*/0,
+                    /*FixedKB=*/0);
+}
+
+BlockingParams chooseMatmulBlockingFixedA(const MatmulShape &Shape,
+                                          int Threads, int64_t FixedMB,
+                                          int64_t FixedKB,
+                                          bool RequireFullRows,
+                                          const CacheModel &Cache) {
+  return chooseImpl(Shape, Threads, RequireFullRows, Cache, FixedMB,
+                    FixedKB);
+}
+
+} // namespace lower
+} // namespace gc

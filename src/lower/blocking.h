@@ -1,0 +1,102 @@
+//===- blocking.h - Matmul template parameters ------------------*- C++ -*-===//
+///
+/// \file
+/// The tunable parameters of the matmul template (Fig. 2) and the
+/// expert-tuned heuristic that instantiates them (§III): "for a given
+/// output matrix size, it first proposes single-core kernel size options
+/// [MPN, NPN] which can use all cores with good load balance. It further
+/// proposes microkernel size options [MB, NB, KB, BS] which ensure good
+/// microkernel performance. Then the heuristic picks a pair of these sizes
+/// which has the best overall kernel performance."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_LOWER_BLOCKING_H
+#define GC_LOWER_BLOCKING_H
+
+#include "support/dtype.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gc {
+namespace lower {
+
+/// Logical problem shape of one (possibly batched) matmul.
+struct MatmulShape {
+  int64_t Batch = 1; ///< product of leading batch dims (1 for plain matmul)
+  int64_t M = 0;
+  int64_t N = 0;
+  int64_t K = 0;
+  /// Activation element type: F32 or U8 (s32 accumulation).
+  DataType ADtype = DataType::F32;
+};
+
+/// Instantiation parameters of the Fig. 2 template.
+struct BlockingParams {
+  // Microkernel tile sizes and the brgemm batch (number of K blocks
+  // reduced per microkernel call).
+  int64_t MB = 32;
+  int64_t NB = 32;
+  int64_t KB = 64;
+  int64_t BS = 1;
+  // Parallel grid: number of single-core kernels along m and n.
+  int64_t MPN = 1;
+  int64_t NPN = 1;
+  /// K-slicing factor for small-M inference shapes (§III: "the template may
+  /// have to apply k-slicing to extract additional parallelism from the
+  /// reduction axis"). 1 = disabled.
+  int64_t KSlices = 1;
+
+  // Derived block counts.
+  int64_t MBlocks = 0;
+  int64_t NBlocks = 0;
+  int64_t KBlocks = 0;
+  // Blocks per single-core kernel (MSN/NSN/KSN of Fig. 2).
+  int64_t MSN = 0;
+  int64_t NSN = 0;
+  int64_t KSN = 0;
+
+  /// Recomputes the derived fields from (M, N, K) and the chosen tiles.
+  void derive(const MatmulShape &Shape);
+
+  /// Debug rendering, e.g. "MB32 NB64 KB64 BS2 grid 4x1".
+  std::string toString() const;
+};
+
+/// Cache-size model of the target microarchitecture (bytes). Defaults match
+/// an Ice Lake class core; the heuristic only uses them as budgets, so
+/// exact numbers are not load-bearing.
+struct CacheModel {
+  int64_t L1Bytes = 32 * 1024;
+  int64_t L2Bytes = 1280 * 1024;
+  /// Fraction of L1 the brgemm working set may occupy.
+  double L1Budget = 0.75;
+};
+
+/// Chooses template parameters for \p Shape on \p Threads workers.
+/// \p RequireFullRows forces NPN == 1 so that each single-core kernel owns
+/// complete output rows (needed when a row reduction fuses at a post-op
+/// anchor, and for coarse-grain loop merging).
+BlockingParams chooseMatmulBlocking(const MatmulShape &Shape, int Threads,
+                                    bool RequireFullRows = false,
+                                    const CacheModel &Cache = CacheModel());
+
+/// Re-derives parameters when layout negotiation fixes (MB, KB) to the
+/// producer's output tile sizes (§V layout propagation: the consumer adopts
+/// the blocked layout already produced by the previous Tunable OP).
+BlockingParams chooseMatmulBlockingFixedA(const MatmulShape &Shape,
+                                          int Threads, int64_t FixedMB,
+                                          int64_t FixedKB,
+                                          bool RequireFullRows = false,
+                                          const CacheModel &Cache = CacheModel());
+
+/// Analytic single-core efficiency estimate of a microkernel candidate in
+/// (0, 1]; exposed for the heuristic tests.
+double microkernelEfficiency(const MatmulShape &Shape, int64_t MB, int64_t NB,
+                             int64_t KB);
+
+} // namespace lower
+} // namespace gc
+
+#endif // GC_LOWER_BLOCKING_H

@@ -1,0 +1,185 @@
+//===- cleanup.cpp - CSE, DCE, constant folding ----------------------------------===//
+//
+// The general compiler optimizations the Graph IR module applies alongside
+// the domain-specific passes (§V: "the general compiler optimizations like
+// common subexpression elimination (CSE), dead code elimination, and
+// constant folding").
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/graph.h"
+#include "graph/reference.h"
+#include "passes/pass.h"
+#include "support/str.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gc {
+namespace passes {
+
+using namespace graph;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+/// Structural key of an op: kind + attrs + input ids. Deterministic because
+/// AttrMap is ordered.
+std::string opKey(const Op &O) {
+  std::string Key = opKindName(O.kind());
+  for (int64_t In : O.inputs())
+    Key += formatString(",%lld", (long long)In);
+  Key += "|";
+  for (const auto &[Name, Value] : O.attrs()) {
+    Key += Name + "=";
+    if (const int64_t *V = std::get_if<int64_t>(&Value))
+      Key += formatString("%lld", (long long)*V);
+    else if (const double *V = std::get_if<double>(&Value))
+      Key += formatString("%.17g", *V);
+    else if (const std::string *V = std::get_if<std::string>(&Value))
+      Key += *V;
+    else if (const auto *V = std::get_if<std::vector<int64_t>>(&Value))
+      Key += shapeToString(*V);
+    else if (const auto *V = std::get_if<std::vector<double>>(&Value)) {
+      for (double D : *V)
+        Key += formatString("%.17g;", D);
+    }
+    Key += ";";
+  }
+  return Key;
+}
+
+class CsePass : public Pass {
+public:
+  const char *name() const override { return "cse"; }
+
+  bool run(Graph &G, const PassOptions &) override {
+    bool Changed = false;
+    std::unordered_map<std::string, int64_t> Seen; // key -> op id
+    for (int64_t OpId : G.topologicalOrder()) {
+      const Op &O = G.op(OpId);
+      // Never CSE structural ops or multi-output ops.
+      if (O.kind() == OpKind::FusedOp || O.numOutputs() != 1)
+        continue;
+      const std::string Key = opKey(O);
+      auto [It, Inserted] = Seen.emplace(Key, OpId);
+      if (Inserted)
+        continue;
+      // Duplicate: reuse the earlier op's output.
+      G.replaceAllUses(O.output(0), G.op(It->second).output(0));
+      G.eraseOp(OpId);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+class DcePass : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+
+  bool run(Graph &G, const PassOptions &) override {
+    bool Changed = false;
+    // Mark ops reaching outputs.
+    std::unordered_set<int64_t> LiveOps;
+    std::vector<int64_t> Worklist;
+    for (int64_t Out : G.outputs()) {
+      const int64_t P = G.producerOf(Out);
+      if (P >= 0 && LiveOps.insert(P).second)
+        Worklist.push_back(P);
+    }
+    while (!Worklist.empty()) {
+      const int64_t OpId = Worklist.back();
+      Worklist.pop_back();
+      for (int64_t In : G.op(OpId).inputs()) {
+        const int64_t P = G.producerOf(In);
+        if (P >= 0 && LiveOps.insert(P).second)
+          Worklist.push_back(P);
+      }
+    }
+    for (int64_t OpId : G.opIds()) {
+      if (LiveOps.count(OpId))
+        continue;
+      G.eraseOp(OpId);
+      Changed = true;
+    }
+    // Drop orphan tensors (no producer, no consumers, not graph boundary).
+    for (int64_t TId : G.tensorIds()) {
+      if (G.producerOf(TId) >= 0 || !G.consumersOf(TId).empty() ||
+          G.isInput(TId) || G.isOutput(TId))
+        continue;
+      G.eraseTensor(TId);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+class ConstantFoldPass : public Pass {
+public:
+  const char *name() const override { return "constant-fold"; }
+
+  bool run(Graph &G, const PassOptions &Opts) override {
+    bool Changed = false;
+    for (int64_t OpId : G.topologicalOrder()) {
+      const Op &O = G.op(OpId);
+      if (O.kind() == OpKind::FusedOp || O.numOutputs() != 1)
+        continue;
+      // Quantization ops carry structure consumed by the low-precision
+      // rewrite and the template lowering; folding them away would turn
+      // int8 matmuls back into f32.
+      if (O.kind() == OpKind::Quantize || O.kind() == OpKind::Dequantize)
+        continue;
+      if (G.isOutput(O.output(0)))
+        continue; // keep producing ops for graph outputs
+      // All inputs constant with data available?
+      bool AllConst = !O.inputs().empty();
+      std::vector<const runtime::TensorData *> Inputs;
+      for (int64_t In : O.inputs()) {
+        const runtime::TensorData *Data = G.constantData(In);
+        if (!Data) {
+          AllConst = false;
+          break;
+        }
+        Inputs.push_back(Data);
+      }
+      if (!AllConst)
+        continue;
+      // Leave big results to the fold function (constant weight
+      // preprocessing executes them at first run).
+      const LogicalTensor &OutT = G.tensor(O.output(0));
+      if (OutT.numElements() > Opts.FoldMaxElements)
+        continue;
+      std::vector<runtime::TensorData> Outs = evalOpReference(G, O, Inputs);
+      const int64_t OutId = O.output(0);
+      G.eraseOp(OpId);
+      G.setConstantData(OutId, std::move(Outs[0]));
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createCsePass() { return std::make_unique<CsePass>(); }
+
+std::unique_ptr<Pass> createDcePass() { return std::make_unique<DcePass>(); }
+
+std::unique_ptr<Pass> createConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}
+
+} // namespace passes
+} // namespace gc

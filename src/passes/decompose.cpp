@@ -1,0 +1,223 @@
+//===- decompose.cpp - Complex-op decomposition ---------------------------------===//
+//
+// Expands Complex OPs into graphs of basic DNN ops (§V: "Graph IR
+// optimization module first decomposes complex OPs into basic DNN OPs"),
+// which keeps every later pass a rewrite over a small op vocabulary and
+// feeds the fine-grain fusion pass op chains it can commit at anchors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/graph.h"
+#include "passes/pass.h"
+#include "support/common.h"
+
+#include <cmath>
+
+namespace gc {
+namespace passes {
+
+using namespace graph;
+
+namespace {
+
+/// Creates a constant scalar tensor holding \p Value.
+int64_t makeScalarConst(Graph &G, float Value, const std::string &Name) {
+  const int64_t Id =
+      G.addTensor(DataType::F32, {1}, Name, TensorProperty::Constant);
+  runtime::TensorData Data(DataType::F32, {1});
+  Data.dataAs<float>()[0] = Value;
+  G.setConstantData(Id, std::move(Data));
+  return Id;
+}
+
+class DecomposePass : public Pass {
+public:
+  const char *name() const override { return "decompose"; }
+
+  bool run(Graph &G, const PassOptions &Opts) override {
+    bool Changed = false;
+    // Iterate to a fixed point: decompositions never emit complex ops, so
+    // one sweep over a snapshot of op ids suffices.
+    for (int64_t OpId : G.topologicalOrder()) {
+      Op &O = G.op(OpId);
+      switch (O.kind()) {
+      case OpKind::Softmax:
+        decomposeSoftmax(G, O, Opts.FastSoftmax);
+        break;
+      case OpKind::GELU:
+        decomposeGelu(G, O);
+        break;
+      case OpKind::BiasAdd:
+        decomposeBiasAdd(G, O);
+        break;
+      case OpKind::BatchNorm:
+        decomposeBatchNorm(G, O);
+        break;
+      case OpKind::LayerNorm:
+        decomposeLayerNorm(G, O);
+        break;
+      default:
+        continue;
+      }
+      G.eraseOp(OpId);
+      Changed = true;
+    }
+    return Changed;
+  }
+
+private:
+  /// softmax(x) over the last axis. Fast mode (paper §VII) skips the max
+  /// subtraction: exp(x) / rowsum(exp(x)). Stable mode subtracts the row
+  /// max first.
+  void decomposeSoftmax(Graph &G, const Op &O, bool Fast) {
+    const int64_t X = O.input(0);
+    const LogicalTensor &XT = G.tensor(X);
+    std::vector<int64_t> RowShape = XT.Shape;
+    RowShape.back() = 1;
+    int64_t Cur = X;
+    if (!Fast) {
+      const int64_t RowMax =
+          G.addOp(OpKind::ReduceMax, {Cur}, DataType::F32, RowShape,
+                  {{"axes", std::vector<int64_t>{-1}},
+                   {"keep_dims", int64_t(1)}});
+      Cur = G.addOp(OpKind::Sub, {Cur, RowMax}, DataType::F32, XT.Shape);
+    }
+    const int64_t ExpX =
+        G.addOp(OpKind::Exp, {Cur}, DataType::F32, XT.Shape);
+    const int64_t RowSum =
+        G.addOp(OpKind::ReduceSum, {ExpX}, DataType::F32, RowShape,
+                {{"axes", std::vector<int64_t>{-1}},
+                 {"keep_dims", int64_t(1)}});
+    const int64_t Result =
+        G.addOp(OpKind::Div, {ExpX, RowSum}, DataType::F32, XT.Shape);
+    G.replaceAllUses(O.output(0), Result);
+  }
+
+  /// gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))), expanded
+  /// into the basic-op chain the fusion pass later re-fuses.
+  void decomposeGelu(Graph &G, const Op &O) {
+    const int64_t X = O.input(0);
+    const auto &Shape = G.tensor(X).Shape;
+    const int64_t C1 = makeScalarConst(G, 0.044715f, "gelu_c");
+    const int64_t C2 =
+        makeScalarConst(G, 0.7978845608028654f, "gelu_sqrt_2_over_pi");
+    const int64_t Half = makeScalarConst(G, 0.5f, "gelu_half");
+    const int64_t One = makeScalarConst(G, 1.0f, "gelu_one");
+
+    const int64_t X2 = G.addOp(OpKind::Square, {X}, DataType::F32, Shape);
+    const int64_t X3 = G.addOp(OpKind::Mul, {X2, X}, DataType::F32, Shape);
+    const int64_t Scaled =
+        G.addOp(OpKind::Mul, {X3, C1}, DataType::F32, Shape);
+    const int64_t Sum = G.addOp(OpKind::Add, {X, Scaled}, DataType::F32,
+                                Shape);
+    const int64_t Inner =
+        G.addOp(OpKind::Mul, {Sum, C2}, DataType::F32, Shape);
+    const int64_t Th = G.addOp(OpKind::Tanh, {Inner}, DataType::F32, Shape);
+    const int64_t OnePlus =
+        G.addOp(OpKind::Add, {Th, One}, DataType::F32, Shape);
+    const int64_t XHalf =
+        G.addOp(OpKind::Mul, {X, Half}, DataType::F32, Shape);
+    const int64_t Result =
+        G.addOp(OpKind::Mul, {XHalf, OnePlus}, DataType::F32, Shape);
+    G.replaceAllUses(O.output(0), Result);
+  }
+
+  void decomposeBiasAdd(Graph &G, const Op &O) {
+    const int64_t Result =
+        G.addOp(OpKind::Add, {O.input(0), O.input(1)}, DataType::F32,
+                G.tensor(O.output(0)).Shape);
+    G.replaceAllUses(O.output(0), Result);
+  }
+
+  /// Inference batchnorm with constant statistics folds to one affine:
+  /// y = x * (gamma / sqrt(var + eps)) + (beta - mean * scale).
+  void decomposeBatchNorm(Graph &G, const Op &O) {
+    const int64_t X = O.input(0);
+    const runtime::TensorData *Gamma = G.constantData(O.input(1));
+    const runtime::TensorData *Beta = G.constantData(O.input(2));
+    const runtime::TensorData *Mean = G.constantData(O.input(3));
+    const runtime::TensorData *Var = G.constantData(O.input(4));
+    if (!Gamma || !Beta || !Mean || !Var)
+      fatalError("inference batchnorm requires constant statistics");
+    const double Eps = O.getAttrFloat("epsilon", 1e-5);
+    const int64_t C = Gamma->numElements();
+
+    runtime::TensorData ScaleData(DataType::F32, {C});
+    runtime::TensorData ShiftData(DataType::F32, {C});
+    for (int64_t I = 0; I < C; ++I) {
+      const double S =
+          Gamma->dataAs<float>()[I] /
+          std::sqrt(static_cast<double>(Var->dataAs<float>()[I]) + Eps);
+      ScaleData.dataAs<float>()[I] = static_cast<float>(S);
+      ShiftData.dataAs<float>()[I] = static_cast<float>(
+          Beta->dataAs<float>()[I] - Mean->dataAs<float>()[I] * S);
+    }
+    const int64_t Scale = G.addTensor(DataType::F32, {C}, "bn_scale",
+                                      TensorProperty::Constant);
+    G.setConstantData(Scale, std::move(ScaleData));
+    const int64_t Shift = G.addTensor(DataType::F32, {C}, "bn_shift",
+                                      TensorProperty::Constant);
+    G.setConstantData(Shift, std::move(ShiftData));
+
+    const auto &Shape = G.tensor(X).Shape;
+    const int64_t Scaled =
+        G.addOp(OpKind::Mul, {X, Scale}, DataType::F32, Shape);
+    const int64_t Result =
+        G.addOp(OpKind::Add, {Scaled, Shift}, DataType::F32, Shape);
+    G.replaceAllUses(O.output(0), Result);
+  }
+
+  /// layernorm over the last axis, expanded to reductions + elementwise.
+  void decomposeLayerNorm(Graph &G, const Op &O) {
+    const int64_t X = O.input(0);
+    const int64_t Gamma = O.input(1);
+    const int64_t Beta = O.input(2);
+    const auto &Shape = G.tensor(X).Shape;
+    const int64_t C = Shape.back();
+    const double Eps = O.getAttrFloat("epsilon", 1e-5);
+    std::vector<int64_t> RowShape = Shape;
+    RowShape.back() = 1;
+
+    const int64_t InvC =
+        makeScalarConst(G, 1.0f / static_cast<float>(C), "ln_inv_c");
+    const int64_t EpsC =
+        makeScalarConst(G, static_cast<float>(Eps), "ln_eps");
+
+    const AttrMap ReduceAttrs = {{"axes", std::vector<int64_t>{-1}},
+                                 {"keep_dims", int64_t(1)}};
+    const int64_t Sum =
+        G.addOp(OpKind::ReduceSum, {X}, DataType::F32, RowShape, ReduceAttrs);
+    const int64_t MeanV =
+        G.addOp(OpKind::Mul, {Sum, InvC}, DataType::F32, RowShape);
+    const int64_t Centered =
+        G.addOp(OpKind::Sub, {X, MeanV}, DataType::F32, Shape);
+    const int64_t Sq =
+        G.addOp(OpKind::Square, {Centered}, DataType::F32, Shape);
+    const int64_t SqSum = G.addOp(OpKind::ReduceSum, {Sq}, DataType::F32,
+                                  RowShape, ReduceAttrs);
+    const int64_t VarV =
+        G.addOp(OpKind::Mul, {SqSum, InvC}, DataType::F32, RowShape);
+    const int64_t VarEps =
+        G.addOp(OpKind::Add, {VarV, EpsC}, DataType::F32, RowShape);
+    const int64_t Std =
+        G.addOp(OpKind::Sqrt, {VarEps}, DataType::F32, RowShape);
+    const int64_t Inv =
+        G.addOp(OpKind::Reciprocal, {Std}, DataType::F32, RowShape);
+    const int64_t Normed =
+        G.addOp(OpKind::Mul, {Centered, Inv}, DataType::F32, Shape);
+    const int64_t Scaled =
+        G.addOp(OpKind::Mul, {Normed, Gamma}, DataType::F32, Shape);
+    const int64_t Result =
+        G.addOp(OpKind::Add, {Scaled, Beta}, DataType::F32, Shape);
+    G.replaceAllUses(O.output(0), Result);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createDecomposePass() {
+  return std::make_unique<DecomposePass>();
+}
+
+} // namespace passes
+} // namespace gc

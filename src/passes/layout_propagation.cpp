@@ -1,0 +1,186 @@
+//===- layout_propagation.cpp - Blocked layout propagation (§V) ------------------===//
+//
+// Chooses the blocked layouts Tunable OPs want and propagates them across
+// the graph of fused regions:
+//  * each tunable region gets template parameters from the heuristic
+//    (recorded as blk_* attrs so lowering is deterministic),
+//  * when one tunable's output feeds exactly one other tunable, the
+//    consumer adopts the producer's output tile sizes as its A-format
+//    blocks and the intermediate tensor becomes blocked (no reorder),
+//  * constant weights get an explicit Reorder op to B-format (VNNI for
+//    s8); being constant-reachable it lands in the fold function
+//    ("prepacked weight"),
+//  * plain runtime matmul inputs keep plain layout -- the fused-op
+//    template packs them as pre-ops at an anchor,
+//  * graph inputs/outputs always stay plain (§V: "keep the graph
+//    input/output tensor as a plain layout").
+//
+// The pass also aligns parallel grids of negotiated producer/consumer
+// pairs (same MPN, NPN = 1) and marks the consumer "merge_prev": the
+// coarse-grain fusion decision that the lowering driver turns into
+// mergeable Tensor IR loop nests (§V coarse-grain optimization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/graph.h"
+#include "lower/blocking.h"
+#include "passes/pass.h"
+#include "support/common.h"
+
+#include <algorithm>
+
+namespace gc {
+namespace passes {
+
+using namespace graph;
+
+namespace {
+
+/// Finds the (single) matmul op inside a region subgraph; -1 if none.
+int64_t findMatMul(const Graph &Sub) {
+  for (int64_t OpId : Sub.topologicalOrder())
+    if (Sub.op(OpId).kind() == OpKind::MatMul)
+      return OpId;
+  return -1;
+}
+
+/// Index of \p TensorId in \p List, or -1.
+int64_t indexOf(const std::vector<int64_t> &List, int64_t TensorId) {
+  auto It = std::find(List.begin(), List.end(), TensorId);
+  return It == List.end() ? -1 : static_cast<int64_t>(It - List.begin());
+}
+
+class LayoutPropagationPass : public Pass {
+public:
+  const char *name() const override { return "layout-propagation"; }
+
+  bool run(Graph &G, const PassOptions &Opts) override {
+    bool Changed = false;
+    for (int64_t OpId : G.topologicalOrder()) {
+      const Op &O = G.op(OpId);
+      if (O.kind() != OpKind::FusedOp || !O.getAttrInt("tunable", 0))
+        continue;
+      Changed |= assignLayouts(G, OpId, Opts);
+    }
+    return Changed;
+  }
+
+private:
+  bool assignLayouts(Graph &G, int64_t FusedId, const PassOptions &Opts) {
+    Op &FO = G.op(FusedId);
+    Graph *Sub = FO.subgraph();
+    assert(Sub && "tunable region without subgraph");
+    const int64_t MmId = findMatMul(*Sub);
+    if (MmId < 0)
+      return false;
+    const Op &Mm = Sub->op(MmId);
+    assert(Mm.getAttrInt("transpose_a", 0) == 0 &&
+           "transposed A operands are packed via transpose_b on the other "
+           "side in this reproduction");
+
+    // Problem shape from the subgraph tensors.
+    const LogicalTensor &AT = Sub->tensor(Mm.input(0));
+    const LogicalTensor &OutT = Sub->tensor(Mm.output(0));
+    lower::MatmulShape Shape;
+    Shape.M = OutT.Shape[OutT.rank() - 2];
+    Shape.N = OutT.Shape[OutT.rank() - 1];
+    Shape.K = AT.Shape[AT.rank() - 1];
+    Shape.Batch = 1;
+    for (int64_t D = 0; D + 2 < OutT.rank(); ++D)
+      Shape.Batch *= OutT.Shape[static_cast<size_t>(D)];
+    Shape.ADtype = AT.Ty == DataType::U8 ? DataType::U8 : DataType::F32;
+    const bool RequireFullRows = FO.getAttrInt("needs_full_rows", 0) != 0;
+
+    // Locate the outer tensors behind the matmul operands.
+    const int64_t AIdx = indexOf(Sub->inputs(), Mm.input(0));
+    const int64_t BIdx = indexOf(Sub->inputs(), Mm.input(1));
+    const int64_t OuterA = AIdx >= 0 ? FO.input(static_cast<size_t>(AIdx)) : -1;
+    const int64_t OuterB = BIdx >= 0 ? FO.input(static_cast<size_t>(BIdx)) : -1;
+
+    // Layout negotiation with a producing tunable region. Primitives mode
+    // keeps activations plain (the library's tensors between primitive
+    // calls use the plain layout, §VII).
+    int64_t FixedMB = 0, FixedKB = 0, ProducerId = -1;
+    if (OuterA >= 0 && !Opts.PrimitivesMode) {
+      const int64_t Prod = G.producerOf(OuterA);
+      if (Prod >= 0 && G.op(Prod).kind() == OpKind::FusedOp &&
+          G.op(Prod).getAttrInt("tunable", 0) &&
+          G.op(Prod).hasAttr("blk_mb") &&
+          G.consumersOf(OuterA).size() == 1 && !G.isOutput(OuterA)) {
+        const Op &P = G.op(Prod);
+        const int64_t CandMB = P.getAttrInt("blk_mb");
+        const int64_t CandKB = P.getAttrInt("blk_nb");
+        const bool KbOk = Shape.ADtype != DataType::U8 || CandKB % 4 == 0;
+        if (KbOk) {
+          FixedMB = CandMB;
+          FixedKB = CandKB;
+          ProducerId = Prod;
+        }
+      }
+    }
+
+    lower::BlockingParams Params =
+        FixedMB > 0
+            ? lower::chooseMatmulBlockingFixedA(Shape, Opts.Threads, FixedMB,
+                                                FixedKB, RequireFullRows)
+            : lower::chooseMatmulBlocking(Shape, Opts.Threads,
+                                          RequireFullRows);
+
+    if (ProducerId >= 0) {
+      // The intermediate tensor becomes the producer's blocked output and
+      // this region's blocked A input.
+      G.tensor(OuterA).Lay = Layout::blockedA(Params.MB, Params.KB);
+      if (AIdx >= 0)
+        Sub->tensor(Mm.input(0)).Lay = Layout::blockedA(Params.MB, Params.KB);
+      // Align the parallel grids so the two lowered loop nests share one
+      // outermost parallel loop (coarse-grain fusion).
+      Op &P = G.op(ProducerId);
+      const int64_t ProdBatch = P.getAttrInt("blk_batch", 1);
+      if (ProdBatch == Shape.Batch) {
+        P.setAttr("blk_npn", int64_t(1));
+        Params.MPN = P.getAttrInt("blk_mpn", 1);
+        Params.NPN = 1;
+        Params.derive(Shape);
+        FO.setAttr("merge_prev", int64_t(1));
+      }
+    }
+
+    // Constant weights: explicit reorder to B-format, folded at first run.
+    if (OuterB >= 0 && G.tensor(OuterB).isConstant()) {
+      const LogicalTensor &WT = G.tensor(OuterB);
+      const Layout BLay = WT.Ty == DataType::S8
+                              ? Layout::blockedBVnni(Params.KB, Params.NB)
+                              : Layout::blockedB(Params.KB, Params.NB);
+      const int64_t Packed =
+          G.addTensor(WT.Ty, WT.Shape, WT.Name + "_packed");
+      G.tensor(Packed).Lay = BLay;
+      G.addOpExplicit(
+          OpKind::Reorder, {OuterB}, {Packed},
+          {{"to_layout", std::string("blockedB")},
+           {"transpose_src", Mm.getAttrInt("transpose_b", 0)}});
+      std::vector<int64_t> NewIns = FO.inputs();
+      NewIns[static_cast<size_t>(BIdx)] = Packed;
+      G.setOpInputs(FusedId, std::move(NewIns));
+      Sub->tensor(Mm.input(1)).Lay = BLay;
+    }
+
+    // Record the instantiation parameters.
+    FO.setAttr("blk_mb", Params.MB);
+    FO.setAttr("blk_nb", Params.NB);
+    FO.setAttr("blk_kb", Params.KB);
+    FO.setAttr("blk_bs", Params.BS);
+    FO.setAttr("blk_mpn", Params.MPN);
+    FO.setAttr("blk_npn", Params.NPN);
+    FO.setAttr("blk_batch", Shape.Batch);
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createLayoutPropagationPass() {
+  return std::make_unique<LayoutPropagationPass>();
+}
+
+} // namespace passes
+} // namespace gc

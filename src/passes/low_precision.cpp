@@ -1,0 +1,153 @@
+//===- low_precision.cpp - Int8 conversion (Fig. 5) -----------------------------===//
+//
+// Rewrites Dequantize -> MatMul(f32) patterns into int8 matmuls with s32
+// accumulation. The dequantize algebra is folded into a per-channel output
+// scale vector plus an asymmetric-activation compensation term:
+//
+//   C = (A_q - a_z) a_s  x  B_q b_s
+//     = a_s b_s[c] (A_q x B_q  -  a_z * colsum_k(B_q)[c])
+//
+// The colsum term is emitted as a Cast+ReduceSum chain over the s8 weight;
+// when the weight is constant the chain is constant-reachable and lands in
+// the fold function (constant weight preprocessing executes it at first
+// run, the "compensated weight" of §VII).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/graph.h"
+#include "passes/pass.h"
+#include "support/common.h"
+
+namespace gc {
+namespace passes {
+
+using namespace graph;
+
+namespace {
+
+/// Quantization parameters read off a Quantize/Dequantize op.
+struct QParams {
+  std::vector<double> Scales;
+  int64_t Zp = 0;
+  int64_t Axis = -1;
+
+  bool perChannel() const { return Scales.size() > 1; }
+
+  static QParams fromOp(const Op &O) {
+    QParams P;
+    P.Scales = O.getAttrFloatVec("scales");
+    if (P.Scales.empty())
+      P.Scales.push_back(O.getAttrFloat("scale", 1.0));
+    const auto Zps = O.getAttrIntVec("zps");
+    P.Zp = Zps.empty() ? O.getAttrInt("zp", 0) : Zps[0];
+    P.Axis = O.getAttrInt("axis", -1);
+    return P;
+  }
+};
+
+class LowPrecisionPass : public Pass {
+public:
+  const char *name() const override { return "low-precision"; }
+
+  bool run(Graph &G, const PassOptions &) override {
+    bool Changed = false;
+    for (int64_t OpId : G.topologicalOrder()) {
+      if (G.op(OpId).kind() != OpKind::MatMul)
+        continue;
+      if (G.op(OpId).getAttrInt("quantized", 0))
+        continue;
+      Changed |= tryRewrite(G, OpId);
+    }
+    return Changed;
+  }
+
+private:
+  bool tryRewrite(Graph &G, int64_t MatMulId) {
+    const Op &MM = G.op(MatMulId);
+    const int64_t AProd = G.producerOf(MM.input(0));
+    const int64_t BProd = G.producerOf(MM.input(1));
+    if (AProd < 0 || BProd < 0)
+      return false;
+    const Op &DqA = G.op(AProd);
+    const Op &DqB = G.op(BProd);
+    if (DqA.kind() != OpKind::Dequantize || DqB.kind() != OpKind::Dequantize)
+      return false;
+
+    const int64_t QA = DqA.input(0);
+    const int64_t QB = DqB.input(0);
+    const LogicalTensor &QAT = G.tensor(QA);
+    const LogicalTensor &QBT = G.tensor(QB);
+    // Scope of the paper's scheme: u8 asymmetric activation, s8 weight.
+    if (QAT.Ty != DataType::U8 || QBT.Ty != DataType::S8)
+      return false;
+
+    const QParams PA = QParams::fromOp(DqA);
+    const QParams PB = QParams::fromOp(DqB);
+    if (PA.perChannel() || PB.Zp != 0)
+      return false; // activation must be per-tensor; weight symmetric
+
+    const bool TransB = MM.getAttrInt("transpose_b", 0) != 0;
+    const LogicalTensor &OutT = G.tensor(MM.output(0));
+    const int64_t N = OutT.Shape.back();
+
+    // Compensation colsum chain. For a non-constant weight side (MHA) with
+    // a nonzero activation zero point the compensation would be a batched
+    // runtime tensor; that configuration is out of scope, so bail.
+    const bool WeightConst = QBT.isConstant();
+    int64_t Comp;
+    if (PA.Zp != 0) {
+      if (!WeightConst && QBT.rank() > 2)
+        return false;
+      std::vector<int64_t> CastShape = QBT.Shape;
+      const int64_t CastId =
+          G.addOp(OpKind::Cast, {QB}, DataType::S32, CastShape, {},
+                  "comp_cast");
+      const int64_t KAxis = TransB ? -1 : -2;
+      Comp = G.addOp(OpKind::ReduceSum, {CastId}, DataType::S32, {N},
+                     {{"axes", std::vector<int64_t>{KAxis}},
+                      {"keep_dims", int64_t(0)}},
+                     "comp");
+    } else {
+      Comp = G.addTensor(DataType::S32, {1}, "comp_zero",
+                         TensorProperty::Constant);
+      runtime::TensorData Zero(DataType::S32, {1});
+      G.setConstantData(Comp, std::move(Zero));
+    }
+
+    // The int8 matmul with s32 accumulation.
+    AttrMap MatMulAttrs = MM.attrs();
+    MatMulAttrs["quantized"] = int64_t(1);
+    const int64_t AccOut = G.addOp(OpKind::MatMul, {QA, QB}, DataType::S32,
+                                   OutT.Shape, std::move(MatMulAttrs));
+
+    // Folded output scales: a_s * b_s[c].
+    std::vector<double> Scales;
+    if (PB.perChannel()) {
+      Scales.resize(PB.Scales.size());
+      for (size_t I = 0; I < Scales.size(); ++I)
+        Scales[I] = PA.Scales[0] * PB.Scales[I];
+      assert(static_cast<int64_t>(Scales.size()) == N &&
+             "per-channel scale length must match N");
+    } else {
+      Scales.push_back(PA.Scales[0] * PB.Scales[0]);
+    }
+
+    const int64_t Deq = G.addOp(
+        OpKind::DequantAcc, {AccOut, Comp}, DataType::F32, OutT.Shape,
+        {{"a_zp", PA.Zp}, {"scales", std::move(Scales)}});
+
+    G.replaceAllUses(MM.output(0), Deq);
+    G.eraseOp(MatMulId);
+    // The dequantize ops become dead and are removed by the next DCE.
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createLowPrecisionPass() {
+  return std::make_unique<LowPrecisionPass>();
+}
+
+} // namespace passes
+} // namespace gc

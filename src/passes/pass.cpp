@@ -1,0 +1,54 @@
+//===- pass.cpp - Graph IR pass infrastructure ----------------------------------===//
+
+#include "passes/pass.h"
+
+#include "support/common.h"
+#include "support/env.h"
+
+#include <cstdio>
+
+namespace gc {
+namespace passes {
+
+void PassManager::run(graph::Graph &G) {
+  Changed.clear();
+  for (const auto &P : Pipeline) {
+    const bool DidChange = P->run(G, Opts);
+    if (DidChange)
+      Changed.push_back(P->name());
+    const std::string Err = G.verify();
+    if (!Err.empty()) {
+      std::fprintf(stderr, "graph verification failed after pass %s: %s\n",
+                   P->name(), Err.c_str());
+      std::fprintf(stderr, "%s\n", G.toString().c_str());
+      fatalError("pass pipeline produced an invalid graph");
+    }
+    if (verboseAtLeast(2))
+      std::fprintf(stderr, "=== after %s (%s) ===\n%s\n", P->name(),
+                   DidChange ? "changed" : "no change",
+                   G.toString().c_str());
+  }
+}
+
+std::vector<std::unique_ptr<Pass>>
+buildStandardPipeline(const PassOptions &Opts) {
+  std::vector<std::unique_ptr<Pass>> Pipeline;
+  Pipeline.push_back(createDecomposePass());
+  Pipeline.push_back(createCsePass());
+  // Low precision must see the Dequantize -> MatMul -> Quantize structure
+  // before constant folding can collapse the weight dequantize.
+  if (Opts.EnableLowPrecision)
+    Pipeline.push_back(createLowPrecisionPass());
+  Pipeline.push_back(createConstantFoldPass());
+  Pipeline.push_back(createDcePass());
+  // The fusion pass always runs: with fine-grain fusion disabled it still
+  // wraps every op as a singleton region so lowering sees a uniform graph.
+  Pipeline.push_back(createFusionPass());
+  if (Opts.EnableLayoutPropagation)
+    Pipeline.push_back(createLayoutPropagationPass());
+  Pipeline.push_back(createDcePass());
+  return Pipeline;
+}
+
+} // namespace passes
+} // namespace gc

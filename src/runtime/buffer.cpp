@@ -1,0 +1,65 @@
+//===- buffer.cpp - Aligned memory buffers and arenas -------------------------===//
+
+#include "runtime/buffer.h"
+
+#include "support/common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gc {
+namespace runtime {
+
+AlignedBuffer::AlignedBuffer(size_t Bytes, size_t Alignment) {
+  resize(Bytes, Alignment);
+}
+
+AlignedBuffer::~AlignedBuffer() { reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer &&Other) noexcept
+    : Data(Other.Data), Bytes(Other.Bytes) {
+  Other.Data = nullptr;
+  Other.Bytes = 0;
+}
+
+AlignedBuffer &AlignedBuffer::operator=(AlignedBuffer &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  reset();
+  Data = Other.Data;
+  Bytes = Other.Bytes;
+  Other.Data = nullptr;
+  Other.Bytes = 0;
+  return *this;
+}
+
+void AlignedBuffer::reset() {
+  std::free(Data);
+  Data = nullptr;
+  Bytes = 0;
+}
+
+void AlignedBuffer::resize(size_t NewBytes, size_t Alignment) {
+  reset();
+  if (NewBytes == 0)
+    return;
+  const size_t Rounded =
+      (NewBytes + Alignment - 1) / Alignment * Alignment;
+  Data = std::aligned_alloc(Alignment, Rounded);
+  if (!Data)
+    fatalError("aligned allocation failed");
+  std::memset(Data, 0, Rounded);
+  Bytes = NewBytes;
+}
+
+void *BumpArena::allocate(size_t Bytes, size_t Alignment) {
+  size_t Aligned = (Offset + Alignment - 1) / Alignment * Alignment;
+  if (Aligned + Bytes > Storage.size())
+    fatalError("bump arena exhausted (lowering under-computed scratch size)");
+  void *Ptr = static_cast<char *>(Storage.data()) + Aligned;
+  Offset = Aligned + Bytes;
+  return Ptr;
+}
+
+} // namespace runtime
+} // namespace gc

@@ -1,0 +1,85 @@
+//===- buffer.h - Aligned memory buffers and arenas -------------*- C++ -*-===//
+///
+/// \file
+/// Cache-line/vector aligned allocation for tensor data, plus a bump arena
+/// used for per-thread template scratch (the C' accumulation buffers of
+/// Fig. 2) and for the single shared scratch region the memory-buffer-reuse
+/// pass (§VI) packs temporary tensors into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_RUNTIME_BUFFER_H
+#define GC_RUNTIME_BUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace gc {
+namespace runtime {
+
+/// Default alignment: one AVX-512 register / typical cache line.
+inline constexpr size_t kDefaultAlignment = 64;
+
+/// Owning, aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t Bytes, size_t Alignment = kDefaultAlignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer &&Other) noexcept;
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept;
+  AlignedBuffer(const AlignedBuffer &) = delete;
+  AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+  void *data() { return Data; }
+  const void *data() const { return Data; }
+  size_t size() const { return Bytes; }
+  bool empty() const { return Bytes == 0; }
+
+  /// Releases the allocation and resets to empty.
+  void reset();
+  /// Reallocates to \p NewBytes (contents are not preserved, zero filled).
+  void resize(size_t NewBytes, size_t Alignment = kDefaultAlignment);
+
+private:
+  void *Data = nullptr;
+  size_t Bytes = 0;
+};
+
+/// Bump allocator over a preallocated aligned region. allocate() never
+/// touches the system allocator after construction, so it is safe and cheap
+/// inside parallel loop bodies. reset() recycles the whole region.
+class BumpArena {
+public:
+  BumpArena() = default;
+  explicit BumpArena(size_t Bytes) { Storage.resize(Bytes); }
+
+  /// Grows the backing store to at least \p Bytes (only call outside
+  /// parallel regions).
+  void reserve(size_t Bytes) {
+    if (Bytes > Storage.size())
+      Storage.resize(Bytes);
+  }
+
+  /// Returns an aligned chunk of \p Bytes. Aborts if the arena is too
+  /// small -- capacity is computed at compile (lowering) time, so running
+  /// out indicates a compiler bug.
+  void *allocate(size_t Bytes, size_t Alignment = kDefaultAlignment);
+
+  /// Frees everything allocated since construction or the previous reset.
+  void reset() { Offset = 0; }
+
+  size_t capacity() const { return Storage.size(); }
+  size_t used() const { return Offset; }
+
+private:
+  AlignedBuffer Storage;
+  size_t Offset = 0;
+};
+
+} // namespace runtime
+} // namespace gc
+
+#endif // GC_RUNTIME_BUFFER_H

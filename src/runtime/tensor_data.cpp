@@ -1,0 +1,152 @@
+//===- tensor_data.cpp - Runtime dense tensors ---------------------------------===//
+
+#include "runtime/tensor_data.h"
+
+#include "support/common.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace gc {
+namespace runtime {
+
+TensorData::TensorData(DataType Ty, std::vector<int64_t> Shape)
+    : Ty(Ty), Shape(std::move(Shape)) {
+  Owned = std::make_shared<AlignedBuffer>(
+      static_cast<size_t>(numBytes() > 0 ? numBytes() : 1));
+  Ptr = Owned->data();
+}
+
+TensorData TensorData::view(DataType Ty, std::vector<int64_t> Shape,
+                            void *Data) {
+  TensorData T;
+  T.Ty = Ty;
+  T.Shape = std::move(Shape);
+  T.Ptr = Data;
+  return T;
+}
+
+int64_t TensorData::numElements() const {
+  int64_t N = 1;
+  for (int64_t D : Shape)
+    N *= D;
+  return N;
+}
+
+void TensorData::fillRandom(Rng &Generator) {
+  const int64_t N = numElements();
+  switch (Ty) {
+  case DataType::F32: {
+    float *P = dataAs<float>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = Generator.uniform(-1.0f, 1.0f);
+    return;
+  }
+  case DataType::F64: {
+    double *P = dataAs<double>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = Generator.uniform(-1.0f, 1.0f);
+    return;
+  }
+  case DataType::S32: {
+    int32_t *P = dataAs<int32_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<int32_t>(Generator.uniformInt(-4, 4));
+    return;
+  }
+  case DataType::S8: {
+    int8_t *P = dataAs<int8_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<int8_t>(Generator.uniformInt(-128, 127));
+    return;
+  }
+  case DataType::U8: {
+    uint8_t *P = dataAs<uint8_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<uint8_t>(Generator.uniformInt(0, 255));
+    return;
+  }
+  }
+  GC_UNREACHABLE("unhandled dtype");
+}
+
+void TensorData::fillConstant(double Value) {
+  const int64_t N = numElements();
+  switch (Ty) {
+  case DataType::F32: {
+    float *P = dataAs<float>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<float>(Value);
+    return;
+  }
+  case DataType::F64: {
+    double *P = dataAs<double>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = Value;
+    return;
+  }
+  case DataType::S32: {
+    int32_t *P = dataAs<int32_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<int32_t>(Value);
+    return;
+  }
+  case DataType::S8: {
+    int8_t *P = dataAs<int8_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<int8_t>(Value);
+    return;
+  }
+  case DataType::U8: {
+    uint8_t *P = dataAs<uint8_t>();
+    for (int64_t I = 0; I < N; ++I)
+      P[I] = static_cast<uint8_t>(Value);
+    return;
+  }
+  }
+  GC_UNREACHABLE("unhandled dtype");
+}
+
+TensorData TensorData::clone() const {
+  TensorData Copy(Ty, Shape);
+  std::memcpy(Copy.data(), Ptr, static_cast<size_t>(numBytes()));
+  return Copy;
+}
+
+namespace {
+
+double elementAsDouble(const TensorData &T, int64_t I) {
+  switch (T.dtype()) {
+  case DataType::F32: return T.dataAs<float>()[I];
+  case DataType::F64: return T.dataAs<double>()[I];
+  case DataType::S32: return T.dataAs<int32_t>()[I];
+  case DataType::S8: return T.dataAs<int8_t>()[I];
+  case DataType::U8: return T.dataAs<uint8_t>()[I];
+  }
+  GC_UNREACHABLE("unhandled dtype");
+}
+
+} // namespace
+
+double maxAbsDiff(const TensorData &A, const TensorData &B) {
+  assert(A.numElements() == B.numElements() && "shape mismatch");
+  double Max = 0.0;
+  for (int64_t I = 0, E = A.numElements(); I < E; ++I)
+    Max = std::max(Max,
+                   std::abs(elementAsDouble(A, I) - elementAsDouble(B, I)));
+  return Max;
+}
+
+double maxRelDiff(const TensorData &A, const TensorData &B, double Eps) {
+  assert(A.numElements() == B.numElements() && "shape mismatch");
+  double Max = 0.0;
+  for (int64_t I = 0, E = A.numElements(); I < E; ++I) {
+    const double X = elementAsDouble(A, I);
+    const double Y = elementAsDouble(B, I);
+    Max = std::max(Max, std::abs(X - Y) / (std::abs(Y) + Eps));
+  }
+  return Max;
+}
+
+} // namespace runtime
+} // namespace gc

@@ -1,0 +1,63 @@
+//===- dtype.h - Element data types ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Element types shared by Graph IR logical tensors, Tensor IR buffers, and
+/// runtime tensors. The set matches the paper's inference scope: FP32
+/// compute, u8/s8 quantized storage, s32 accumulation (plus F64 for test
+/// references).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_DTYPE_H
+#define GC_SUPPORT_DTYPE_H
+
+#include <cstdint>
+
+namespace gc {
+
+/// Element type of a tensor.
+enum class DataType : uint8_t {
+  F32,
+  F64, ///< test-reference only
+  S32,
+  S8,
+  U8,
+};
+
+/// Size in bytes of one element of \p Ty.
+inline constexpr int64_t dataTypeSize(DataType Ty) {
+  switch (Ty) {
+  case DataType::F32: return 4;
+  case DataType::F64: return 8;
+  case DataType::S32: return 4;
+  case DataType::S8: return 1;
+  case DataType::U8: return 1;
+  }
+  return 0;
+}
+
+/// Short printable name, e.g. "f32".
+inline constexpr const char *dataTypeName(DataType Ty) {
+  switch (Ty) {
+  case DataType::F32: return "f32";
+  case DataType::F64: return "f64";
+  case DataType::S32: return "s32";
+  case DataType::S8: return "s8";
+  case DataType::U8: return "u8";
+  }
+  return "?";
+}
+
+/// True for f32/f64.
+inline constexpr bool isFloatType(DataType Ty) {
+  return Ty == DataType::F32 || Ty == DataType::F64;
+}
+
+/// True for the quantized storage types u8/s8.
+inline constexpr bool isQuantizedType(DataType Ty) {
+  return Ty == DataType::U8 || Ty == DataType::S8;
+}
+
+} // namespace gc
+
+#endif // GC_SUPPORT_DTYPE_H

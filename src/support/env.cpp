@@ -1,0 +1,32 @@
+//===- env.cpp - Environment variable access -------------------------------===//
+
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace gc {
+
+int64_t getEnvInt(const char *Name, int64_t Default) {
+  const char *Val = std::getenv(Name);
+  if (!Val || !*Val)
+    return Default;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Val, &End, 10);
+  if (End == Val)
+    return Default;
+  return static_cast<int64_t>(Parsed);
+}
+
+std::string getEnvString(const char *Name, const std::string &Default) {
+  const char *Val = std::getenv(Name);
+  if (!Val)
+    return Default;
+  return std::string(Val);
+}
+
+bool verboseAtLeast(int Level) {
+  static int64_t Cached = getEnvInt("GC_VERBOSE", 0);
+  return Cached >= Level;
+}
+
+} // namespace gc

@@ -1,0 +1,29 @@
+//===- env.h - Environment variable access ---------------------*- C++ -*-===//
+///
+/// \file
+/// Typed access to the small set of GC_* environment knobs (thread count,
+/// debug dumping). Centralized so the knob names appear in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_ENV_H
+#define GC_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace gc {
+
+/// Returns the integer value of environment variable \p Name, or \p Default
+/// when unset or unparsable.
+int64_t getEnvInt(const char *Name, int64_t Default);
+
+/// Returns the value of environment variable \p Name, or \p Default.
+std::string getEnvString(const char *Name, const std::string &Default);
+
+/// True when GC_VERBOSE requests pass/IR dumping (GC_VERBOSE >= \p Level).
+bool verboseAtLeast(int Level);
+
+} // namespace gc
+
+#endif // GC_SUPPORT_ENV_H

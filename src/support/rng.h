@@ -1,0 +1,50 @@
+//===- rng.h - Deterministic random number generation ----------*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG for synthetic workload data. Model
+/// weights in the paper's experiments come from trained checkpoints; dense
+/// kernel performance is data independent, so seeded noise preserves the
+/// measured behaviour (see DESIGN.md substitution #6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_RNG_H
+#define GC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace gc {
+
+/// Deterministic 64-bit RNG (SplitMix64). Cheap, seedable, and portable so
+/// tests and benches produce identical tensors on every run.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform float in [Lo, Hi).
+  float uniform(float Lo, float Hi) {
+    const double Unit = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return static_cast<float>(Lo + (Hi - Lo) * Unit);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniformInt(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gc
+
+#endif // GC_SUPPORT_RNG_H

@@ -1,0 +1,48 @@
+//===- str.cpp - printf-style std::string formatting ----------------------===//
+
+#include "support/str.h"
+
+#include <cstdio>
+
+namespace gc {
+
+std::string formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string shapeToString(const std::vector<int64_t> &Dims) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Dims.size());
+  for (int64_t D : Dims)
+    Parts.push_back(formatString("%lld", static_cast<long long>(D)));
+  return "[" + joinStrings(Parts, ", ") + "]";
+}
+
+} // namespace gc

@@ -1,0 +1,35 @@
+//===- str.h - printf-style std::string formatting -------------*- C++ -*-===//
+///
+/// \file
+/// `formatString` builds std::string values with printf semantics so library
+/// code never needs <iostream>. Also hosts small joining helpers used by the
+/// IR printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_STR_H
+#define GC_SUPPORT_STR_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace gc {
+
+/// Returns a std::string produced from a printf format string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Joins \p Parts with \p Sep, e.g. joinStrings({"a","b"}, ", ") == "a, b".
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Renders an integer list like "[32, 512, 256]".
+std::string shapeToString(const std::vector<int64_t> &Dims);
+
+} // namespace gc
+
+#endif // GC_SUPPORT_STR_H

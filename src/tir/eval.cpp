@@ -1,0 +1,647 @@
+//===- eval.cpp - Tensor IR evaluator ------------------------------------------===//
+
+#include "tir/eval.h"
+
+#include "kernels/brgemm.h"
+#include "kernels/packing.h"
+#include "kernels/tile_ops.h"
+#include "support/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gc {
+namespace tir {
+
+//===----------------------------------------------------------------------===//
+// Slot assignment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectVarsExpr(const Expr &E, std::vector<const VarNode *> &Order,
+                     std::unordered_set<const VarNode *> &Seen) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprNode::Kind::IntImm:
+  case ExprNode::Kind::FloatImm:
+    return;
+  case ExprNode::Kind::Var: {
+    const auto *V = static_cast<const VarNode *>(E.get());
+    if (Seen.insert(V).second)
+      Order.push_back(V);
+    return;
+  }
+  case ExprNode::Kind::Binary: {
+    const auto &B = static_cast<const BinaryNode &>(*E);
+    collectVarsExpr(B.A, Order, Seen);
+    collectVarsExpr(B.B, Order, Seen);
+    return;
+  }
+  case ExprNode::Kind::Load: {
+    const auto &L = static_cast<const LoadNode &>(*E);
+    for (const Expr &I : L.Indices)
+      collectVarsExpr(I, Order, Seen);
+    return;
+  }
+  }
+}
+
+void collectVarsStmt(const Stmt &S, std::vector<const VarNode *> &Order,
+                     std::unordered_set<const VarNode *> &Seen) {
+  switch (S->kind()) {
+  case StmtNode::Kind::For: {
+    const auto &F = static_cast<const ForNode &>(*S);
+    if (Seen.insert(F.LoopVar.get()).second)
+      Order.push_back(F.LoopVar.get());
+    collectVarsExpr(F.Begin, Order, Seen);
+    collectVarsExpr(F.End, Order, Seen);
+    collectVarsExpr(F.Step, Order, Seen);
+    for (const Stmt &C : F.Body)
+      collectVarsStmt(C, Order, Seen);
+    return;
+  }
+  case StmtNode::Kind::Let: {
+    const auto &L = static_cast<const LetNode &>(*S);
+    if (Seen.insert(L.BoundVar.get()).second)
+      Order.push_back(L.BoundVar.get());
+    collectVarsExpr(L.Value, Order, Seen);
+    return;
+  }
+  case StmtNode::Kind::Store: {
+    const auto &St = static_cast<const StoreNode &>(*S);
+    for (const Expr &I : St.Indices)
+      collectVarsExpr(I, Order, Seen);
+    collectVarsExpr(St.Value, Order, Seen);
+    return;
+  }
+  case StmtNode::Kind::Call: {
+    const auto &C = static_cast<const CallNode &>(*S);
+    for (const BufferRef &B : C.Buffers)
+      collectVarsExpr(B.Offset, Order, Seen);
+    for (const Expr &E : C.Scalars)
+      collectVarsExpr(E, Order, Seen);
+    return;
+  }
+  case StmtNode::Kind::Seq: {
+    const auto &Q = static_cast<const SeqNode &>(*S);
+    for (const Stmt &C : Q.Body)
+      collectVarsStmt(C, Order, Seen);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+void assignSlots(Func &F) {
+  std::vector<const VarNode *> Order;
+  std::unordered_set<const VarNode *> Seen;
+  for (const Stmt &S : F.Body)
+    collectVarsStmt(S, Order, Seen);
+  int Slot = 0;
+  for (const VarNode *V : Order)
+    V->Slot = Slot++;
+  F.NumSlots = Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator setup
+//===----------------------------------------------------------------------===//
+
+Evaluator::Evaluator(const Func &F, runtime::ThreadPool &Pool)
+    : F(F), Pool(Pool) {
+  assert(F.NumSlots >= 0 && "run assignSlots before evaluation");
+  const size_t NumBuffers = F.Buffers.size();
+  BasePtrs.assign(NumBuffers, nullptr);
+  ElemSizes.resize(NumBuffers);
+
+  // Allocate the shared temp arena.
+  if (F.ArenaBytes > 0)
+    Arena.resize(static_cast<size_t>(F.ArenaBytes));
+
+  const int NumWorkers = Pool.numThreads();
+  ThreadScratch.resize(static_cast<size_t>(NumWorkers));
+  // Compute per-worker scratch: sum of ThreadLocal buffer sizes.
+  int64_t ScratchBytes = 0;
+  for (const BufferDecl &B : F.Buffers)
+    if (B.Scope == BufferScope::ThreadLocal)
+      ScratchBytes += roundUp(B.numBytes(), runtime::kDefaultAlignment);
+  for (auto &Block : ThreadScratch)
+    if (ScratchBytes > 0)
+      Block.resize(static_cast<size_t>(ScratchBytes));
+
+  // Lay out worker pointer tables.
+  WorkerPtrs.assign(static_cast<size_t>(NumWorkers),
+                    std::vector<void *>(NumBuffers, nullptr));
+  std::vector<int64_t> ScratchOffset(static_cast<size_t>(NumWorkers), 0);
+
+  for (const BufferDecl &B : F.Buffers) {
+    ElemSizes[static_cast<size_t>(B.Id)] = dataTypeSize(B.ElemTy);
+    switch (B.Scope) {
+    case BufferScope::Param:
+    case BufferScope::FoldedConst:
+      break; // bound by caller
+    case BufferScope::Const:
+      if (B.BakedIndex >= 0)
+        BasePtrs[static_cast<size_t>(B.Id)] = const_cast<void *>(
+            F.Baked[static_cast<size_t>(B.BakedIndex)].data());
+      break; // otherwise bound by caller
+    case BufferScope::Temp: {
+      void *Ptr = nullptr;
+      if (B.ArenaOffset >= 0) {
+        assert(B.ArenaOffset + B.numBytes() <=
+                   static_cast<int64_t>(Arena.size()) &&
+               "arena overflow");
+        Ptr = static_cast<char *>(Arena.data()) + B.ArenaOffset;
+      } else {
+        Locals.emplace_back(static_cast<size_t>(B.numBytes()));
+        Ptr = Locals.back().data();
+      }
+      BasePtrs[static_cast<size_t>(B.Id)] = Ptr;
+      break;
+    }
+    case BufferScope::ThreadLocal: {
+      for (int W = 0; W < NumWorkers; ++W) {
+        void *Ptr = static_cast<char *>(ThreadScratch[W].data()) +
+                    ScratchOffset[W];
+        ScratchOffset[W] += roundUp(B.numBytes(), runtime::kDefaultAlignment);
+        WorkerPtrs[W][static_cast<size_t>(B.Id)] = Ptr;
+      }
+      break;
+    }
+    }
+  }
+  // Non-thread-local entries of worker tables mirror BasePtrs lazily in
+  // run(); done after param binding.
+}
+
+void Evaluator::bindBuffer(int BufferId, void *Ptr) {
+  assert(BufferId >= 0 &&
+         static_cast<size_t>(BufferId) < BasePtrs.size() && "bad buffer id");
+  BasePtrs[static_cast<size_t>(BufferId)] = Ptr;
+}
+
+void Evaluator::run() {
+  // Finalize worker tables: every non-ThreadLocal buffer points at the
+  // shared base.
+  for (size_t BId = 0; BId < BasePtrs.size(); ++BId) {
+    const BufferDecl &B = F.Buffers[BId];
+    if (B.Scope == BufferScope::ThreadLocal)
+      continue;
+    if (!BasePtrs[BId])
+      fatalError("unbound tensor buffer at execution");
+    for (auto &Table : WorkerPtrs)
+      Table[BId] = BasePtrs[BId];
+  }
+  Frame Fr;
+  Fr.Slots.resize(static_cast<size_t>(F.NumSlots));
+  Fr.Buffers = &WorkerPtrs[0];
+  execList(F.Body, Fr, /*InParallel=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Evaluator::Value Evaluator::evalExpr(const ExprNode *E, Frame &Fr) const {
+  switch (E->kind()) {
+  case ExprNode::Kind::IntImm: {
+    Value V;
+    V.I = static_cast<const IntImmNode *>(E)->Value;
+    return V;
+  }
+  case ExprNode::Kind::FloatImm: {
+    Value V;
+    V.F = static_cast<const FloatImmNode *>(E)->Value;
+    return V;
+  }
+  case ExprNode::Kind::Var: {
+    const auto *VarE = static_cast<const VarNode *>(E);
+    assert(VarE->Slot >= 0 && "slot not assigned");
+    return Fr.Slots[static_cast<size_t>(VarE->Slot)];
+  }
+  case ExprNode::Kind::Binary: {
+    const auto *B = static_cast<const BinaryNode *>(E);
+    const Value A = evalExpr(B->A.get(), Fr);
+    const Value C = evalExpr(B->B.get(), Fr);
+    Value R;
+    if (B->type() == ScalarType::F64) {
+      const double X =
+          B->A->type() == ScalarType::F64 ? A.F : static_cast<double>(A.I);
+      const double Y =
+          B->B->type() == ScalarType::F64 ? C.F : static_cast<double>(C.I);
+      switch (B->Op) {
+      case BinOp::Add: R.F = X + Y; break;
+      case BinOp::Sub: R.F = X - Y; break;
+      case BinOp::Mul: R.F = X * Y; break;
+      case BinOp::Div: R.F = X / Y; break;
+      case BinOp::Mod: R.F = std::fmod(X, Y); break;
+      case BinOp::Min: R.F = std::min(X, Y); break;
+      case BinOp::Max: R.F = std::max(X, Y); break;
+      }
+      return R;
+    }
+    switch (B->Op) {
+    case BinOp::Add: R.I = A.I + C.I; break;
+    case BinOp::Sub: R.I = A.I - C.I; break;
+    case BinOp::Mul: R.I = A.I * C.I; break;
+    case BinOp::Div: R.I = A.I / C.I; break;
+    case BinOp::Mod: R.I = A.I % C.I; break;
+    case BinOp::Min: R.I = std::min(A.I, C.I); break;
+    case BinOp::Max: R.I = std::max(A.I, C.I); break;
+    }
+    return R;
+  }
+  case ExprNode::Kind::Load: {
+    const auto *L = static_cast<const LoadNode *>(E);
+    // Compute the element offset (row-major when still multi-dimensional).
+    const BufferDecl &B = F.Buffers[static_cast<size_t>(L->BufferId)];
+    int64_t Offset = 0;
+    if (L->Indices.size() == 1) {
+      Offset = evalInt(L->Indices[0], Fr);
+    } else {
+      int64_t Stride = 1;
+      for (int64_t D = static_cast<int64_t>(L->Indices.size()) - 1; D >= 0;
+           --D) {
+        Offset += evalInt(L->Indices[static_cast<size_t>(D)], Fr) * Stride;
+        Stride *= B.Dims[static_cast<size_t>(D)];
+      }
+    }
+    const void *Ptr =
+        static_cast<const char *>((*Fr.Buffers)[static_cast<size_t>(
+            L->BufferId)]) +
+        Offset * ElemSizes[static_cast<size_t>(L->BufferId)];
+    Value V;
+    switch (B.ElemTy) {
+    case DataType::F32: V.F = *static_cast<const float *>(Ptr); break;
+    case DataType::F64: V.F = *static_cast<const double *>(Ptr); break;
+    case DataType::S32: V.I = *static_cast<const int32_t *>(Ptr); break;
+    case DataType::S8: V.I = *static_cast<const int8_t *>(Ptr); break;
+    case DataType::U8: V.I = *static_cast<const uint8_t *>(Ptr); break;
+    }
+    return V;
+  }
+  }
+  GC_UNREACHABLE("unhandled expr kind");
+}
+
+int64_t Evaluator::evalInt(const Expr &E, Frame &Fr) const {
+  const Value V = evalExpr(E.get(), Fr);
+  return E->type() == ScalarType::F64 ? static_cast<int64_t>(V.F) : V.I;
+}
+
+double Evaluator::evalFloat(const Expr &E, Frame &Fr) const {
+  const Value V = evalExpr(E.get(), Fr);
+  return E->type() == ScalarType::F64 ? V.F : static_cast<double>(V.I);
+}
+
+void *Evaluator::bufferElemPtr(int BufferId, int64_t ElemOffset,
+                               Frame &Fr) const {
+  return static_cast<char *>((*Fr.Buffers)[static_cast<size_t>(BufferId)]) +
+         ElemOffset * ElemSizes[static_cast<size_t>(BufferId)];
+}
+
+//===----------------------------------------------------------------------===//
+// Statement execution
+//===----------------------------------------------------------------------===//
+
+void Evaluator::execList(const StmtList &List, Frame &Fr, bool InParallel) {
+  for (const Stmt &S : List)
+    execStmt(S.get(), Fr, InParallel);
+}
+
+void Evaluator::execParallelFor(const ForNode *For, Frame &Fr) {
+  const int64_t Begin = evalInt(For->Begin, Fr);
+  const int64_t End = evalInt(For->End, Fr);
+  const int64_t Step = evalInt(For->Step, Fr);
+  assert(Step > 0 && "parallel loop requires positive step");
+  const int64_t Trips = Begin < End ? ceilDiv(End - Begin, Step) : 0;
+  if (Trips <= 0)
+    return;
+  const int Slot = For->LoopVar->Slot;
+  // Copy the current frame per worker so outer lets stay visible; each
+  // worker gets its thread-local buffer table.
+  const std::vector<Value> BaseSlots = Fr.Slots;
+  std::vector<Frame> Frames(static_cast<size_t>(Pool.numThreads()));
+  for (int W = 0; W < Pool.numThreads(); ++W) {
+    Frames[static_cast<size_t>(W)].Slots = BaseSlots;
+    Frames[static_cast<size_t>(W)].Buffers = &WorkerPtrs[static_cast<size_t>(W)];
+  }
+  Pool.parallelFor(0, Trips, [&](int64_t I, int ThreadId) {
+    Frame &WFr = Frames[static_cast<size_t>(ThreadId)];
+    WFr.Slots[static_cast<size_t>(Slot)].I = Begin + I * Step;
+    execList(For->Body, WFr, /*InParallel=*/true);
+  });
+}
+
+void Evaluator::execStmt(const StmtNode *S, Frame &Fr, bool InParallel) {
+  switch (S->kind()) {
+  case StmtNode::Kind::For: {
+    const auto *For = static_cast<const ForNode *>(S);
+    if (For->Parallel && !InParallel) {
+      execParallelFor(For, Fr);
+      return;
+    }
+    const int64_t Begin = evalInt(For->Begin, Fr);
+    const int64_t End = evalInt(For->End, Fr);
+    const int64_t Step = evalInt(For->Step, Fr);
+    assert(Step > 0 && "loop requires positive step");
+    const int Slot = For->LoopVar->Slot;
+    for (int64_t V = Begin; V < End; V += Step) {
+      Fr.Slots[static_cast<size_t>(Slot)].I = V;
+      execList(For->Body, Fr, InParallel);
+    }
+    return;
+  }
+  case StmtNode::Kind::Let: {
+    const auto *L = static_cast<const LetNode *>(S);
+    Fr.Slots[static_cast<size_t>(L->BoundVar->Slot)] =
+        evalExpr(L->Value.get(), Fr);
+    return;
+  }
+  case StmtNode::Kind::Store: {
+    const auto *St = static_cast<const StoreNode *>(S);
+    const BufferDecl &B = F.Buffers[static_cast<size_t>(St->BufferId)];
+    int64_t Offset = 0;
+    if (St->Indices.size() == 1) {
+      Offset = evalInt(St->Indices[0], Fr);
+    } else {
+      int64_t Stride = 1;
+      for (int64_t D = static_cast<int64_t>(St->Indices.size()) - 1; D >= 0;
+           --D) {
+        Offset += evalInt(St->Indices[static_cast<size_t>(D)], Fr) * Stride;
+        Stride *= B.Dims[static_cast<size_t>(D)];
+      }
+    }
+    void *Ptr = bufferElemPtr(St->BufferId, Offset, Fr);
+    switch (B.ElemTy) {
+    case DataType::F32:
+      *static_cast<float *>(Ptr) =
+          static_cast<float>(evalFloat(St->Value, Fr));
+      break;
+    case DataType::F64:
+      *static_cast<double *>(Ptr) = evalFloat(St->Value, Fr);
+      break;
+    case DataType::S32:
+      *static_cast<int32_t *>(Ptr) =
+          static_cast<int32_t>(evalInt(St->Value, Fr));
+      break;
+    case DataType::S8:
+      *static_cast<int8_t *>(Ptr) = static_cast<int8_t>(
+          std::clamp<int64_t>(evalInt(St->Value, Fr), -128, 127));
+      break;
+    case DataType::U8:
+      *static_cast<uint8_t *>(Ptr) = static_cast<uint8_t>(
+          std::clamp<int64_t>(evalInt(St->Value, Fr), 0, 255));
+      break;
+    }
+    return;
+  }
+  case StmtNode::Kind::Call:
+    execCall(static_cast<const CallNode *>(S), Fr);
+    return;
+  case StmtNode::Kind::Seq: {
+    const auto *Q = static_cast<const SeqNode *>(S);
+    execList(Q->Body, Fr, InParallel);
+    return;
+  }
+  }
+  GC_UNREACHABLE("unhandled stmt kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Intrinsic dispatch
+//===----------------------------------------------------------------------===//
+
+void Evaluator::execCall(const CallNode *C, Frame &Fr) const {
+  // Resolve buffer pointers.
+  void *Ptrs[4] = {nullptr, nullptr, nullptr, nullptr};
+  assert(C->Buffers.size() <= 4 && "intrinsics take at most 4 buffers");
+  for (size_t I = 0; I < C->Buffers.size(); ++I) {
+    const BufferRef &Ref = C->Buffers[I];
+    const int64_t Off = Ref.Offset ? evalInt(Ref.Offset, Fr) : 0;
+    Ptrs[I] = bufferElemPtr(Ref.BufferId, Off, Fr);
+  }
+  // Resolve scalars (int view + float view).
+  int64_t SI[12] = {0};
+  double SF[12] = {0};
+  assert(C->Scalars.size() <= 12 && "intrinsics take at most 12 scalars");
+  for (size_t I = 0; I < C->Scalars.size(); ++I) {
+    const Value V = evalExpr(C->Scalars[I].get(), Fr);
+    if (C->Scalars[I]->type() == ScalarType::F64) {
+      SF[I] = V.F;
+      SI[I] = static_cast<int64_t>(V.F);
+    } else {
+      SI[I] = V.I;
+      SF[I] = static_cast<double>(V.I);
+    }
+  }
+
+  using namespace kernels;
+  const auto tile = [&](int BufIdx, int RowsIdx = 0) -> TileF32 {
+    TileF32 T;
+    T.Data = static_cast<float *>(Ptrs[BufIdx]);
+    T.Rows = SI[RowsIdx];
+    T.Cols = SI[RowsIdx + 1];
+    T.Ld = SI[RowsIdx + 2];
+    return T;
+  };
+
+  switch (C->In) {
+  case Intrinsic::BrgemmF32: {
+    BrgemmF32Args A;
+    A.A = static_cast<const float *>(Ptrs[0]);
+    A.B = static_cast<const float *>(Ptrs[1]);
+    A.C = static_cast<float *>(Ptrs[2]);
+    A.M = SI[0]; A.N = SI[1]; A.K = SI[2];
+    A.Lda = SI[3]; A.Ldb = SI[4]; A.Ldc = SI[5];
+    A.AStrideBatch = SI[6]; A.BStrideBatch = SI[7];
+    A.Batch = SI[8]; A.InitC = SI[9] != 0;
+    brgemmF32(A);
+    return;
+  }
+  case Intrinsic::BrgemmU8S8: {
+    BrgemmU8S8Args A;
+    A.A = static_cast<const uint8_t *>(Ptrs[0]);
+    A.B = static_cast<const int8_t *>(Ptrs[1]);
+    A.C = static_cast<int32_t *>(Ptrs[2]);
+    A.M = SI[0]; A.N = SI[1]; A.K = SI[2];
+    A.Lda = SI[3]; A.NPadded = SI[4]; A.Ldc = SI[5];
+    A.AStrideBatch = SI[6]; A.BStrideBatch = SI[7];
+    A.Batch = SI[8]; A.InitC = SI[9] != 0;
+    brgemmU8S8(A);
+    return;
+  }
+  case Intrinsic::ReluTile: reluTile(tile(0)); return;
+  case Intrinsic::ExpTile: expTile(tile(0)); return;
+  case Intrinsic::TanhTile: tanhTile(tile(0)); return;
+  case Intrinsic::SqrtTile: sqrtTile(tile(0)); return;
+  case Intrinsic::RecipTile: recipTile(tile(0)); return;
+  case Intrinsic::SquareTile: squareTile(tile(0)); return;
+  case Intrinsic::SigmoidTile: sigmoidTile(tile(0)); return;
+  case Intrinsic::GeluTile: geluTanhTile(tile(0)); return;
+  case Intrinsic::AffineTile:
+    affineTile(tile(0), static_cast<float>(SF[3]),
+               static_cast<float>(SF[4]));
+    return;
+  case Intrinsic::AddTile:
+  case Intrinsic::SubTile:
+  case Intrinsic::MulTile:
+  case Intrinsic::DivTile:
+  case Intrinsic::MaxTile:
+  case Intrinsic::MinTile: {
+    const TileF32 X = tile(0);
+    ConstTileF32 Y;
+    Y.Data = static_cast<const float *>(Ptrs[1]);
+    Y.Ld = SI[3];
+    switch (C->In) {
+    case Intrinsic::AddTile: addTile(X, Y); break;
+    case Intrinsic::SubTile: subTile(X, Y); break;
+    case Intrinsic::MulTile: mulTile(X, Y); break;
+    case Intrinsic::DivTile: divTile(X, Y); break;
+    case Intrinsic::MaxTile: maxTile(X, Y); break;
+    case Intrinsic::MinTile: minTile(X, Y); break;
+    default: GC_UNREACHABLE("binary tile");
+    }
+    return;
+  }
+  case Intrinsic::AddRowVecTile:
+    addRowVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::SubRowVecTile:
+    subRowVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::MulRowVecTile:
+    mulRowVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::AddColVecTile:
+    addColVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::SubColVecTile:
+    subColVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::MulColVecTile:
+    mulColVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::DivColVecTile:
+    divColVecTile(tile(0), static_cast<const float *>(Ptrs[1]));
+    return;
+  case Intrinsic::ReduceSumRowsTile:
+    reduceSumRowsTile(tile(0), static_cast<float *>(Ptrs[1]), SI[3] != 0);
+    return;
+  case Intrinsic::ReduceMaxRowsTile:
+    reduceMaxRowsTile(tile(0), static_cast<float *>(Ptrs[1]), SI[3] != 0);
+    return;
+  case Intrinsic::CopyTile: {
+    TileF32 D;
+    D.Data = static_cast<float *>(Ptrs[0]);
+    D.Rows = SI[0]; D.Cols = SI[1]; D.Ld = SI[2];
+    ConstTileF32 Src;
+    Src.Data = static_cast<const float *>(Ptrs[1]);
+    Src.Ld = SI[3];
+    copyTile(D, Src);
+    return;
+  }
+  case Intrinsic::CopyTileRaw:
+    copyTileRaw(Ptrs[0], SI[2], Ptrs[1], SI[3], SI[0], SI[1], SI[4]);
+    return;
+  case Intrinsic::TransposeTile: {
+    TileF32 D;
+    D.Data = static_cast<float *>(Ptrs[0]);
+    D.Rows = SI[0]; D.Cols = SI[1]; D.Ld = SI[2];
+    ConstTileF32 Src;
+    Src.Data = static_cast<const float *>(Ptrs[1]);
+    Src.Ld = SI[3];
+    transposeTile(D, Src);
+    return;
+  }
+  case Intrinsic::Permute0213:
+    permute0213(Ptrs[0], Ptrs[1], SI[0], SI[1], SI[2], SI[3], SI[4]);
+    return;
+  case Intrinsic::FillTile:
+    fillTile(tile(0), static_cast<float>(SF[3]));
+    return;
+  case Intrinsic::DequantAccTile:
+    dequantAccTile(static_cast<float *>(Ptrs[0]), SI[2],
+                   static_cast<const int32_t *>(Ptrs[1]), SI[3], SI[0],
+                   SI[1], static_cast<const int32_t *>(Ptrs[2]),
+                   static_cast<int32_t>(SI[4]),
+                   static_cast<const float *>(Ptrs[3]));
+    return;
+  case Intrinsic::QuantU8Tile:
+    quantizeU8Tile(static_cast<uint8_t *>(Ptrs[0]), SI[2],
+                   static_cast<const float *>(Ptrs[1]), SI[3], SI[0], SI[1],
+                   static_cast<float>(SF[4]), static_cast<int32_t>(SI[5]));
+    return;
+  case Intrinsic::QuantS8Tile:
+    quantizeS8Tile(static_cast<int8_t *>(Ptrs[0]), SI[2],
+                   static_cast<const float *>(Ptrs[1]), SI[3], SI[0], SI[1],
+                   static_cast<float>(SF[4]));
+    return;
+  case Intrinsic::DequantU8Tile:
+    dequantU8Tile(static_cast<float *>(Ptrs[0]), SI[2],
+                  static_cast<const uint8_t *>(Ptrs[1]), SI[3], SI[0], SI[1],
+                  static_cast<float>(SF[4]), static_cast<int32_t>(SI[5]));
+    return;
+  case Intrinsic::DequantS8PerChannelTile:
+    dequantS8PerChannelTile(static_cast<float *>(Ptrs[0]), SI[2],
+                            static_cast<const int8_t *>(Ptrs[1]), SI[3],
+                            SI[0], SI[1],
+                            static_cast<const float *>(Ptrs[2]));
+    return;
+  case Intrinsic::CastS32F32Tile:
+    castS32F32Tile(static_cast<float *>(Ptrs[0]), SI[2],
+                   static_cast<const int32_t *>(Ptrs[1]), SI[3], SI[0],
+                   SI[1], static_cast<float>(SF[4]));
+    return;
+  case Intrinsic::PackAF32: {
+    PlainMatrix Src;
+    Src.Data = Ptrs[1];
+    Src.Rows = SI[0]; Src.Cols = SI[1]; Src.Ld = SI[2];
+    Src.Transposed = SI[5] != 0;
+    packAF32(Src, static_cast<float *>(Ptrs[0]), SI[3], SI[4]);
+    return;
+  }
+  case Intrinsic::PackAU8: {
+    PlainMatrix Src;
+    Src.Data = Ptrs[1];
+    Src.Rows = SI[0]; Src.Cols = SI[1]; Src.Ld = SI[2];
+    Src.Transposed = SI[5] != 0;
+    packAU8(Src, static_cast<uint8_t *>(Ptrs[0]), SI[3], SI[4]);
+    return;
+  }
+  case Intrinsic::PackBF32: {
+    PlainMatrix Src;
+    Src.Data = Ptrs[1];
+    Src.Rows = SI[0]; Src.Cols = SI[1]; Src.Ld = SI[2];
+    Src.Transposed = SI[5] != 0;
+    packBF32(Src, static_cast<float *>(Ptrs[0]), SI[3], SI[4]);
+    return;
+  }
+  case Intrinsic::PackBS8Vnni: {
+    PlainMatrix Src;
+    Src.Data = Ptrs[1];
+    Src.Rows = SI[0]; Src.Cols = SI[1]; Src.Ld = SI[2];
+    Src.Transposed = SI[5] != 0;
+    packBS8Vnni(Src, static_cast<int8_t *>(Ptrs[0]), SI[3], SI[4]);
+    return;
+  }
+  case Intrinsic::UnpackAF32:
+    unpackAF32(static_cast<const float *>(Ptrs[1]),
+               static_cast<float *>(Ptrs[0]), SI[0], SI[1], SI[2], SI[3],
+               SI[4]);
+    return;
+  case Intrinsic::UnpackAU8:
+    unpackAU8(static_cast<const uint8_t *>(Ptrs[1]),
+              static_cast<uint8_t *>(Ptrs[0]), SI[0], SI[1], SI[2], SI[3],
+              SI[4]);
+    return;
+  }
+  GC_UNREACHABLE("unhandled intrinsic");
+}
+
+} // namespace tir
+} // namespace gc

@@ -1,0 +1,93 @@
+//===- eval.h - Tensor IR evaluator -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Executes a Tensor IR function. The paper lowers Tensor IR to LLVM IR and
+/// microkernel intrinsic calls; offline this reproduction executes the same
+/// Tensor IR with a slot-resolved evaluator whose leaves are the identical
+/// precompiled microkernels (DESIGN.md substitution #2). Every statement
+/// moves a whole tile, so interpretation cost is amortized over the kernel
+/// work exactly as call overhead would be under a JIT.
+///
+/// Responsibilities:
+///  * scalar frames (loop vars / lets) resolved to array slots,
+///  * buffer storage: params bound by the caller, temps packed into the
+///    shared arena chosen by buffer reuse, per-thread scratch replicated
+///    per worker,
+///  * parallel loops mapped onto the runtime thread pool (one fork/join
+///    barrier per parallel nest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_TIR_EVAL_H
+#define GC_TIR_EVAL_H
+
+#include "runtime/buffer.h"
+#include "runtime/thread_pool.h"
+#include "tir/function.h"
+
+#include <vector>
+
+namespace gc {
+namespace tir {
+
+/// Assigns frame slots to every distinct variable of \p F and records the
+/// frame size in F.NumSlots. Must run before evaluation (the lowering
+/// driver runs it as the final Tensor IR pass).
+void assignSlots(Func &F);
+
+/// Executes Tensor IR functions against caller-provided buffer bindings.
+class Evaluator {
+public:
+  /// Prepares execution state (allocates temp/thread-local storage).
+  /// \p F must outlive the evaluator and have slots assigned.
+  Evaluator(const Func &F, runtime::ThreadPool &Pool);
+
+  /// Binds a Param/FoldedConst/Const buffer to caller storage.
+  void bindBuffer(int BufferId, void *Ptr);
+
+  /// Runs the function body. All param buffers must be bound.
+  void run();
+
+private:
+  struct Value {
+    int64_t I = 0;
+    double F = 0.0;
+  };
+
+  struct Frame {
+    std::vector<Value> Slots;
+    /// Buffer id -> base pointer (thread-specific for ThreadLocal).
+    const std::vector<void *> *Buffers = nullptr;
+  };
+
+  Value evalExpr(const ExprNode *E, Frame &Fr) const;
+  int64_t evalInt(const Expr &E, Frame &Fr) const;
+  double evalFloat(const Expr &E, Frame &Fr) const;
+  void execStmt(const StmtNode *S, Frame &Fr, bool InParallel);
+  void execList(const StmtList &List, Frame &Fr, bool InParallel);
+  void execCall(const CallNode *C, Frame &Fr) const;
+  void execParallelFor(const ForNode *F, Frame &Fr);
+
+  void *bufferElemPtr(int BufferId, int64_t ElemOffset, Frame &Fr) const;
+  int64_t loadScalar(int BufferId, int64_t ElemOffset, Frame &Fr,
+                     double &FloatOut, bool &IsFloat) const;
+
+  const Func &F;
+  runtime::ThreadPool &Pool;
+
+  /// Base pointers indexed by buffer id; worker 0 view.
+  std::vector<void *> BasePtrs;
+  /// Per-worker pointer tables (ThreadLocal buffers diverge).
+  std::vector<std::vector<void *>> WorkerPtrs;
+
+  runtime::AlignedBuffer Arena;               // shared temp arena
+  std::vector<runtime::AlignedBuffer> Locals; // temps without arena offset
+  std::vector<runtime::AlignedBuffer> ThreadScratch; // per worker blocks
+
+  std::vector<int64_t> ElemSizes; // buffer id -> element byte size
+};
+
+} // namespace tir
+} // namespace gc
+
+#endif // GC_TIR_EVAL_H

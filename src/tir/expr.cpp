@@ -1,0 +1,56 @@
+//===- expr.cpp - Tensor IR expressions ---------------------------------------===//
+
+#include "tir/expr.h"
+
+#include "support/common.h"
+
+#include <algorithm>
+
+namespace gc {
+namespace tir {
+
+/// Constant-folding constructor for binary nodes; keeps index expressions
+/// small as the templates compose them.
+Expr makeBinary(BinOp Op, Expr A, Expr B) {
+  int64_t CA, CB;
+  const bool AConst = asConstInt(A, CA);
+  const bool BConst = asConstInt(B, CB);
+  if (AConst && BConst) {
+    switch (Op) {
+    case BinOp::Add: return makeInt(CA + CB);
+    case BinOp::Sub: return makeInt(CA - CB);
+    case BinOp::Mul: return makeInt(CA * CB);
+    case BinOp::Div:
+      if (CB != 0)
+        return makeInt(CA / CB);
+      break;
+    case BinOp::Mod:
+      if (CB != 0)
+        return makeInt(CA % CB);
+      break;
+    case BinOp::Min: return makeInt(std::min(CA, CB));
+    case BinOp::Max: return makeInt(std::max(CA, CB));
+    }
+  }
+  // Identity simplifications on integer exprs.
+  if (BConst) {
+    if ((Op == BinOp::Add || Op == BinOp::Sub) && CB == 0)
+      return A;
+    if ((Op == BinOp::Mul || Op == BinOp::Div) && CB == 1)
+      return A;
+    if (Op == BinOp::Mul && CB == 0)
+      return makeInt(0);
+  }
+  if (AConst) {
+    if (Op == BinOp::Add && CA == 0)
+      return B;
+    if (Op == BinOp::Mul && CA == 1)
+      return B;
+    if (Op == BinOp::Mul && CA == 0)
+      return makeInt(0);
+  }
+  return std::make_shared<BinaryNode>(Op, std::move(A), std::move(B));
+}
+
+} // namespace tir
+} // namespace gc

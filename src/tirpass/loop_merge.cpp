@@ -1,0 +1,87 @@
+//===- loop_merge.cpp - Coarse-grain parallel loop merging (§V/§VI) --------------===//
+//
+// The mechanics of coarse-grain fusion: the decision is made on Graph IR
+// (layout propagation aligns grids and marks merge_prev), the merge itself
+// is a mechanical Tensor IR rewrite. Two adjacent top-level nests
+//
+//   parallel loop g1 = 0, N, 1 { body1 }     // producer
+//   parallel loop g2 = 0, N, 1 { body2 }     // consumer [mergeable]
+//
+// become one nest running body1 then body2 per iteration, which removes a
+// fork/join barrier and keeps the producer's output row block hot in cache
+// when body2 consumes it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tirpass/tirpass.h"
+
+#include "support/common.h"
+
+namespace gc {
+namespace tirpass {
+
+using namespace tir;
+
+namespace {
+
+/// Returns the single parallel For inside a top-level region Seq, or null.
+ForNode *leadingParallelFor(const Stmt &S) {
+  const StmtNode *Node = S.get();
+  if (Node->kind() == StmtNode::Kind::Seq) {
+    const auto &Q = static_cast<const SeqNode &>(*Node);
+    if (Q.Body.size() != 1)
+      return nullptr;
+    Node = Q.Body[0].get();
+  }
+  if (Node->kind() != StmtNode::Kind::For)
+    return nullptr;
+  auto *For = const_cast<ForNode *>(static_cast<const ForNode *>(Node));
+  return For->Parallel ? For : nullptr;
+}
+
+/// Structural equality of the (constant) loop bounds.
+bool sameConstantRange(const ForNode &A, const ForNode &B) {
+  int64_t AB, AE, AS, BB, BE, BS;
+  if (!asConstInt(A.Begin, AB) || !asConstInt(A.End, AE) ||
+      !asConstInt(A.Step, AS))
+    return false;
+  if (!asConstInt(B.Begin, BB) || !asConstInt(B.End, BE) ||
+      !asConstInt(B.Step, BS))
+    return false;
+  return AB == BB && AE == BE && AS == BS;
+}
+
+} // namespace
+
+int mergeParallelLoops(Func &F) {
+  int Merges = 0;
+  StmtList NewBody;
+  for (Stmt &S : F.Body) {
+    ForNode *Cur = leadingParallelFor(S);
+    ForNode *Prev =
+        NewBody.empty() ? nullptr : leadingParallelFor(NewBody.back());
+    if (Cur && Prev && Cur->Mergeable && sameConstantRange(*Prev, *Cur)) {
+      // Bind the consumer's loop variable to the producer's and splice.
+      Prev->Body.push_back(makeLet(Cur->LoopVar, Expr(Prev->LoopVar)));
+      for (Stmt &Child : Cur->Body)
+        Prev->Body.push_back(std::move(Child));
+      Prev->Tag += "+" + Cur->Tag;
+      ++Merges;
+      continue;
+    }
+    NewBody.push_back(std::move(S));
+  }
+  F.Body = std::move(NewBody);
+  return Merges;
+}
+
+int countParallelNests(const Func &F) {
+  int Count = 0;
+  for (const Stmt &S : F.Body)
+    if (leadingParallelFor(S))
+      ++Count;
+  return Count;
+}
+
+} // namespace tirpass
+} // namespace gc

@@ -1,0 +1,186 @@
+//===- tensor_shrink.cpp - Temporary tensor size reduction (§VI) -----------------===//
+//
+// "Tensor size optimization tries to reduce the tensor size of each
+// temporary tensor. ... A'[MSN, BS, MB, KB] could be reduced to
+// A'[BS, MB, KB], since the producer of A' and consumer are within the
+// 'msi' loop, so there is no need to save the result along the 2nd
+// dimension."
+//
+// Criterion implemented: a Temp/ThreadLocal buffer's leading dimension can
+// be dropped when every access indexes it with the same loop variable and
+// every access sits inside that variable's loop -- the dimension never
+// carries data across iterations of any enclosing loop, so index 0
+// suffices.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tirpass/tirpass.h"
+
+#include "support/common.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gc {
+namespace tirpass {
+
+using namespace tir;
+
+namespace {
+
+struct AccessInfo {
+  /// Loop variable used as the leading index at every access (null when
+  /// accesses disagree or use a non-variable index).
+  const VarNode *LeadVar = nullptr;
+  bool Consistent = true;
+  bool Seen = false;
+  /// Every access was (so far) inside LeadVar's loop.
+  bool InsideLeadLoop = true;
+  /// The concrete index vectors to rewrite on success.
+  std::vector<std::vector<Expr> *> Sites;
+};
+
+class ShrinkAnalysis {
+public:
+  explicit ShrinkAnalysis(Func &F) : F(F) {
+    Info.resize(F.Buffers.size());
+  }
+
+  void run() {
+    for (Stmt &S : F.Body)
+      visitStmt(S);
+  }
+
+  int apply() {
+    int Shrunk = 0;
+    for (size_t B = 0; B < F.Buffers.size(); ++B) {
+      BufferDecl &Decl = F.Buffers[B];
+      AccessInfo &I = Info[B];
+      if (Decl.Scope != BufferScope::Temp &&
+          Decl.Scope != BufferScope::ThreadLocal)
+        continue;
+      if (!I.Seen || !I.Consistent || !I.LeadVar || !I.InsideLeadLoop)
+        continue;
+      if (Decl.Dims.size() < 2 || Decl.Dims[0] == 1)
+        continue;
+      // Drop the leading dimension.
+      Decl.Dims[0] = 1;
+      for (std::vector<Expr> *Indices : I.Sites)
+        (*Indices)[0] = makeInt(0);
+      ++Shrunk;
+    }
+    return Shrunk;
+  }
+
+private:
+  void recordAccess(int BufferId, std::vector<Expr> &Indices) {
+    AccessInfo &I = Info[static_cast<size_t>(BufferId)];
+    if (Indices.size() < 2) {
+      I.Consistent = false;
+      I.Seen = true;
+      return;
+    }
+    const ExprNode *Lead = Indices[0].get();
+    const VarNode *LeadVar =
+        Lead->kind() == ExprNode::Kind::Var
+            ? static_cast<const VarNode *>(Lead)
+            : nullptr;
+    if (!I.Seen) {
+      I.Seen = true;
+      I.LeadVar = LeadVar;
+    } else if (I.LeadVar != LeadVar) {
+      I.Consistent = false;
+    }
+    if (!LeadVar)
+      I.Consistent = false;
+    // The access must sit inside the lead variable's loop.
+    if (LeadVar && !LoopStack.count(LeadVar))
+      I.InsideLeadLoop = false;
+    I.Sites.push_back(&Indices);
+  }
+
+  void visitExpr(const Expr &E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprNode::Kind::IntImm:
+    case ExprNode::Kind::FloatImm:
+    case ExprNode::Kind::Var:
+      return;
+    case ExprNode::Kind::Binary: {
+      const auto &B = static_cast<const BinaryNode &>(*E);
+      visitExpr(B.A);
+      visitExpr(B.B);
+      return;
+    }
+    case ExprNode::Kind::Load: {
+      const auto &L = static_cast<const LoadNode &>(*E);
+      recordAccess(L.BufferId, L.Indices);
+      for (const Expr &I : L.Indices)
+        visitExpr(I);
+      return;
+    }
+    }
+  }
+
+  void visitStmt(Stmt &S) {
+    switch (S->kind()) {
+    case StmtNode::Kind::For: {
+      auto &F2 = static_cast<ForNode &>(*S);
+      visitExpr(F2.Begin);
+      visitExpr(F2.End);
+      visitExpr(F2.Step);
+      LoopStack.insert(F2.LoopVar.get());
+      for (Stmt &C : F2.Body)
+        visitStmt(C);
+      LoopStack.erase(F2.LoopVar.get());
+      return;
+    }
+    case StmtNode::Kind::Seq: {
+      auto &Q = static_cast<SeqNode &>(*S);
+      for (Stmt &C : Q.Body)
+        visitStmt(C);
+      return;
+    }
+    case StmtNode::Kind::Let:
+      visitExpr(static_cast<LetNode &>(*S).Value);
+      return;
+    case StmtNode::Kind::Store: {
+      auto &St = static_cast<StoreNode &>(*S);
+      recordAccess(St.BufferId, St.Indices);
+      for (const Expr &I : St.Indices)
+        visitExpr(I);
+      visitExpr(St.Value);
+      return;
+    }
+    case StmtNode::Kind::Call: {
+      const auto &C = static_cast<const CallNode &>(*S);
+      // Buffer refs with opaque offsets: mark those buffers unshrinkable.
+      for (const BufferRef &B : C.Buffers) {
+        Info[static_cast<size_t>(B.BufferId)].Seen = true;
+        Info[static_cast<size_t>(B.BufferId)].Consistent = false;
+        visitExpr(B.Offset);
+      }
+      for (const Expr &E : C.Scalars)
+        visitExpr(E);
+      return;
+    }
+    }
+  }
+
+  Func &F;
+  std::vector<AccessInfo> Info;
+  std::unordered_set<const VarNode *> LoopStack;
+};
+
+} // namespace
+
+int shrinkTensors(Func &F) {
+  ShrinkAnalysis Analysis(F);
+  Analysis.run();
+  return Analysis.apply();
+}
+
+} // namespace tirpass
+} // namespace gc

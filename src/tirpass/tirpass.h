@@ -1,0 +1,58 @@
+//===- tirpass.h - Tensor IR passes ------------------------------*- C++ -*-===//
+///
+/// \file
+/// The Tensor IR optimizations of §VI:
+///  * loop merging - executes the Graph IR coarse-grain fusion decision by
+///    mechanically combining adjacent top-level parallel loop nests marked
+///    mergeable ("Tensor IR merges two nested loops mechanically as guided
+///    by the Graph IR optimizations"),
+///  * tensor-size shrinking - reduces temporary tensors whose accesses are
+///    local to a loop scope (the A'/C'' examples of §VI),
+///  * memory buffer reuse - lifespan analysis over entry-scope temporaries
+///    with most-recently-freed ("hot") reuse, packing them into one
+///    scratch arena and minimizing peak bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_TIRPASS_TIRPASS_H
+#define GC_TIRPASS_TIRPASS_H
+
+#include "tir/function.h"
+
+namespace gc {
+namespace tirpass {
+
+/// Merges adjacent top-level parallel loop nests whose leading For is
+/// marked Mergeable and matches the previous nest's trip count. Returns
+/// the number of merges performed.
+int mergeParallelLoops(tir::Func &F);
+
+/// Counts top-level parallel loop nests (before/after merging; used by the
+/// coarse-grain ablation to report barrier reduction).
+int countParallelNests(const tir::Func &F);
+
+/// Shrinks Temp/ThreadLocal buffers whose leading dimension is only ever
+/// indexed by a single loop variable whose loop encloses all accesses:
+/// the dimension carries no live data across iterations and is dropped
+/// (rewriting the accesses to index 0). Returns buffers shrunk.
+int shrinkTensors(tir::Func &F);
+
+/// Statistics reported by the buffer-reuse pass.
+struct BufferReuseStats {
+  int64_t PeakBytesWithReuse = 0;
+  int64_t PeakBytesWithoutReuse = 0;
+  int BuffersPlaced = 0;
+  int BuffersReused = 0;
+};
+
+/// Assigns arena offsets to Temp buffers via first/last-use lifespan
+/// analysis over the entry body's region sequence, reusing freed space
+/// most-recently-freed first. Sets F.ArenaBytes. When \p Enable is false,
+/// buffers are laid out disjointly (the no-reuse ablation baseline) but
+/// stats still report both numbers.
+BufferReuseStats reuseBuffers(tir::Func &F, bool Enable = true);
+
+} // namespace tirpass
+} // namespace gc
+
+#endif // GC_TIRPASS_TIRPASS_H

@@ -1,0 +1,262 @@
+//===- bert.cpp - BERT encoder layer graphs -------------------------------------===//
+
+#include "workloads/bert.h"
+
+#include "support/common.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <cmath>
+
+namespace gc {
+namespace workloads {
+
+using namespace graph;
+
+namespace {
+
+int64_t makeConstF32(Graph &G, std::vector<int64_t> Shape, float Mag, Rng &R,
+                     const std::string &Name) {
+  const int64_t Id =
+      G.addTensor(DataType::F32, Shape, Name, TensorProperty::Constant);
+  runtime::TensorData Data(DataType::F32, Shape);
+  float *P = Data.dataAs<float>();
+  for (int64_t I = 0, E = Data.numElements(); I < E; ++I)
+    P[I] = R.uniform(-Mag, Mag);
+  G.setConstantData(Id, std::move(Data));
+  return Id;
+}
+
+int64_t makeConstS8(Graph &G, std::vector<int64_t> Shape, Rng &R,
+                    const std::string &Name) {
+  const int64_t Id =
+      G.addTensor(DataType::S8, Shape, Name, TensorProperty::Constant);
+  runtime::TensorData Data(DataType::S8, Shape);
+  int8_t *P = Data.dataAs<int8_t>();
+  for (int64_t I = 0, E = Data.numElements(); I < E; ++I)
+    P[I] = static_cast<int8_t>(R.uniformInt(-127, 127));
+  G.setConstantData(Id, std::move(Data));
+  return Id;
+}
+
+/// State threaded through the builder.
+struct Builder {
+  Graph &G;
+  const BertLayerSpec &Spec;
+  Rng R;
+  int Counter = 0;
+
+  std::string name(const char *Base) {
+    return formatString("%s%d", Base, Counter++);
+  }
+
+  /// Dense projection: y[Rows, N] = x[Rows, K] * W + b. In Int8 mode the
+  /// input must be u8 and the result is requantized to u8 when \p QuantOut.
+  int64_t dense(int64_t X, int64_t Rows, int64_t K, int64_t N,
+                double &ActScale, int64_t &ActZp, bool QuantOut) {
+    if (!Spec.Int8) {
+      const int64_t W = makeConstF32(G, {K, N}, 0.05f, R, name("w"));
+      const int64_t B = makeConstF32(G, {N}, 0.05f, R, name("b"));
+      int64_t Y = G.addOp(OpKind::MatMul, {X, W}, DataType::F32, {Rows, N});
+      return G.addOp(OpKind::Add, {Y, B}, DataType::F32, {Rows, N});
+    }
+    const int64_t DqX = G.addOp(OpKind::Dequantize, {X}, DataType::F32,
+                                {Rows, K},
+                                {{"scale", ActScale}, {"zp", ActZp}});
+    std::vector<double> WScales(static_cast<size_t>(N));
+    for (double &S : WScales)
+      S = 0.002 + 0.002 * R.uniform(0.0f, 1.0f);
+    const int64_t W = makeConstS8(G, {K, N}, R, name("wq"));
+    const int64_t DqW = G.addOp(
+        OpKind::Dequantize, {W}, DataType::F32, {K, N},
+        {{"scales", WScales}, {"zp", int64_t(0)}, {"axis", int64_t(1)}});
+    const int64_t B = makeConstF32(G, {N}, 0.05f, R, name("b"));
+    int64_t Y = G.addOp(OpKind::MatMul, {DqX, DqW}, DataType::F32,
+                        {Rows, N});
+    Y = G.addOp(OpKind::Add, {Y, B}, DataType::F32, {Rows, N});
+    if (QuantOut) {
+      ActScale = 0.02 * std::sqrt(static_cast<double>(K));
+      ActZp = 128;
+      Y = G.addOp(OpKind::Quantize, {Y}, DataType::U8, {Rows, N},
+                  {{"scale", ActScale}, {"zp", ActZp}});
+    }
+    return Y;
+  }
+
+  /// [B*S, H] -> [B, Hh, S, D]
+  int64_t toHeads(int64_t X, DataType Ty) {
+    const int64_t B = Spec.Batch, S = Spec.SeqLen, H = Spec.Hidden;
+    const int64_t Hh = Spec.Heads, D = H / Hh;
+    const int64_t R4 = G.addOp(OpKind::Reshape, {X}, Ty, {B, S, Hh, D});
+    return G.addOp(OpKind::Transpose, {R4}, Ty, {B, Hh, S, D},
+                   {{"perm", std::vector<int64_t>{0, 2, 1, 3}}});
+  }
+
+  /// [B, Hh, S, D] -> [B*S, H]
+  int64_t fromHeads(int64_t X, DataType Ty) {
+    const int64_t B = Spec.Batch, S = Spec.SeqLen, H = Spec.Hidden;
+    const int64_t Hh = Spec.Heads, D = H / Hh;
+    const int64_t T = G.addOp(OpKind::Transpose, {X}, Ty, {B, S, Hh, D},
+                              {{"perm", std::vector<int64_t>{0, 2, 1, 3}}});
+    return G.addOp(OpKind::Reshape, {T}, Ty, {B * S, H});
+  }
+
+  int64_t layerNorm(int64_t X, int64_t Rows, int64_t H) {
+    const int64_t Gamma = makeConstF32(G, {H}, 1.0f, R, name("ln_g"));
+    const int64_t Beta = makeConstF32(G, {H}, 0.1f, R, name("ln_b"));
+    return G.addOp(OpKind::LayerNorm, {X, Gamma, Beta}, DataType::F32,
+                   {Rows, H}, {{"epsilon", 1e-5}});
+  }
+};
+
+} // namespace
+
+Graph buildBertLayer(const BertLayerSpec &Spec) {
+  Graph G;
+  Builder Bld{G, Spec, Rng(Spec.Seed)};
+  const int64_t B = Spec.Batch, S = Spec.SeqLen, H = Spec.Hidden;
+  const int64_t Hh = Spec.Heads, D = H / Hh;
+  const int64_t Rows = B * S;
+  const DataType ActTy = Spec.Int8 ? DataType::U8 : DataType::F32;
+
+  const int64_t X = G.addTensor(ActTy, {Rows, H}, "hidden_in");
+  const int64_t Mask = G.addTensor(DataType::F32, {B, 1, 1, S}, "mask");
+  G.markInput(X);
+  G.markInput(Mask);
+
+  double ActScale = 0.02;
+  int64_t ActZp = 0; // symmetric activations: batched int8 matmul support
+
+  // ---- attention ----
+  int64_t Q = Bld.dense(X, Rows, H, H, ActScale, ActZp, Spec.Int8);
+  double QScale = ActScale;
+  int64_t QZp = ActZp;
+  ActScale = 0.02;
+  ActZp = 0;
+  int64_t K = Bld.dense(X, Rows, H, H, ActScale, ActZp, Spec.Int8);
+  double KScale = ActScale;
+  ActScale = 0.02;
+  ActZp = 0;
+  int64_t V = Bld.dense(X, Rows, H, H, ActScale, ActZp, Spec.Int8);
+  double VScale = ActScale;
+
+  // The projections emit u8 with zp 128 in int8 mode; attention needs
+  // zero-point-free operands for the batched matmuls, so requantize
+  // symmetric s8/u8.
+  if (Spec.Int8) {
+    const auto requant = [&](int64_t T, double FromScale, DataType ToTy,
+                             double ToScale) {
+      const int64_t Dq =
+          G.addOp(OpKind::Dequantize, {T}, DataType::F32, {Rows, H},
+                  {{"scale", FromScale}, {"zp", int64_t(128)}});
+      return G.addOp(OpKind::Quantize, {Dq}, ToTy, {Rows, H},
+                     {{"scale", ToScale}, {"zp", int64_t(0)}});
+    };
+    Q = requant(Q, QScale, DataType::U8, QScale);
+    K = requant(K, KScale, DataType::S8, KScale);
+    V = requant(V, VScale, DataType::S8, VScale);
+    (void)QZp;
+  }
+
+  const DataType QTy = Spec.Int8 ? DataType::U8 : DataType::F32;
+  const DataType KvTy = Spec.Int8 ? DataType::S8 : DataType::F32;
+  const int64_t Qh = Bld.toHeads(Q, QTy);
+  const int64_t Kh = Bld.toHeads(K, KvTy);
+  const int64_t Vh = Bld.toHeads(V, KvTy);
+
+  // Scaled dot-product attention core (as in buildMha).
+  const std::vector<int64_t> Scores = {B, Hh, S, S};
+  int64_t ScoresT;
+  if (!Spec.Int8) {
+    ScoresT = G.addOp(OpKind::MatMul, {Qh, Kh}, DataType::F32, Scores,
+                      {{"transpose_b", int64_t(1)}});
+  } else {
+    const int64_t DqQ =
+        G.addOp(OpKind::Dequantize, {Qh}, DataType::F32, {B, Hh, S, D},
+                {{"scale", QScale}, {"zp", int64_t(0)}});
+    const int64_t DqK =
+        G.addOp(OpKind::Dequantize, {Kh}, DataType::F32, {B, Hh, S, D},
+                {{"scale", KScale}, {"zp", int64_t(0)}});
+    ScoresT = G.addOp(OpKind::MatMul, {DqQ, DqK}, DataType::F32, Scores,
+                      {{"transpose_b", int64_t(1)}});
+  }
+  const int64_t ScaleC = G.addTensor(DataType::F32, {1}, "inv_sqrt_d",
+                                     TensorProperty::Constant);
+  {
+    runtime::TensorData SD(DataType::F32, {1});
+    SD.dataAs<float>()[0] =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(D)));
+    G.setConstantData(ScaleC, std::move(SD));
+  }
+  int64_t Scaled =
+      G.addOp(OpKind::Mul, {ScoresT, ScaleC}, DataType::F32, Scores);
+  Scaled = G.addOp(OpKind::Add, {Scaled, Mask}, DataType::F32, Scores);
+  const int64_t P = G.addOp(OpKind::Softmax, {Scaled}, DataType::F32,
+                            Scores, {{"axis", int64_t(-1)}});
+
+  int64_t Ctx;
+  if (!Spec.Int8) {
+    Ctx = G.addOp(OpKind::MatMul, {P, Vh}, DataType::F32, {B, Hh, S, D});
+  } else {
+    const int64_t PQ = G.addOp(OpKind::Quantize, {P}, DataType::U8, Scores,
+                               {{"scale", 1.0 / 255.0}, {"zp", int64_t(0)}});
+    const int64_t DqP =
+        G.addOp(OpKind::Dequantize, {PQ}, DataType::F32, Scores,
+                {{"scale", 1.0 / 255.0}, {"zp", int64_t(0)}});
+    const int64_t DqV =
+        G.addOp(OpKind::Dequantize, {Vh}, DataType::F32, {B, Hh, S, D},
+                {{"scale", VScale}, {"zp", int64_t(0)}});
+    Ctx = G.addOp(OpKind::MatMul, {DqP, DqV}, DataType::F32,
+                  {B, Hh, S, D});
+  }
+
+  int64_t CtxFlat = Bld.fromHeads(Ctx, DataType::F32);
+  if (Spec.Int8) {
+    CtxFlat = G.addOp(OpKind::Quantize, {CtxFlat}, DataType::U8, {Rows, H},
+                      {{"scale", 0.02}, {"zp", int64_t(0)}});
+    ActScale = 0.02;
+    ActZp = 0;
+  }
+
+  // Output projection + residual + layernorm (glue stays f32).
+  int64_t Attn = Bld.dense(CtxFlat, Rows, H, H, ActScale, ActZp,
+                           /*QuantOut=*/false);
+  // Residual: the f32 view of the layer input.
+  int64_t XF = X;
+  if (Spec.Int8)
+    XF = G.addOp(OpKind::Dequantize, {X}, DataType::F32, {Rows, H},
+                 {{"scale", 0.02}, {"zp", int64_t(0)}});
+  int64_t Res1 = G.addOp(OpKind::Add, {Attn, XF}, DataType::F32, {Rows, H});
+  int64_t Ln1 = Bld.layerNorm(Res1, Rows, H);
+
+  // ---- feed-forward ----
+  int64_t FfnIn = Ln1;
+  double FfnScale = 0.02;
+  int64_t FfnZp = 0;
+  if (Spec.Int8)
+    FfnIn = G.addOp(OpKind::Quantize, {Ln1}, DataType::U8, {Rows, H},
+                    {{"scale", FfnScale}, {"zp", FfnZp}});
+  int64_t Ffn1 = Bld.dense(FfnIn, Rows, H, Spec.FfnDim, FfnScale, FfnZp,
+                           /*QuantOut=*/false);
+  int64_t Act = G.addOp(OpKind::GELU, {Ffn1}, DataType::F32,
+                        {Rows, Spec.FfnDim});
+  int64_t FfnMid = Act;
+  double MidScale = 0.05;
+  int64_t MidZp = 0;
+  if (Spec.Int8)
+    FfnMid = G.addOp(OpKind::Quantize, {Act}, DataType::U8,
+                     {Rows, Spec.FfnDim},
+                     {{"scale", MidScale}, {"zp", MidZp}});
+  int64_t Ffn2 = Bld.dense(FfnMid, Rows, Spec.FfnDim, H, MidScale, MidZp,
+                           /*QuantOut=*/false);
+  int64_t Res2 = G.addOp(OpKind::Add, {Ffn2, Ln1}, DataType::F32, {Rows, H});
+  int64_t Out = Bld.layerNorm(Res2, Rows, H);
+  if (Spec.Int8)
+    Out = G.addOp(OpKind::Quantize, {Out}, DataType::U8, {Rows, H},
+                  {{"scale", 0.02}, {"zp", int64_t(0)}});
+  G.markOutput(Out);
+  return G;
+}
+
+} // namespace workloads
+} // namespace gc

@@ -1,0 +1,46 @@
+//===- bert.h - BERT encoder layer graphs (Fig. 9) --------------*- C++ -*-===//
+///
+/// \file
+/// Builder for a full BERT encoder layer as one Graph IR program: QKV
+/// projections, multi-head attention, output projection, residual +
+/// layernorm, the GELU feed-forward block, and the final residual +
+/// layernorm. Used by the Fig. 9 end-to-end benchmark (BERT-Large:
+/// hidden 1024, 16 heads; the encoder stack is a sequence of identical
+/// layers executed per inference).
+///
+/// Int8 mode quantizes the four projection matmuls and the two attention
+/// batch matmuls (u8 activations, s8 weights); layernorm/residual glue
+/// stays in f32 exactly as int8 BERT deployments do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_WORKLOADS_BERT_H
+#define GC_WORKLOADS_BERT_H
+
+#include "graph/graph.h"
+
+#include <cstdint>
+
+namespace gc {
+namespace workloads {
+
+/// Configuration of one BERT encoder layer graph.
+struct BertLayerSpec {
+  int64_t Batch = 32;
+  int64_t SeqLen = 128;
+  int64_t Hidden = 1024; ///< BERT-Large
+  int64_t Heads = 16;
+  int64_t FfnDim = 4096; ///< 4 x hidden
+  bool Int8 = false;
+  uint64_t Seed = 1;
+};
+
+/// Builds one encoder layer. Input: hidden states [B*S, H] f32 (u8 when
+/// Int8); mask [B, 1, 1, S] f32. Output: [B*S, H] f32 (u8 when Int8), so
+/// layers chain by feeding one layer's output into the next.
+graph::Graph buildBertLayer(const BertLayerSpec &Spec);
+
+} // namespace workloads
+} // namespace gc
+
+#endif // GC_WORKLOADS_BERT_H

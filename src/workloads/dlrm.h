@@ -1,0 +1,46 @@
+//===- dlrm.h - DLRM MLP workloads (Fig. 9) ---------------------*- C++ -*-===//
+///
+/// \file
+/// The DLRM (MLPerf) configuration behind Table 1 and Fig. 9: a bottom MLP
+/// (13-512-256-128) over the dense features and a top MLP
+/// (479-1024-1024-512-256-1) over the concatenated feature interactions.
+/// The embedding lookups and the feature-interaction concat run in the
+/// framework in the paper's setup (IPEX offloads only the MLPs), so the
+/// e2e bench times the two MLP partitions plus identical glue on both
+/// sides (DESIGN.md substitution #5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_WORKLOADS_DLRM_H
+#define GC_WORKLOADS_DLRM_H
+
+#include "workloads/mlp.h"
+
+namespace gc {
+namespace workloads {
+
+/// Bottom MLP spec (ReLU between layers and after the last, as in DLRM).
+inline MlpSpec dlrmBottomSpec(int64_t Batch, bool Int8, uint64_t Seed = 51) {
+  MlpSpec Spec;
+  Spec.Batch = Batch;
+  Spec.LayerDims = mlp1Dims(); // 13-512-256-128
+  Spec.Int8 = Int8;
+  Spec.Seed = Seed;
+  return Spec;
+}
+
+/// Top MLP spec (479-1024-1024-512-256-1; final layer feeds a sigmoid in
+/// the framework).
+inline MlpSpec dlrmTopSpec(int64_t Batch, bool Int8, uint64_t Seed = 52) {
+  MlpSpec Spec;
+  Spec.Batch = Batch;
+  Spec.LayerDims = mlp2Dims();
+  Spec.Int8 = Int8;
+  Spec.Seed = Seed;
+  return Spec;
+}
+
+} // namespace workloads
+} // namespace gc
+
+#endif // GC_WORKLOADS_DLRM_H

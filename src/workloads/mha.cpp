@@ -1,0 +1,133 @@
+//===- mha.cpp - Multi-head attention workload graphs -------------------------===//
+
+#include "workloads/mha.h"
+
+#include "support/common.h"
+
+#include <cmath>
+
+namespace gc {
+namespace workloads {
+
+using namespace graph;
+
+MhaSpec mhaTableSpec(int Row, int64_t Batch, bool Int8) {
+  MhaSpec Spec;
+  Spec.Batch = Batch;
+  Spec.Int8 = Int8;
+  switch (Row) {
+  case 1: // MHA-1: seq 128, hidden 768, 8 heads
+    Spec.SeqLen = 128;
+    Spec.Heads = 8;
+    Spec.HeadDim = 768 / 8;
+    break;
+  case 2: // MHA-2: seq 128, hidden 768, 12 heads
+    Spec.SeqLen = 128;
+    Spec.Heads = 12;
+    Spec.HeadDim = 768 / 12;
+    break;
+  case 3: // MHA-3: seq 384, hidden 1024, 8 heads
+    Spec.SeqLen = 384;
+    Spec.Heads = 8;
+    Spec.HeadDim = 1024 / 8;
+    break;
+  case 4: // MHA-4: seq 512, hidden 1024, 16 heads
+    Spec.SeqLen = 512;
+    Spec.Heads = 16;
+    Spec.HeadDim = 1024 / 16;
+    break;
+  default:
+    fatalError("MHA table row must be 1..4");
+  }
+  return Spec;
+}
+
+Graph buildMha(const MhaSpec &Spec) {
+  Graph G;
+  const int64_t B = Spec.Batch, H = Spec.Heads, S = Spec.SeqLen,
+                D = Spec.HeadDim;
+  const std::vector<int64_t> Bhsd = {B, H, S, D};
+  const std::vector<int64_t> Scores = {B, H, S, S};
+  const double InvSqrtD = 1.0 / std::sqrt(static_cast<double>(D));
+
+  // Scale constant (scalar).
+  const int64_t ScaleC =
+      G.addTensor(DataType::F32, {1}, "inv_sqrt_d", TensorProperty::Constant);
+  {
+    runtime::TensorData SD(DataType::F32, {1});
+    SD.dataAs<float>()[0] = static_cast<float>(InvSqrtD);
+    G.setConstantData(ScaleC, std::move(SD));
+  }
+  int64_t Mask = -1;
+  if (Spec.WithMask) {
+    Mask = G.addTensor(DataType::F32, {B, 1, 1, S}, "mask");
+  }
+
+  int64_t ScoresT;
+  int64_t PForV;  // softmax output (possibly quantized)
+  int64_t VIn;    // V operand of the second matmul
+
+  if (!Spec.Int8) {
+    const int64_t Q = G.addTensor(DataType::F32, Bhsd, "q");
+    const int64_t K = G.addTensor(DataType::F32, Bhsd, "k");
+    const int64_t V = G.addTensor(DataType::F32, Bhsd, "v");
+    G.markInput(Q);
+    G.markInput(K);
+    G.markInput(V);
+    if (Mask >= 0)
+      G.markInput(Mask);
+    ScoresT = G.addOp(OpKind::MatMul, {Q, K}, DataType::F32, Scores,
+                      {{"transpose_b", int64_t(1)}});
+    VIn = V;
+  } else {
+    // Symmetric quantization for the batched operands (zero zero-points;
+    // see DESIGN.md: runtime-weight compensation is out of scope).
+    const int64_t Q = G.addTensor(DataType::U8, Bhsd, "q_q");
+    const int64_t K = G.addTensor(DataType::S8, Bhsd, "k_q");
+    const int64_t V = G.addTensor(DataType::S8, Bhsd, "v_q");
+    G.markInput(Q);
+    G.markInput(K);
+    G.markInput(V);
+    if (Mask >= 0)
+      G.markInput(Mask);
+    const int64_t DqQ =
+        G.addOp(OpKind::Dequantize, {Q}, DataType::F32, Bhsd,
+                {{"scale", 0.02}, {"zp", int64_t(0)}});
+    const int64_t DqK =
+        G.addOp(OpKind::Dequantize, {K}, DataType::F32, Bhsd,
+                {{"scale", 0.02}, {"zp", int64_t(0)}});
+    ScoresT = G.addOp(OpKind::MatMul, {DqQ, DqK}, DataType::F32, Scores,
+                      {{"transpose_b", int64_t(1)}});
+    VIn = V;
+  }
+
+  // Binary ops between the two batched matmuls (§VII).
+  int64_t Scaled =
+      G.addOp(OpKind::Mul, {ScoresT, ScaleC}, DataType::F32, Scores);
+  if (Mask >= 0)
+    Scaled = G.addOp(OpKind::Add, {Scaled, Mask}, DataType::F32, Scores);
+  const int64_t P = G.addOp(OpKind::Softmax, {Scaled}, DataType::F32,
+                            Scores, {{"axis", int64_t(-1)}});
+
+  int64_t Out;
+  if (!Spec.Int8) {
+    PForV = P;
+    Out = G.addOp(OpKind::MatMul, {PForV, VIn}, DataType::F32, Bhsd);
+  } else {
+    // Requantize P (values in [0, 1]) and run the second matmul in int8.
+    const int64_t PQ = G.addOp(OpKind::Quantize, {P}, DataType::U8, Scores,
+                               {{"scale", 1.0 / 255.0}, {"zp", int64_t(0)}});
+    const int64_t DqP =
+        G.addOp(OpKind::Dequantize, {PQ}, DataType::F32, Scores,
+                {{"scale", 1.0 / 255.0}, {"zp", int64_t(0)}});
+    const int64_t DqV =
+        G.addOp(OpKind::Dequantize, {VIn}, DataType::F32, Bhsd,
+                {{"scale", 0.02}, {"zp", int64_t(0)}});
+    Out = G.addOp(OpKind::MatMul, {DqP, DqV}, DataType::F32, Bhsd);
+  }
+  G.markOutput(Out);
+  return G;
+}
+
+} // namespace workloads
+} // namespace gc

@@ -1,0 +1,50 @@
+//===- mha.h - Multi-head attention workload graphs (Table 1) ----*- C++ -*-===//
+///
+/// \file
+/// Builder for the paper's MHA test graphs: the scaled dot-product
+/// attention core (two batched matmuls with a softmax and binary ops
+/// between them, §VII), with the BERT sequence-length / hidden-size /
+/// head-count combinations of Table 1.
+///
+/// FP32:   scores = Q x K^T * (1/sqrt(d)) + mask; P = softmax(scores);
+///         O = P x V, all on [B, H, S, D] tensors.
+/// Int8:   Q is u8 and K/V are s8 (symmetric, zero zero-points -- the
+///         batched-weight configuration supported by the low-precision
+///         pass); the softmax output P requantizes to u8 before P x V.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_WORKLOADS_MHA_H
+#define GC_WORKLOADS_MHA_H
+
+#include "graph/graph.h"
+
+#include <cstdint>
+
+namespace gc {
+namespace workloads {
+
+/// Configuration of one MHA test graph.
+struct MhaSpec {
+  int64_t Batch = 32;
+  int64_t Heads = 8;
+  int64_t SeqLen = 128;
+  int64_t HeadDim = 96; ///< hidden size / heads
+  bool Int8 = false;
+  bool WithMask = true;
+  uint64_t Seed = 1;
+};
+
+/// Builds the MHA spec for one of Table 1's rows (1-based index 1..4)
+/// at the given batch size.
+MhaSpec mhaTableSpec(int Row, int64_t Batch, bool Int8);
+
+/// Builds the attention graph. Inputs: Q, K, V as [B, H, S, D]
+/// (f32 or u8/s8/s8) plus optionally mask [B, 1, 1, S] (f32).
+/// Output: [B, H, S, D] f32.
+graph::Graph buildMha(const MhaSpec &Spec);
+
+} // namespace workloads
+} // namespace gc
+
+#endif // GC_WORKLOADS_MHA_H

@@ -1,0 +1,133 @@
+//===- mlp.cpp - MLP workload graphs (Table 1) --------------------------------===//
+
+#include "workloads/mlp.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <cmath>
+
+namespace gc {
+namespace workloads {
+
+using namespace graph;
+
+std::vector<int64_t> mlp1Dims() { return {13, 512, 256, 128}; }
+
+std::vector<int64_t> mlp2Dims() {
+  return {479, 1024, 1024, 512, 256, 1};
+}
+
+namespace {
+
+/// Creates a constant f32 tensor with uniform noise in [-Mag, Mag).
+int64_t makeConstF32(Graph &G, std::vector<int64_t> Shape, float Mag,
+                     Rng &R, const std::string &Name) {
+  const int64_t Id =
+      G.addTensor(DataType::F32, Shape, Name, TensorProperty::Constant);
+  runtime::TensorData Data(DataType::F32, Shape);
+  float *P = Data.dataAs<float>();
+  for (int64_t I = 0, E = Data.numElements(); I < E; ++I)
+    P[I] = R.uniform(-Mag, Mag);
+  G.setConstantData(Id, std::move(Data));
+  return Id;
+}
+
+/// Creates a constant s8 weight tensor.
+int64_t makeConstS8(Graph &G, std::vector<int64_t> Shape, Rng &R,
+                    const std::string &Name) {
+  const int64_t Id =
+      G.addTensor(DataType::S8, Shape, Name, TensorProperty::Constant);
+  runtime::TensorData Data(DataType::S8, Shape);
+  int8_t *P = Data.dataAs<int8_t>();
+  for (int64_t I = 0, E = Data.numElements(); I < E; ++I)
+    P[I] = static_cast<int8_t>(R.uniformInt(-127, 127));
+  G.setConstantData(Id, std::move(Data));
+  return Id;
+}
+
+} // namespace
+
+Graph buildMlp(const MlpSpec &Spec) {
+  Graph G;
+  Rng R(Spec.Seed);
+  const int64_t Layers = static_cast<int64_t>(Spec.LayerDims.size()) - 1;
+
+  if (!Spec.Int8) {
+    int64_t Cur =
+        G.addTensor(DataType::F32, {Spec.Batch, Spec.LayerDims[0]}, "x");
+    G.markInput(Cur);
+    for (int64_t L = 0; L < Layers; ++L) {
+      const int64_t K = Spec.LayerDims[static_cast<size_t>(L)];
+      const int64_t N = Spec.LayerDims[static_cast<size_t>(L + 1)];
+      const int64_t W = makeConstF32(G, {K, N}, 0.2f, R,
+                                     formatString("w%lld", (long long)L));
+      const int64_t B = makeConstF32(G, {N}, 0.1f, R,
+                                     formatString("b%lld", (long long)L));
+      int64_t Out = G.addOp(OpKind::MatMul, {Cur, W}, DataType::F32,
+                            {Spec.Batch, N});
+      Out = G.addOp(OpKind::Add, {Out, B}, DataType::F32, {Spec.Batch, N});
+      if (Spec.ReluBetween && L + 1 < Layers)
+        Out = G.addOp(OpKind::ReLU, {Out}, DataType::F32, {Spec.Batch, N});
+      Cur = Out;
+    }
+    G.markOutput(Cur);
+    return G;
+  }
+
+  // Quantized flavour (Fig. 5): u8 activations, s8 per-channel weights.
+  int64_t Cur =
+      G.addTensor(DataType::U8, {Spec.Batch, Spec.LayerDims[0]}, "x_q");
+  G.markInput(Cur);
+  double ActScale = 0.02;
+  int64_t ActZp = 118; // asymmetric activations
+  for (int64_t L = 0; L < Layers; ++L) {
+    const int64_t K = Spec.LayerDims[static_cast<size_t>(L)];
+    const int64_t N = Spec.LayerDims[static_cast<size_t>(L + 1)];
+    // Dequantize the activation.
+    const int64_t DqA = G.addOp(OpKind::Dequantize, {Cur}, DataType::F32,
+                                {Spec.Batch, K},
+                                {{"scale", ActScale}, {"zp", ActZp}});
+    // Per-channel weight scales.
+    std::vector<double> WScales(static_cast<size_t>(N));
+    for (double &S : WScales)
+      S = 0.004 + 0.004 * R.uniform(0.0f, 1.0f);
+    const int64_t W = makeConstS8(G, {K, N}, R,
+                                  formatString("w%lld_q", (long long)L));
+    const int64_t DqW = G.addOp(
+        OpKind::Dequantize, {W}, DataType::F32, {K, N},
+        {{"scales", WScales}, {"zp", int64_t(0)}, {"axis", int64_t(1)}});
+    const int64_t B = makeConstF32(G, {N}, 0.2f, R,
+                                   formatString("b%lld", (long long)L));
+    int64_t Out = G.addOp(OpKind::MatMul, {DqA, DqW}, DataType::F32,
+                          {Spec.Batch, N});
+    Out = G.addOp(OpKind::Add, {Out, B}, DataType::F32, {Spec.Batch, N});
+    if (Spec.ReluBetween && L + 1 < Layers)
+      Out = G.addOp(OpKind::ReLU, {Out}, DataType::F32, {Spec.Batch, N});
+    // Requantize for the next layer / the output. Scale grows with the
+    // reduction depth so values stay in range.
+    const double OutScale = 0.02 * std::sqrt(static_cast<double>(K));
+    const int64_t OutZp = 128;
+    Out = G.addOp(OpKind::Quantize, {Out}, DataType::U8, {Spec.Batch, N},
+                  {{"scale", OutScale}, {"zp", OutZp}});
+    Cur = Out;
+    ActScale = OutScale;
+    ActZp = OutZp;
+  }
+  G.markOutput(Cur);
+  return G;
+}
+
+Graph buildSingleMatmul(int64_t Batch, int64_t K, int64_t N, bool Int8,
+                        uint64_t Seed) {
+  MlpSpec Spec;
+  Spec.Batch = Batch;
+  Spec.LayerDims = {K, N};
+  Spec.Int8 = Int8;
+  Spec.ReluBetween = false;
+  Spec.Seed = Seed;
+  return buildMlp(Spec);
+}
+
+} // namespace workloads
+} // namespace gc

@@ -1,0 +1,54 @@
+//===- mlp.h - MLP workload graphs (Table 1) --------------------*- C++ -*-===//
+///
+/// \file
+/// Builders for the paper's MLP test graphs: chains of matmul + bias +
+/// ReLU layers with the DLRM (MLPerf) layer dimensions of Table 1, in FP32
+/// and in the statically-quantized Int8 form of Fig. 5 (u8 asymmetric
+/// activations, s8 per-channel symmetric weights). Weights are seeded
+/// synthetic data (DESIGN.md substitution #6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_WORKLOADS_MLP_H
+#define GC_WORKLOADS_MLP_H
+
+#include "graph/graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gc {
+namespace workloads {
+
+/// Configuration of one MLP test graph.
+struct MlpSpec {
+  int64_t Batch = 32;
+  /// Layer widths, e.g. {13, 512, 256, 128} for MLP-1.
+  std::vector<int64_t> LayerDims;
+  /// Build the quantized (Fig. 5) flavour.
+  bool Int8 = false;
+  /// Apply ReLU after every layer except the last.
+  bool ReluBetween = true;
+  uint64_t Seed = 1;
+};
+
+/// Table 1 MLP-1 layer dims: 13x512x256x128.
+std::vector<int64_t> mlp1Dims();
+/// Table 1 MLP-2 layer dims: 479x1024x1024x512x256x1.
+std::vector<int64_t> mlp2Dims();
+
+/// Builds the MLP graph. FP32: input f32 [B, d0], output f32 [B, dN].
+/// Int8: input u8 [B, d0] with every layer expressed as
+/// dequantize -> matmul(f32) -> bias -> relu -> quantize (the form the
+/// low-precision pass consumes); output u8 [B, dN].
+graph::Graph buildMlp(const MlpSpec &Spec);
+
+/// Builds a single-matmul graph (one MLP layer without activation) used by
+/// the Fig. 7 per-kernel comparison. \p K and \p N are the weight dims.
+graph::Graph buildSingleMatmul(int64_t Batch, int64_t K, int64_t N,
+                               bool Int8, uint64_t Seed);
+
+} // namespace workloads
+} // namespace gc
+
+#endif // GC_WORKLOADS_MLP_H

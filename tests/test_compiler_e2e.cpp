@@ -1,0 +1,336 @@
+//===- test_compiler_e2e.cpp - whole-compiler correctness -----------------------===//
+//
+// Compiles graphs through the full pipeline (decompose -> cleanup ->
+// low-precision -> fusion -> layout propagation -> template lowering ->
+// Tensor IR passes -> evaluator) and compares against the reference
+// interpreter. Covers FP32 and Int8 MLPs, MHA, multi-thread execution and
+// every ablation switch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/compiler.h"
+#include "graph/reference.h"
+#include "workloads/mha.h"
+#include "workloads/mlp.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gc;
+using namespace gc::graph;
+using namespace gc::core;
+using runtime::TensorData;
+
+namespace {
+
+/// Runs the compiled partition and the reference on identical random
+/// inputs; returns (compiled outputs, reference outputs).
+struct RunResult {
+  std::vector<TensorData> Compiled;
+  std::vector<TensorData> Reference;
+};
+
+RunResult runBoth(const Graph &G, const CompileOptions &Opts,
+                  uint64_t Seed = 99) {
+  auto Partition = compileGraph(G, Opts);
+
+  // Random inputs following graph declarations.
+  std::vector<TensorData> Inputs;
+  TensorMap RefEnv;
+  Rng R(Seed);
+  for (int64_t In : G.inputs()) {
+    const LogicalTensor &T = G.tensor(In);
+    TensorData Data(T.Ty, T.Shape);
+    Data.fillRandom(R);
+    if (T.Ty == DataType::F32) {
+      // Keep magnitudes moderate for stable comparisons.
+      float *P = Data.dataAs<float>();
+      for (int64_t I = 0, E = Data.numElements(); I < E; ++I)
+        P[I] *= 0.5f;
+    }
+    RefEnv[In] = Data.clone();
+    Inputs.push_back(std::move(Data));
+  }
+
+  RunResult Result;
+  Result.Reference = runGraphReference(G, std::move(RefEnv));
+
+  std::vector<TensorData *> InPtrs;
+  for (TensorData &T : Inputs)
+    InPtrs.push_back(&T);
+  const auto OutShapes = Partition->outputShapes();
+  for (size_t I = 0; I < OutShapes.size(); ++I)
+    Result.Compiled.emplace_back(Result.Reference[I].dtype(), OutShapes[I]);
+  std::vector<TensorData *> OutPtrs;
+  for (TensorData &T : Result.Compiled)
+    OutPtrs.push_back(&T);
+  Partition->execute(InPtrs, OutPtrs);
+  // Execute twice: the second run must reuse the fold cache and produce
+  // identical results (catches cache corruption / buffer aliasing bugs).
+  Partition->execute(InPtrs, OutPtrs);
+  return Result;
+}
+
+void expectClose(const RunResult &R, double RelTol = 2e-3,
+                 double QuantTol = 1.0) {
+  ASSERT_EQ(R.Compiled.size(), R.Reference.size());
+  for (size_t I = 0; I < R.Compiled.size(); ++I) {
+    if (isQuantizedType(R.Compiled[I].dtype())) {
+      EXPECT_LE(runtime::maxAbsDiff(R.Compiled[I], R.Reference[I]), QuantTol)
+          << "quantized output " << I;
+    } else {
+      EXPECT_LE(runtime::maxRelDiff(R.Compiled[I], R.Reference[I], 1e-2),
+                RelTol)
+          << "output " << I;
+    }
+  }
+}
+
+CompileOptions defaultOpts() {
+  CompileOptions Opts;
+  Opts.Threads = 1;
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// FP32 paths
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerE2E, SingleMatmulF32) {
+  const Graph G = workloads::buildSingleMatmul(8, 16, 32, false, 3);
+  expectClose(runBoth(G, defaultOpts()));
+}
+
+TEST(CompilerE2E, SingleMatmulF32RaggedShapes) {
+  const Graph G = workloads::buildSingleMatmul(13, 19, 37, false, 4);
+  expectClose(runBoth(G, defaultOpts()));
+}
+
+TEST(CompilerE2E, MatmulBiasReluF32) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 16;
+  Spec.LayerDims = {24, 48, 16};
+  Spec.Seed = 5;
+  expectClose(runBoth(workloads::buildMlp(Spec), defaultOpts()));
+}
+
+TEST(CompilerE2E, Mlp1F32) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 32;
+  Spec.LayerDims = workloads::mlp1Dims();
+  Spec.Seed = 6;
+  expectClose(runBoth(workloads::buildMlp(Spec), defaultOpts()));
+}
+
+TEST(CompilerE2E, GemmvNEquals1) {
+  // The 256 -> 1 tail layer of MLP-2 (padded microkernel path).
+  const Graph G = workloads::buildSingleMatmul(32, 256, 1, false, 7);
+  expectClose(runBoth(G, defaultOpts()));
+}
+
+TEST(CompilerE2E, MultiThreadedMatchesSingleThreaded) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 64;
+  Spec.LayerDims = {64, 96, 32};
+  Spec.Seed = 8;
+  const Graph G = workloads::buildMlp(Spec);
+  CompileOptions Opts = defaultOpts();
+  Opts.Threads = 4;
+  expectClose(runBoth(G, Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// Int8 paths
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerE2E, SingleMatmulInt8) {
+  const Graph G = workloads::buildSingleMatmul(8, 32, 32, true, 9);
+  expectClose(runBoth(G, defaultOpts()));
+}
+
+TEST(CompilerE2E, Int8MlpLayerWithReluAndRequant) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 16;
+  Spec.LayerDims = {32, 64, 32};
+  Spec.Int8 = true;
+  Spec.Seed = 10;
+  expectClose(runBoth(workloads::buildMlp(Spec), defaultOpts()));
+}
+
+TEST(CompilerE2E, Mlp1Int8) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 32;
+  Spec.LayerDims = workloads::mlp1Dims();
+  Spec.Int8 = true;
+  Spec.Seed = 11;
+  expectClose(runBoth(workloads::buildMlp(Spec), defaultOpts()));
+}
+
+//===----------------------------------------------------------------------===//
+// MHA
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerE2E, MhaF32Small) {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 32;
+  Spec.HeadDim = 16;
+  Spec.Seed = 12;
+  CompileOptions Opts = defaultOpts();
+  Opts.FastSoftmax = false; // compare against the reference's stable form
+  expectClose(runBoth(workloads::buildMha(Spec), Opts), 5e-3);
+}
+
+TEST(CompilerE2E, MhaF32FastSoftmax) {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 32;
+  Spec.HeadDim = 16;
+  Spec.Seed = 13;
+  // Fast softmax drops the max subtraction; with moderate logits the
+  // results still match the stable reference closely.
+  expectClose(runBoth(workloads::buildMha(Spec), defaultOpts()), 5e-3);
+}
+
+TEST(CompilerE2E, MhaF32NoMask) {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 48;
+  Spec.HeadDim = 32;
+  Spec.WithMask = false;
+  Spec.Seed = 14;
+  expectClose(runBoth(workloads::buildMha(Spec), defaultOpts()), 5e-3);
+}
+
+TEST(CompilerE2E, MhaInt8Small) {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 32;
+  Spec.HeadDim = 16;
+  Spec.Int8 = true;
+  Spec.Seed = 15;
+  // Int8 attention: wider tolerance, the quantization grid dominates.
+  expectClose(runBoth(workloads::buildMha(Spec), defaultOpts()), 8e-2);
+}
+
+//===----------------------------------------------------------------------===//
+// Ablation switches stay correct
+//===----------------------------------------------------------------------===//
+
+struct AblationCase {
+  const char *Name;
+  bool FineGrain, CoarseGrain, Layout, Reuse;
+};
+
+class AblationCorrectness : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AblationCorrectness, MlpF32) {
+  const AblationCase C = GetParam();
+  workloads::MlpSpec Spec;
+  Spec.Batch = 32;
+  Spec.LayerDims = {48, 64, 32, 16};
+  Spec.Seed = 20;
+  CompileOptions Opts = defaultOpts();
+  Opts.EnableFineGrainFusion = C.FineGrain;
+  Opts.EnableCoarseGrainFusion = C.CoarseGrain;
+  Opts.EnableLayoutPropagation = C.Layout;
+  Opts.EnableBufferReuse = C.Reuse;
+  expectClose(runBoth(workloads::buildMlp(Spec), Opts));
+}
+
+TEST_P(AblationCorrectness, MlpInt8) {
+  const AblationCase C = GetParam();
+  workloads::MlpSpec Spec;
+  Spec.Batch = 16;
+  Spec.LayerDims = {32, 48, 16};
+  Spec.Int8 = true;
+  Spec.Seed = 21;
+  CompileOptions Opts = defaultOpts();
+  Opts.EnableFineGrainFusion = C.FineGrain;
+  Opts.EnableCoarseGrainFusion = C.CoarseGrain;
+  Opts.EnableLayoutPropagation = C.Layout;
+  Opts.EnableBufferReuse = C.Reuse;
+  expectClose(runBoth(workloads::buildMlp(Spec), Opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Switches, AblationCorrectness,
+    ::testing::Values(
+        AblationCase{"all_on", true, true, true, true},
+        AblationCase{"no_coarse", true, false, true, true},
+        AblationCase{"no_layout", true, true, false, true},
+        AblationCase{"no_fine", false, false, false, true},
+        AblationCase{"no_reuse", true, true, true, false}),
+    [](const ::testing::TestParamInfo<AblationCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Structural expectations
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerE2E, CoarseGrainMergesMlpNests) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 64;
+  Spec.LayerDims = {64, 96, 64, 32};
+  Spec.Seed = 22;
+  const Graph G = workloads::buildMlp(Spec);
+  auto Partition = compileGraph(G, defaultOpts());
+  const PartitionStats S = Partition->stats();
+  EXPECT_GT(S.CoarseGrainMerges, 0)
+      << "MLP chains must merge their parallel nests";
+  CompileOptions NoCoarse = defaultOpts();
+  NoCoarse.EnableCoarseGrainFusion = false;
+  auto Partition2 = compileGraph(G, NoCoarse);
+  EXPECT_GT(Partition2->stats().ParallelNests, S.ParallelNests);
+}
+
+TEST(CompilerE2E, FoldFunctionCachesPackedWeights) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 16;
+  Spec.LayerDims = {32, 64, 32};
+  Spec.Seed = 23;
+  const Graph G = workloads::buildMlp(Spec);
+  auto Partition = compileGraph(G, defaultOpts());
+  // Stats before execution: fold not yet run.
+  EXPECT_EQ(Partition->stats().FoldedTensors, 0u);
+  std::vector<TensorData> Ins;
+  Rng R(24);
+  for (int64_t In : G.inputs()) {
+    Ins.emplace_back(G.tensor(In).Ty, G.tensor(In).Shape);
+    Ins.back().fillRandom(R);
+  }
+  std::vector<TensorData *> InPtrs;
+  for (auto &T : Ins)
+    InPtrs.push_back(&T);
+  std::vector<TensorData> Outs;
+  for (const auto &Shape : Partition->outputShapes())
+    Outs.emplace_back(DataType::F32, Shape);
+  std::vector<TensorData *> OutPtrs;
+  for (auto &T : Outs)
+    OutPtrs.push_back(&T);
+  Partition->execute(InPtrs, OutPtrs);
+  // Two prepacked weights must now live in the cache.
+  EXPECT_GE(Partition->stats().FoldedTensors, 2u);
+  EXPECT_GT(Partition->stats().FoldedBytes, 0);
+}
+
+TEST(CompilerE2E, BufferReuseReducesArena) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 64;
+  Spec.LayerDims = {128, 256, 256, 256, 64};
+  Spec.Seed = 25;
+  const Graph G = workloads::buildMlp(Spec);
+  CompileOptions Opts = defaultOpts();
+  Opts.EnableCoarseGrainFusion = false; // keep temps in separate regions
+  auto Partition = compileGraph(G, Opts);
+  const PartitionStats S = Partition->stats();
+  EXPECT_LT(S.ScratchArenaBytes, S.ScratchArenaBytesNoReuse)
+      << "chained temps must share arena space";
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- test_graph.cpp - Graph IR structure tests --------------------------------===//
+//
+// Graph construction, producer/consumer maps, use replacement, topological
+// order, verification, cloning (including nested fused-op subgraphs), and
+// the op-category taxonomy of §II.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/graph.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gc;
+using namespace gc::graph;
+
+namespace {
+
+/// Small MLP-shaped graph: out = relu(X * W + B).
+struct MlpFixture {
+  Graph G;
+  int64_t X, W, B, Mm, Addv, Out;
+
+  MlpFixture() {
+    X = G.addTensor(DataType::F32, {4, 8}, "x");
+    W = G.addTensor(DataType::F32, {8, 16}, "w", TensorProperty::Constant);
+    B = G.addTensor(DataType::F32, {16}, "b", TensorProperty::Constant);
+    G.markInput(X);
+    Mm = G.addOp(OpKind::MatMul, {X, W}, DataType::F32, {4, 16});
+    Addv = G.addOp(OpKind::Add, {Mm, B}, DataType::F32, {4, 16});
+    Out = G.addOp(OpKind::ReLU, {Addv}, DataType::F32, {4, 16});
+    G.markOutput(Out);
+  }
+};
+
+TEST(GraphIr, ProducersAndConsumers) {
+  MlpFixture F;
+  EXPECT_EQ(F.G.producerOf(F.X), -1);
+  EXPECT_GE(F.G.producerOf(F.Mm), 0);
+  EXPECT_EQ(F.G.consumersOf(F.Mm).size(), 1u);
+  EXPECT_EQ(F.G.consumersOf(F.X).size(), 1u);
+  EXPECT_EQ(F.G.consumersOf(F.Out).size(), 0u);
+  EXPECT_TRUE(F.G.isOutput(F.Out));
+  EXPECT_TRUE(F.G.isInput(F.X));
+}
+
+TEST(GraphIr, VerifyCleanGraph) {
+  MlpFixture F;
+  EXPECT_EQ(F.G.verify(), "");
+}
+
+TEST(GraphIr, TopologicalOrderRespectsDeps) {
+  MlpFixture F;
+  const auto Order = F.G.topologicalOrder();
+  ASSERT_EQ(Order.size(), 3u);
+  // matmul -> add -> relu by construction ids.
+  EXPECT_EQ(F.G.op(Order[0]).kind(), OpKind::MatMul);
+  EXPECT_EQ(F.G.op(Order[1]).kind(), OpKind::Add);
+  EXPECT_EQ(F.G.op(Order[2]).kind(), OpKind::ReLU);
+}
+
+TEST(GraphIr, ReplaceAllUsesRewiresConsumersAndOutputs) {
+  MlpFixture F;
+  const int64_t Fresh = F.G.addTensor(DataType::F32, {4, 16}, "fresh");
+  F.G.replaceAllUses(F.Addv, Fresh);
+  // The relu now reads Fresh.
+  const int64_t ReluOp = F.G.producerOf(F.Out);
+  EXPECT_EQ(F.G.op(ReluOp).input(0), Fresh);
+  EXPECT_TRUE(F.G.consumersOf(F.Addv).empty());
+  // Output replacement too.
+  F.G.replaceAllUses(F.Out, Fresh);
+  EXPECT_TRUE(F.G.isOutput(Fresh));
+  EXPECT_FALSE(F.G.isOutput(F.Out));
+}
+
+TEST(GraphIr, EraseOpDropsLinks) {
+  MlpFixture F;
+  const int64_t ReluOp = F.G.producerOf(F.Out);
+  F.G.eraseOp(ReluOp);
+  EXPECT_EQ(F.G.producerOf(F.Out), -1);
+  EXPECT_TRUE(F.G.consumersOf(F.Addv).empty());
+  EXPECT_EQ(F.G.numOps(), 2u);
+}
+
+TEST(GraphIr, SetOpInputsUpdatesConsumerMap) {
+  MlpFixture F;
+  const int64_t AddOp = F.G.producerOf(F.Addv);
+  const int64_t B2 = F.G.addTensor(DataType::F32, {16}, "b2",
+                                   TensorProperty::Constant);
+  F.G.setOpInputs(AddOp, {F.Mm, B2});
+  EXPECT_EQ(F.G.consumersOf(B2).size(), 1u);
+  EXPECT_TRUE(F.G.consumersOf(F.B).empty());
+}
+
+TEST(GraphIr, CloneIsIndependent) {
+  MlpFixture F;
+  runtime::TensorData WData(DataType::F32, {8, 16});
+  WData.fillConstant(1.0);
+  F.G.setConstantData(F.W, std::move(WData));
+
+  Graph Copy = F.G.clone();
+  EXPECT_EQ(Copy.verify(), "");
+  EXPECT_EQ(Copy.numOps(), F.G.numOps());
+  ASSERT_NE(Copy.constantData(F.W), nullptr);
+  // Mutating the clone's constant must not affect the original.
+  Copy.mutableConstantData(F.W)->dataAs<float>()[0] = 42.0f;
+  EXPECT_EQ(F.G.constantData(F.W)->dataAs<float>()[0], 1.0f);
+}
+
+TEST(GraphIr, FusedOpSubgraphCloned) {
+  Graph G;
+  const int64_t In = G.addTensor(DataType::F32, {2, 2}, "in");
+  G.markInput(In);
+
+  auto Sub = std::make_unique<Graph>();
+  const int64_t SIn = Sub->addTensor(DataType::F32, {2, 2}, "sin");
+  Sub->markInput(SIn);
+  const int64_t SOut = Sub->addOp(OpKind::ReLU, {SIn}, DataType::F32, {2, 2});
+  Sub->markOutput(SOut);
+
+  const int64_t Out = G.addTensor(DataType::F32, {2, 2}, "out");
+  const int64_t FusedId = G.addOpExplicit(OpKind::FusedOp, {In}, {Out});
+  G.op(FusedId).setSubgraph(std::move(Sub));
+  G.markOutput(Out);
+
+  Graph Copy = G.clone();
+  const Graph *CopySub = Copy.op(FusedId).subgraph();
+  ASSERT_NE(CopySub, nullptr);
+  EXPECT_NE(CopySub, G.op(FusedId).subgraph()) << "subgraph must be deep-copied";
+  EXPECT_EQ(CopySub->numOps(), 1u);
+}
+
+TEST(GraphIr, VerifyCatchesDanglingInput) {
+  Graph G;
+  const int64_t Dangling = G.addTensor(DataType::F32, {2}, "dangling");
+  G.addOp(OpKind::ReLU, {Dangling}, DataType::F32, {2});
+  // Dangling is neither input, constant, nor produced.
+  EXPECT_NE(G.verify(), "");
+}
+
+TEST(GraphIr, OpCategories) {
+  EXPECT_EQ(opCategory(OpKind::MatMul), OpCategory::Tunable);
+  EXPECT_EQ(opCategory(OpKind::ReLU), OpCategory::Fusible);
+  EXPECT_EQ(opCategory(OpKind::ReduceSum), OpCategory::Fusible);
+  EXPECT_EQ(opCategory(OpKind::Reorder), OpCategory::Fusible);
+  EXPECT_EQ(opCategory(OpKind::Softmax), OpCategory::Complex);
+  EXPECT_EQ(opCategory(OpKind::Quantize), OpCategory::Complex);
+  EXPECT_EQ(opCategory(OpKind::FusedOp), OpCategory::Structural);
+  EXPECT_TRUE(isUnaryElementwise(OpKind::Exp));
+  EXPECT_TRUE(isBinaryElementwise(OpKind::Div));
+  EXPECT_TRUE(isReduction(OpKind::ReduceMax));
+  EXPECT_FALSE(isReduction(OpKind::Add));
+}
+
+TEST(GraphIr, AttrAccessors) {
+  Graph G;
+  const int64_t T = G.addTensor(DataType::F32, {2, 2}, "t");
+  G.markInput(T);
+  const int64_t Out = G.addOp(
+      OpKind::MatMul, {T, T}, DataType::F32, {2, 2},
+      {{"transpose_b", int64_t(1)},
+       {"scale", 0.25},
+       {"name", std::string("qk")},
+       {"axes", std::vector<int64_t>{0, 1}}});
+  const Op &O = G.op(G.producerOf(Out));
+  EXPECT_EQ(O.getAttrInt("transpose_b"), 1);
+  EXPECT_EQ(O.getAttrInt("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(O.getAttrFloat("scale"), 0.25);
+  EXPECT_EQ(O.getAttrString("name"), "qk");
+  EXPECT_EQ(O.getAttrIntVec("axes").size(), 2u);
+}
+
+TEST(GraphIr, PaddedElementsForBlockedLayout) {
+  Graph G;
+  const int64_t T = G.addTensor(DataType::F32, {13, 19}, "t");
+  LogicalTensor &LT = G.tensor(T);
+  EXPECT_EQ(LT.paddedNumElements(), 13 * 19);
+  LT.Lay = Layout::blockedA(8, 16);
+  // ceil(13/8)=2 blocks x ceil(19/16)=2 blocks x 8 x 16.
+  EXPECT_EQ(LT.paddedNumElements(), 2 * 2 * 8 * 16);
+}
+
+TEST(GraphIr, PrintContainsOpsAndShapes) {
+  MlpFixture F;
+  const std::string Dump = F.G.toString();
+  EXPECT_NE(Dump.find("matmul"), std::string::npos);
+  EXPECT_NE(Dump.find("relu"), std::string::npos);
+  EXPECT_NE(Dump.find("[4, 16]"), std::string::npos);
+}
+
+} // namespace

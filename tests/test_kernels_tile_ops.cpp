@@ -1,0 +1,236 @@
+//===- test_kernels_tile_ops.cpp - tile kernel tests ---------------------------===//
+//
+// Per-kernel correctness of the fusible-op tile vocabulary, including the
+// strided (Ld > Cols) forms the fused-op template uses when a tile is a
+// window into a larger blocked tensor, and the quantization bridges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/tile_ops.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace gc;
+using namespace gc::kernels;
+using namespace gc::test;
+
+namespace {
+
+constexpr int64_t Rows = 7, Cols = 13, Ld = 16; // strided on purpose
+
+/// Builds a Rows x Ld backing region; only the first Cols of each row are
+/// "the tile"; the rest must never be touched.
+struct StridedTile {
+  std::vector<float> Data;
+  StridedTile(uint64_t Seed) : Data(randomF32(Rows * Ld, Seed)) {}
+  TileF32 tile() { return TileF32{Data.data(), Rows, Cols, Ld}; }
+  float &at(int64_t R, int64_t C) {
+    return Data[static_cast<size_t>(R * Ld + C)];
+  }
+};
+
+/// Asserts the padding columns kept their original values.
+void expectPaddingUntouched(const StridedTile &T, const StridedTile &Orig) {
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = Cols; C < Ld; ++C)
+      ASSERT_EQ(T.Data[static_cast<size_t>(R * Ld + C)],
+                Orig.Data[static_cast<size_t>(R * Ld + C)])
+          << "kernel wrote outside the tile";
+}
+
+TEST(TileOps, Relu) {
+  StridedTile T(1), Orig(1);
+  reluTile(T.tile());
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_EQ(T.at(R, C), std::max(Orig.at(R, C), 0.0f));
+  expectPaddingUntouched(T, Orig);
+}
+
+TEST(TileOps, Exp) {
+  StridedTile T(2), Orig(2);
+  expTile(T.tile());
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(T.at(R, C), std::exp(Orig.at(R, C)), kF32Tol);
+  expectPaddingUntouched(T, Orig);
+}
+
+TEST(TileOps, Affine) {
+  StridedTile T(3), Orig(3);
+  affineTile(T.tile(), 2.5f, -1.25f);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(T.at(R, C), Orig.at(R, C) * 2.5f - 1.25f, kF32Tol);
+}
+
+TEST(TileOps, GeluMatchesScalarFormula) {
+  StridedTile T(4), Orig(4);
+  geluTanhTile(T.tile());
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C) {
+      const double V = Orig.at(R, C);
+      const double Inner = 0.7978845608028654 * (V + 0.044715 * V * V * V);
+      ASSERT_NEAR(T.at(R, C), 0.5 * V * (1.0 + std::tanh(Inner)), 1e-5);
+    }
+}
+
+TEST(TileOps, BinaryOps) {
+  StridedTile X(5), Y(6), OrigX(5);
+  ConstTileF32 YT{Y.Data.data(), Ld};
+  addTile(X.tile(), YT);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(X.at(R, C), OrigX.at(R, C) + Y.at(R, C), kF32Tol);
+
+  StridedTile X2(5);
+  divTile(X2.tile(), YT);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(X2.at(R, C), OrigX.at(R, C) / Y.at(R, C), kF32Tol);
+
+  StridedTile X3(5);
+  maxTile(X3.tile(), YT);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_EQ(X3.at(R, C), std::max(OrigX.at(R, C), Y.at(R, C)));
+}
+
+TEST(TileOps, RowVecBroadcast) {
+  StridedTile X(7), Orig(7);
+  const auto V = randomF32(Cols, 8);
+  mulRowVecTile(X.tile(), V.data());
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(X.at(R, C), Orig.at(R, C) * V[static_cast<size_t>(C)],
+                  kF32Tol);
+}
+
+TEST(TileOps, ColVecBroadcast) {
+  StridedTile X(9), Orig(9);
+  auto V = randomF32(Rows, 10);
+  for (float &F : V)
+    F = std::abs(F) + 0.5f; // keep divisors away from zero
+  divColVecTile(X.tile(), V.data());
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(X.at(R, C), Orig.at(R, C) / V[static_cast<size_t>(R)],
+                  kF32Tol);
+}
+
+TEST(TileOps, ReduceSumRows) {
+  StridedTile X(11);
+  std::vector<float> Out(Rows, 100.0f);
+  reduceSumRowsTile(X.tile(), Out.data(), /*Accumulate=*/false);
+  for (int64_t R = 0; R < Rows; ++R) {
+    float Expected = 0.0f;
+    for (int64_t C = 0; C < Cols; ++C)
+      Expected += X.at(R, C);
+    ASSERT_NEAR(Out[static_cast<size_t>(R)], Expected, kF32Tol);
+  }
+  // Accumulating form adds on top.
+  std::vector<float> Out2 = Out;
+  reduceSumRowsTile(X.tile(), Out2.data(), /*Accumulate=*/true);
+  for (int64_t R = 0; R < Rows; ++R)
+    ASSERT_NEAR(Out2[static_cast<size_t>(R)],
+                2.0f * Out[static_cast<size_t>(R)], kF32Tol);
+}
+
+TEST(TileOps, ReduceMaxRows) {
+  StridedTile X(12);
+  std::vector<float> Out(Rows, 0.0f);
+  reduceMaxRowsTile(X.tile(), Out.data(), /*Accumulate=*/false);
+  for (int64_t R = 0; R < Rows; ++R) {
+    float Expected = X.at(R, 0);
+    for (int64_t C = 1; C < Cols; ++C)
+      Expected = std::max(Expected, X.at(R, C));
+    ASSERT_EQ(Out[static_cast<size_t>(R)], Expected);
+  }
+}
+
+TEST(TileOps, CopyAndTranspose) {
+  StridedTile Src(13);
+  std::vector<float> Dst(static_cast<size_t>(Rows * Cols), 0.0f);
+  copyTile(TileF32{Dst.data(), Rows, Cols, Cols},
+           ConstTileF32{Src.Data.data(), Ld});
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_EQ(Dst[static_cast<size_t>(R * Cols + C)], Src.at(R, C));
+
+  // Transpose: Dst is Cols x Rows.
+  std::vector<float> DstT(static_cast<size_t>(Cols * Rows), 0.0f);
+  transposeTile(TileF32{DstT.data(), Cols, Rows, Rows},
+                ConstTileF32{Src.Data.data(), Ld});
+  for (int64_t R = 0; R < Cols; ++R)
+    for (int64_t C = 0; C < Rows; ++C)
+      ASSERT_EQ(DstT[static_cast<size_t>(R * Rows + C)], Src.at(C, R));
+}
+
+//===----------------------------------------------------------------------===//
+// Quantization bridges
+//===----------------------------------------------------------------------===//
+
+TEST(TileOps, QuantDequantU8RoundTrip) {
+  StridedTile X(14);
+  const float Scale = 0.02f;
+  const int32_t Zp = 128;
+  std::vector<uint8_t> Q(static_cast<size_t>(Rows * Cols));
+  quantizeU8Tile(Q.data(), Cols, X.Data.data(), Ld, Rows, Cols, 1.0f / Scale,
+                 Zp);
+  std::vector<float> Back(static_cast<size_t>(Rows * Cols));
+  dequantU8Tile(Back.data(), Cols, Q.data(), Cols, Rows, Cols, Scale, Zp);
+  for (int64_t R = 0; R < Rows; ++R)
+    for (int64_t C = 0; C < Cols; ++C)
+      ASSERT_NEAR(Back[static_cast<size_t>(R * Cols + C)], X.at(R, C),
+                  Scale * 0.51); // half-ulp of the quantization grid
+}
+
+TEST(TileOps, QuantU8Saturates) {
+  std::vector<float> Big = {1e6f, -1e6f, 0.0f};
+  std::vector<uint8_t> Q(3);
+  quantizeU8Tile(Q.data(), 3, Big.data(), 3, 1, 3, 1.0f, 10);
+  EXPECT_EQ(Q[0], 255);
+  EXPECT_EQ(Q[1], 0);
+  EXPECT_EQ(Q[2], 10);
+}
+
+TEST(TileOps, DequantAccMatchesFormula) {
+  const int64_t R = 4, C = 6;
+  std::vector<int32_t> Acc(static_cast<size_t>(R * C));
+  for (size_t I = 0; I < Acc.size(); ++I)
+    Acc[I] = static_cast<int32_t>(I * 37) - 50;
+  std::vector<int32_t> Comp = {3, -1, 4, 1, -5, 9};
+  auto ScaleVec = randomF32(C, 15);
+  const int32_t AZp = 7;
+  std::vector<float> Out(static_cast<size_t>(R * C));
+  dequantAccTile(Out.data(), C, Acc.data(), C, R, C, Comp.data(), AZp,
+                 ScaleVec.data());
+  for (int64_t RI = 0; RI < R; ++RI)
+    for (int64_t CI = 0; CI < C; ++CI) {
+      const int32_t Adj = Acc[static_cast<size_t>(RI * C + CI)] -
+                          AZp * Comp[static_cast<size_t>(CI)];
+      ASSERT_NEAR(Out[static_cast<size_t>(RI * C + CI)],
+                  static_cast<float>(Adj) * ScaleVec[static_cast<size_t>(CI)],
+                  kF32Tol);
+    }
+}
+
+TEST(TileOps, DequantS8PerChannel) {
+  const int64_t R = 3, C = 5;
+  auto Src = randomS8(R * C, 16);
+  auto ScaleVec = randomF32(C, 17);
+  std::vector<float> Out(static_cast<size_t>(R * C));
+  dequantS8PerChannelTile(Out.data(), C, Src.data(), C, R, C,
+                          ScaleVec.data());
+  for (int64_t RI = 0; RI < R; ++RI)
+    for (int64_t CI = 0; CI < C; ++CI)
+      ASSERT_NEAR(Out[static_cast<size_t>(RI * C + CI)],
+                  static_cast<float>(Src[static_cast<size_t>(RI * C + CI)]) *
+                      ScaleVec[static_cast<size_t>(CI)],
+                  kF32Tol);
+}
+
+} // namespace

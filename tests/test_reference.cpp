@@ -1,0 +1,292 @@
+//===- test_reference.cpp - reference evaluator tests ---------------------------===//
+//
+// The reference evaluator is the oracle for everything else, so it gets its
+// own closed-form tests: matmul against the naive oracle, broadcasting
+// rules, reductions, softmax, quantization round trips, layernorm, and
+// whole-graph evaluation including nested fused ops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/reference.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace gc;
+using namespace gc::graph;
+using namespace gc::test;
+using runtime::TensorData;
+
+namespace {
+
+TEST(Reference, MatMulMatchesNaive) {
+  const int64_t M = 5, K = 7, N = 3;
+  Graph G;
+  const int64_t A = G.addTensor(DataType::F32, {M, K}, "a");
+  const int64_t B = G.addTensor(DataType::F32, {K, N}, "b");
+  G.markInput(A);
+  G.markInput(B);
+  const int64_t C = G.addOp(OpKind::MatMul, {A, B}, DataType::F32, {M, N});
+  G.markOutput(C);
+
+  TensorMap Env;
+  Env[A] = randomTensor(DataType::F32, {M, K}, 1);
+  Env[B] = randomTensor(DataType::F32, {K, N}, 2);
+  const std::vector<float> AV(Env[A].dataAs<float>(),
+                              Env[A].dataAs<float>() + M * K);
+  const std::vector<float> BV(Env[B].dataAs<float>(),
+                              Env[B].dataAs<float>() + K * N);
+  const auto Out = runGraphReference(G, std::move(Env));
+  const auto Expected = naiveGemmF32(AV, BV, M, N, K);
+  for (int64_t I = 0; I < M * N; ++I)
+    ASSERT_NEAR(Out[0].dataAs<float>()[I], Expected[static_cast<size_t>(I)],
+                kF32Tol);
+}
+
+TEST(Reference, MatMulTransposeB) {
+  Graph G;
+  const int64_t A = G.addTensor(DataType::F32, {2, 3}, "a");
+  const int64_t B = G.addTensor(DataType::F32, {4, 3}, "b"); // N x K
+  G.markInput(A);
+  G.markInput(B);
+  const int64_t C = G.addOp(OpKind::MatMul, {A, B}, DataType::F32, {2, 4},
+                            {{"transpose_b", int64_t(1)}});
+  G.markOutput(C);
+  TensorMap Env;
+  Env[A] = randomTensor(DataType::F32, {2, 3}, 3);
+  Env[B] = randomTensor(DataType::F32, {4, 3}, 4);
+  const float *AP = Env[A].dataAs<float>();
+  const float *BP = Env[B].dataAs<float>();
+  float Expected[2][4];
+  for (int MI = 0; MI < 2; ++MI)
+    for (int NI = 0; NI < 4; ++NI) {
+      Expected[MI][NI] = 0;
+      for (int KI = 0; KI < 3; ++KI)
+        Expected[MI][NI] += AP[MI * 3 + KI] * BP[NI * 3 + KI];
+    }
+  const auto Out = runGraphReference(G, std::move(Env));
+  for (int MI = 0; MI < 2; ++MI)
+    for (int NI = 0; NI < 4; ++NI)
+      ASSERT_NEAR(Out[0].dataAs<float>()[MI * 4 + NI], Expected[MI][NI],
+                  kF32Tol);
+}
+
+TEST(Reference, BatchedMatMulBroadcastsBatchDims) {
+  Graph G;
+  const int64_t A = G.addTensor(DataType::F32, {2, 3, 4, 5}, "a");
+  const int64_t B = G.addTensor(DataType::F32, {5, 6}, "b");
+  G.markInput(A);
+  G.markInput(B);
+  const int64_t C =
+      G.addOp(OpKind::MatMul, {A, B}, DataType::F32, {2, 3, 4, 6});
+  G.markOutput(C);
+  TensorMap Env;
+  Env[A] = randomTensor(DataType::F32, {2, 3, 4, 5}, 5);
+  Env[B] = randomTensor(DataType::F32, {5, 6}, 6);
+  const auto Out = runGraphReference(G, std::move(Env));
+  EXPECT_EQ(Out[0].shape(), (std::vector<int64_t>{2, 3, 4, 6}));
+}
+
+TEST(Reference, BroadcastShapes) {
+  EXPECT_EQ(broadcastShapes({4, 1}, {1, 5}), (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(broadcastShapes({16}, {8, 16}), (std::vector<int64_t>{8, 16}));
+  EXPECT_EQ(broadcastShapes({}, {3}), (std::vector<int64_t>{3}));
+}
+
+TEST(Reference, BinaryBroadcastBias) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2, 3}, "x");
+  const int64_t B = G.addTensor(DataType::F32, {3}, "b");
+  G.markInput(X);
+  G.markInput(B);
+  const int64_t Y = G.addOp(OpKind::Add, {X, B}, DataType::F32, {2, 3});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = TensorData(DataType::F32, {2, 3});
+  Env[B] = TensorData(DataType::F32, {3});
+  for (int I = 0; I < 6; ++I)
+    Env[X].dataAs<float>()[I] = static_cast<float>(I);
+  for (int I = 0; I < 3; ++I)
+    Env[B].dataAs<float>()[I] = 10.0f * static_cast<float>(I);
+  const auto Out = runGraphReference(G, std::move(Env));
+  const float *O = Out[0].dataAs<float>();
+  EXPECT_EQ(O[0], 0.0f);
+  EXPECT_EQ(O[1], 11.0f);
+  EXPECT_EQ(O[2], 22.0f);
+  EXPECT_EQ(O[4], 14.0f);
+}
+
+TEST(Reference, ReduceSumLastAxisKeepDims) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2, 4}, "x");
+  G.markInput(X);
+  const int64_t Y = G.addOp(OpKind::ReduceSum, {X}, DataType::F32, {2, 1},
+                            {{"axes", std::vector<int64_t>{-1}},
+                             {"keep_dims", int64_t(1)}});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = TensorData(DataType::F32, {2, 4});
+  for (int I = 0; I < 8; ++I)
+    Env[X].dataAs<float>()[I] = static_cast<float>(I + 1);
+  const auto Out = runGraphReference(G, std::move(Env));
+  EXPECT_EQ(Out[0].shape(), (std::vector<int64_t>{2, 1}));
+  EXPECT_NEAR(Out[0].dataAs<float>()[0], 1 + 2 + 3 + 4, kF32Tol);
+  EXPECT_NEAR(Out[0].dataAs<float>()[1], 5 + 6 + 7 + 8, kF32Tol);
+}
+
+TEST(Reference, SoftmaxRowsSumToOne) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {3, 16}, "x");
+  G.markInput(X);
+  const int64_t Y = G.addOp(OpKind::Softmax, {X}, DataType::F32, {3, 16},
+                            {{"axis", int64_t(-1)}});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = randomTensor(DataType::F32, {3, 16}, 7);
+  const auto Out = runGraphReference(G, std::move(Env));
+  for (int R = 0; R < 3; ++R) {
+    double Sum = 0;
+    for (int C = 0; C < 16; ++C) {
+      const float V = Out[0].dataAs<float>()[R * 16 + C];
+      EXPECT_GT(V, 0.0f);
+      Sum += V;
+    }
+    EXPECT_NEAR(Sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Reference, QuantizeDequantizeRoundTrip) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {4, 4}, "x");
+  G.markInput(X);
+  const int64_t Q = G.addOp(OpKind::Quantize, {X}, DataType::U8, {4, 4},
+                            {{"scale", 0.05}, {"zp", int64_t(128)}});
+  const int64_t D = G.addOp(OpKind::Dequantize, {Q}, DataType::F32, {4, 4},
+                            {{"scale", 0.05}, {"zp", int64_t(128)}});
+  G.markOutput(D);
+  TensorMap Env;
+  Env[X] = randomTensor(DataType::F32, {4, 4}, 8);
+  const TensorData Orig = Env[X].clone();
+  const auto Out = runGraphReference(G, std::move(Env));
+  EXPECT_LT(maxAbsDiff(Out[0], Orig), 0.05 * 0.51);
+}
+
+TEST(Reference, QuantizePerChannel) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2, 2}, "x");
+  G.markInput(X);
+  const int64_t Q = G.addOp(
+      OpKind::Quantize, {X}, DataType::S8, {2, 2},
+      {{"scales", std::vector<double>{0.5, 0.25}}, {"axis", int64_t(1)}});
+  G.markOutput(Q);
+  TensorMap Env;
+  Env[X] = TensorData(DataType::F32, {2, 2});
+  float *P = Env[X].dataAs<float>();
+  P[0] = 1.0f; P[1] = 1.0f; P[2] = -2.0f; P[3] = -2.0f;
+  const auto Out = runGraphReference(G, std::move(Env));
+  const int8_t *O = Out[0].dataAs<int8_t>();
+  EXPECT_EQ(O[0], 2);  // 1.0 / 0.5
+  EXPECT_EQ(O[1], 4);  // 1.0 / 0.25
+  EXPECT_EQ(O[2], -4); // -2.0 / 0.5
+  EXPECT_EQ(O[3], -8); // -2.0 / 0.25
+}
+
+TEST(Reference, LayerNormNormalizes) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2, 8}, "x");
+  const int64_t Gamma = G.addTensor(DataType::F32, {8}, "gamma");
+  const int64_t Beta = G.addTensor(DataType::F32, {8}, "beta");
+  G.markInput(X);
+  G.markInput(Gamma);
+  G.markInput(Beta);
+  const int64_t Y = G.addOp(OpKind::LayerNorm, {X, Gamma, Beta},
+                            DataType::F32, {2, 8});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = randomTensor(DataType::F32, {2, 8}, 9);
+  Env[Gamma] = TensorData(DataType::F32, {8});
+  Env[Beta] = TensorData(DataType::F32, {8});
+  Env[Gamma].fillConstant(1.0);
+  Env[Beta].fillConstant(0.0);
+  const auto Out = runGraphReference(G, std::move(Env));
+  for (int R = 0; R < 2; ++R) {
+    double Mean = 0, Var = 0;
+    for (int C = 0; C < 8; ++C)
+      Mean += Out[0].dataAs<float>()[R * 8 + C];
+    Mean /= 8;
+    for (int C = 0; C < 8; ++C) {
+      const double D = Out[0].dataAs<float>()[R * 8 + C] - Mean;
+      Var += D * D;
+    }
+    Var /= 8;
+    EXPECT_NEAR(Mean, 0.0, 1e-5);
+    EXPECT_NEAR(Var, 1.0, 1e-3);
+  }
+}
+
+TEST(Reference, TransposeDefaultSwapsLastTwo) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2, 3}, "x");
+  G.markInput(X);
+  const int64_t Y = G.addOp(OpKind::Transpose, {X}, DataType::F32, {3, 2});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = TensorData(DataType::F32, {2, 3});
+  for (int I = 0; I < 6; ++I)
+    Env[X].dataAs<float>()[I] = static_cast<float>(I);
+  const auto Out = runGraphReference(G, std::move(Env));
+  EXPECT_EQ(Out[0].dataAs<float>()[0], 0.0f);
+  EXPECT_EQ(Out[0].dataAs<float>()[1], 3.0f);
+  EXPECT_EQ(Out[0].dataAs<float>()[2], 1.0f);
+}
+
+TEST(Reference, FusedOpEvaluatesSubgraph) {
+  Graph G;
+  const int64_t In = G.addTensor(DataType::F32, {4}, "in");
+  G.markInput(In);
+  auto Sub = std::make_unique<Graph>();
+  const int64_t SIn = Sub->addTensor(DataType::F32, {4}, "sin");
+  Sub->markInput(SIn);
+  const int64_t SSquare =
+      Sub->addOp(OpKind::Square, {SIn}, DataType::F32, {4});
+  const int64_t SOut = Sub->addOp(OpKind::ReLU, {SSquare}, DataType::F32, {4});
+  Sub->markOutput(SOut);
+  const int64_t Out = G.addTensor(DataType::F32, {4}, "out");
+  const int64_t FId = G.addOpExplicit(OpKind::FusedOp, {In}, {Out});
+  G.op(FId).setSubgraph(std::move(Sub));
+  G.markOutput(Out);
+
+  TensorMap Env;
+  Env[In] = TensorData(DataType::F32, {4});
+  float *P = Env[In].dataAs<float>();
+  P[0] = -2; P[1] = 0.5f; P[2] = 3; P[3] = -1;
+  const auto Result = runGraphReference(G, std::move(Env));
+  EXPECT_EQ(Result[0].dataAs<float>()[0], 4.0f);
+  EXPECT_EQ(Result[0].dataAs<float>()[1], 0.25f);
+  EXPECT_EQ(Result[0].dataAs<float>()[2], 9.0f);
+  EXPECT_EQ(Result[0].dataAs<float>()[3], 1.0f);
+}
+
+TEST(Reference, ConstantsBoundFromGraphData) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {2}, "x");
+  G.markInput(X);
+  const int64_t C =
+      G.addTensor(DataType::F32, {2}, "c", TensorProperty::Constant);
+  TensorData CD(DataType::F32, {2});
+  CD.dataAs<float>()[0] = 10.0f;
+  CD.dataAs<float>()[1] = 20.0f;
+  G.setConstantData(C, std::move(CD));
+  const int64_t Y = G.addOp(OpKind::Add, {X, C}, DataType::F32, {2});
+  G.markOutput(Y);
+  TensorMap Env;
+  Env[X] = TensorData(DataType::F32, {2});
+  Env[X].fillConstant(1.0);
+  const auto Out = runGraphReference(G, std::move(Env));
+  EXPECT_EQ(Out[0].dataAs<float>()[0], 11.0f);
+  EXPECT_EQ(Out[0].dataAs<float>()[1], 21.0f);
+}
+
+} // namespace

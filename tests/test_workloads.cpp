@@ -1,0 +1,184 @@
+//===- test_workloads.cpp - Table 1 workload builder tests -----------------------===//
+//
+// The workload builders feed every bench and e2e test, so their structure
+// is verified directly: layer dimensions, Table 1 MHA rows, the Fig. 5
+// quantization scheme (u8 asymmetric activations, s8 per-channel
+// symmetric weights), graph validity, and the BERT layer's piece count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/bert.h"
+#include "workloads/dlrm.h"
+#include "workloads/mha.h"
+#include "workloads/mlp.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gc;
+using namespace gc::graph;
+using namespace gc::workloads;
+
+namespace {
+
+int countKind(const Graph &G, OpKind Kind) {
+  int N = 0;
+  for (int64_t Id : G.opIds())
+    if (G.op(Id).kind() == Kind)
+      ++N;
+  return N;
+}
+
+TEST(Workloads, Table1LayerDims) {
+  EXPECT_EQ(mlp1Dims(), (std::vector<int64_t>{13, 512, 256, 128}));
+  EXPECT_EQ(mlp2Dims(),
+            (std::vector<int64_t>{479, 1024, 1024, 512, 256, 1}));
+}
+
+TEST(Workloads, MlpF32Structure) {
+  MlpSpec Spec;
+  Spec.Batch = 32;
+  Spec.LayerDims = mlp1Dims();
+  const Graph G = buildMlp(Spec);
+  EXPECT_EQ(G.verify(), "");
+  EXPECT_EQ(countKind(G, OpKind::MatMul), 3);
+  EXPECT_EQ(countKind(G, OpKind::Add), 3);
+  EXPECT_EQ(countKind(G, OpKind::ReLU), 2) << "no relu after the last layer";
+  EXPECT_EQ(G.inputs().size(), 1u);
+  EXPECT_EQ(G.tensor(G.outputs()[0]).Shape,
+            (std::vector<int64_t>{32, 128}));
+}
+
+TEST(Workloads, MlpInt8QuantScheme) {
+  MlpSpec Spec;
+  Spec.Batch = 16;
+  Spec.LayerDims = {32, 64};
+  Spec.Int8 = true;
+  const Graph G = buildMlp(Spec);
+  EXPECT_EQ(G.verify(), "");
+  EXPECT_EQ(G.tensor(G.inputs()[0]).Ty, DataType::U8);
+  EXPECT_EQ(G.tensor(G.outputs()[0]).Ty, DataType::U8);
+  // Fig. 5 structure: DQ(act) + DQ(weight) per matmul, Q at the end.
+  EXPECT_EQ(countKind(G, OpKind::Dequantize), 2);
+  EXPECT_EQ(countKind(G, OpKind::Quantize), 1);
+  // Weight dequantize is per-channel along N with zero zp; activation
+  // dequantize is per-tensor asymmetric.
+  bool SawPerChannel = false, SawAsymmetric = false;
+  for (int64_t Id : G.opIds()) {
+    const Op &O = G.op(Id);
+    if (O.kind() != OpKind::Dequantize)
+      continue;
+    if (!O.getAttrFloatVec("scales").empty()) {
+      SawPerChannel = true;
+      EXPECT_EQ(O.getAttrInt("axis"), 1);
+      EXPECT_EQ(O.getAttrInt("zp", 0), 0);
+      EXPECT_EQ(G.tensor(O.input(0)).Ty, DataType::S8);
+    } else if (O.getAttrInt("zp", 0) != 0) {
+      SawAsymmetric = true;
+      EXPECT_EQ(G.tensor(O.input(0)).Ty, DataType::U8);
+    }
+  }
+  EXPECT_TRUE(SawPerChannel);
+  EXPECT_TRUE(SawAsymmetric);
+}
+
+TEST(Workloads, MhaTableRows) {
+  const MhaSpec R1 = mhaTableSpec(1, 32, false);
+  EXPECT_EQ(R1.SeqLen, 128);
+  EXPECT_EQ(R1.Heads, 8);
+  EXPECT_EQ(R1.Heads * R1.HeadDim, 768);
+  const MhaSpec R2 = mhaTableSpec(2, 64, false);
+  EXPECT_EQ(R2.Heads, 12);
+  EXPECT_EQ(R2.Heads * R2.HeadDim, 768);
+  const MhaSpec R3 = mhaTableSpec(3, 32, false);
+  EXPECT_EQ(R3.SeqLen, 384);
+  EXPECT_EQ(R3.Heads * R3.HeadDim, 1024);
+  const MhaSpec R4 = mhaTableSpec(4, 128, true);
+  EXPECT_EQ(R4.SeqLen, 512);
+  EXPECT_EQ(R4.Heads, 16);
+  EXPECT_TRUE(R4.Int8);
+}
+
+TEST(Workloads, MhaGraphStructure) {
+  MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 16;
+  Spec.HeadDim = 8;
+  const Graph G = buildMha(Spec);
+  EXPECT_EQ(G.verify(), "");
+  EXPECT_EQ(countKind(G, OpKind::MatMul), 2) << "two batched matmuls";
+  EXPECT_EQ(countKind(G, OpKind::Softmax), 1);
+  EXPECT_EQ(countKind(G, OpKind::Mul), 1) << "1/sqrt(d) scale";
+  EXPECT_EQ(countKind(G, OpKind::Add), 1) << "mask add";
+  EXPECT_EQ(G.inputs().size(), 4u) << "q, k, v, mask";
+  // QK^T uses transpose_b.
+  for (int64_t Id : G.opIds()) {
+    const Op &O = G.op(Id);
+    if (O.kind() == OpKind::MatMul &&
+        G.tensor(O.output(0)).Shape.back() == Spec.SeqLen)
+      EXPECT_EQ(O.getAttrInt("transpose_b"), 1);
+  }
+}
+
+TEST(Workloads, MhaInt8OperandTypes) {
+  MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 16;
+  Spec.HeadDim = 8;
+  Spec.Int8 = true;
+  const Graph G = buildMha(Spec);
+  EXPECT_EQ(G.tensor(G.inputs()[0]).Ty, DataType::U8); // Q
+  EXPECT_EQ(G.tensor(G.inputs()[1]).Ty, DataType::S8); // K
+  EXPECT_EQ(G.tensor(G.inputs()[2]).Ty, DataType::S8); // V
+  EXPECT_EQ(countKind(G, OpKind::Quantize), 1) << "softmax output requant";
+}
+
+TEST(Workloads, BertLayerPieces) {
+  BertLayerSpec Spec;
+  Spec.Batch = 2;
+  Spec.SeqLen = 8;
+  Spec.Hidden = 32;
+  Spec.Heads = 4;
+  Spec.FfnDim = 64;
+  const Graph G = buildBertLayer(Spec);
+  EXPECT_EQ(G.verify(), "");
+  // QKV projections (3) + output projection + 2 FFN dense layers +
+  // 2 attention batch matmuls = 8.
+  EXPECT_EQ(countKind(G, OpKind::MatMul), 8);
+  EXPECT_EQ(countKind(G, OpKind::LayerNorm), 2);
+  EXPECT_EQ(countKind(G, OpKind::GELU), 1);
+  EXPECT_EQ(countKind(G, OpKind::Softmax), 1);
+  EXPECT_EQ(countKind(G, OpKind::Transpose), 4) << "to/from heads x QKV/ctx";
+  // Output chains back into the next layer: same logical shape as input.
+  EXPECT_EQ(G.tensor(G.outputs()[0]).Shape, G.tensor(G.inputs()[0]).Shape);
+}
+
+TEST(Workloads, DlrmSpecs) {
+  const MlpSpec Bottom = dlrmBottomSpec(64, true);
+  EXPECT_EQ(Bottom.LayerDims, mlp1Dims());
+  EXPECT_TRUE(Bottom.Int8);
+  const MlpSpec Top = dlrmTopSpec(64, false);
+  EXPECT_EQ(Top.LayerDims.front(), 479);
+  EXPECT_EQ(Top.LayerDims.back(), 1);
+}
+
+TEST(Workloads, DeterministicConstants) {
+  MlpSpec Spec;
+  Spec.Batch = 8;
+  Spec.LayerDims = {16, 32};
+  Spec.Seed = 9;
+  const Graph G1 = buildMlp(Spec);
+  const Graph G2 = buildMlp(Spec);
+  for (int64_t TId : G1.tensorIds()) {
+    const runtime::TensorData *D1 = G1.constantData(TId);
+    if (!D1)
+      continue;
+    const runtime::TensorData *D2 = G2.constantData(TId);
+    ASSERT_NE(D2, nullptr);
+    EXPECT_EQ(runtime::maxAbsDiff(*D1, *D2), 0.0);
+  }
+}
+
+} // namespace

@@ -32,11 +32,11 @@ void runMlpConfig(benchmark::State &State, const core::CompileOptions &Opts,
   Spec.Seed = 7;
   Instance W(workloads::buildMlp(Spec));
   auto Partition = core::compileGraph(W.G, Opts);
-  Partition->execute(W.InPtrs, W.OutPtrs); // fold warmup
+  (void)Partition->execute(W.InPtrs, W.OutPtrs); // fold warmup
   const uint64_t BarriersBefore = Partition->threadPool().barrierCount();
   uint64_t Iters = 0;
   for (auto _ : State) {
-    Partition->execute(W.InPtrs, W.OutPtrs);
+    (void)Partition->execute(W.InPtrs, W.OutPtrs);
     ++Iters;
   }
   const core::PartitionStats Stats = Partition->stats();
@@ -90,9 +90,9 @@ void runMhaConfig(benchmark::State &State,
   Spec.Seed = 8;
   Instance W(workloads::buildMha(Spec));
   auto Partition = core::compileGraph(W.G, Opts);
-  Partition->execute(W.InPtrs, W.OutPtrs);
+  (void)Partition->execute(W.InPtrs, W.OutPtrs);
   for (auto _ : State)
-    Partition->execute(W.InPtrs, W.OutPtrs);
+    (void)Partition->execute(W.InPtrs, W.OutPtrs);
   State.counters["parallel_nests"] =
       static_cast<double>(Partition->stats().ParallelNests);
 }

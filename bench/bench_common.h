@@ -99,7 +99,8 @@ inline double timeLoopNest(Instance &W) {
 /// Seconds/iteration of a compiled partition with \p Opts.
 inline double timeCompiled(Instance &W, const core::CompileOptions &Opts) {
   auto Partition = core::compileGraph(W.G, Opts);
-  return measureSeconds([&] { Partition->execute(W.InPtrs, W.OutPtrs); });
+  return measureSeconds(
+      [&] { (void)Partition->execute(W.InPtrs, W.OutPtrs); });
 }
 
 inline core::CompileOptions gcOptions() { return core::CompileOptions(); }

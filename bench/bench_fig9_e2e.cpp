@@ -47,7 +47,7 @@ void runBert(int64_t Batch, bool Int8) {
   // (output feeds the next layer's input slot).
   const auto RunStack = [&](core::CompiledPartition &P) {
     for (int64_t L = 0; L < Layers; ++L)
-      P.execute(W.InPtrs, W.OutPtrs);
+      (void)P.execute(W.InPtrs, W.OutPtrs);
   };
   const double PrimSec = measureSeconds([&] { RunStack(*Prim); });
   const double GcSec = measureSeconds([&] { RunStack(*Gc); });
@@ -67,12 +67,12 @@ void runDlrm(int64_t Batch, bool Int8) {
   auto PrimT = core::compileGraph(Top.G, core::primitivesBaselineOptions());
 
   const double PrimSec = measureSeconds([&] {
-    PrimB->execute(Bottom.InPtrs, Bottom.OutPtrs);
-    PrimT->execute(Top.InPtrs, Top.OutPtrs);
+    (void)PrimB->execute(Bottom.InPtrs, Bottom.OutPtrs);
+    (void)PrimT->execute(Top.InPtrs, Top.OutPtrs);
   });
   const double GcSec = measureSeconds([&] {
-    GcB->execute(Bottom.InPtrs, Bottom.OutPtrs);
-    GcT->execute(Top.InPtrs, Top.OutPtrs);
+    (void)GcB->execute(Bottom.InPtrs, Bottom.OutPtrs);
+    (void)GcT->execute(Top.InPtrs, Top.OutPtrs);
   });
   std::printf("DLRM(%s,BS=%lld)          %14.3f %14.3f %10.2fx\n",
               Int8 ? "Int8" : "FP32", (long long)Batch, PrimSec * 1e3,

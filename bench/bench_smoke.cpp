@@ -1,0 +1,74 @@
+//===- bench_smoke.cpp - machine-readable perf smoke --------------------------------===//
+//
+// Small fixed-shape benchmark set for the CI perf trajectory: compiles the
+// Table 1 workloads through the Session API and emits one JSON object per
+// line on stdout, e.g.
+//
+//   {"bench":"mlp1_f32","threads":4,"partitions":1,"us_per_iter":123.4,
+//    "cache_hit":0}
+//
+// Shapes are reduced versus the paper sweeps so the whole run stays under a
+// few seconds; the numbers track relative movement between commits, not
+// absolute paper figures. GC_BENCH_MIN_TIME shrinks/extends measurement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/session.h"
+#include "bench_common.h"
+#include "workloads/mha.h"
+#include "workloads/mlp.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace gc;
+using namespace gc::bench;
+
+namespace {
+
+/// Measures one graph through a Session stream; prints the JSON line.
+void runCase(api::Session &S, const char *Name, graph::Graph G) {
+  Instance W(std::move(G));
+  const uint64_t HitsBefore = S.cacheHits();
+  Expected<api::CompiledGraphPtr> CompiledOr = S.compile(W.G);
+  if (!CompiledOr) {
+    std::printf("{\"bench\":\"%s\",\"error\":\"%s\"}\n", Name,
+                CompiledOr.status().toString().c_str());
+    return;
+  }
+  const api::CompiledGraph &CG = **CompiledOr;
+  api::Stream Str = S.stream();
+  const double Secs = measureSeconds(
+      [&] { (void)Str.execute(CG, W.InPtrs, W.OutPtrs); });
+  std::printf("{\"bench\":\"%s\",\"threads\":%d,\"partitions\":%zu,"
+              "\"fallback_partitions\":%zu,\"us_per_iter\":%.2f,"
+              "\"cache_hit\":%d}\n",
+              Name, S.threadPool().numThreads(), CG.numPartitions(),
+              CG.numFallbackPartitions(), Secs * 1e6,
+              S.cacheHits() > HitsBefore ? 1 : 0);
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  api::Session S;
+
+  workloads::MlpSpec Mlp1;
+  Mlp1.Batch = 64;
+  Mlp1.LayerDims = workloads::mlp1Dims();
+  runCase(S, "mlp1_f32", workloads::buildMlp(Mlp1));
+
+  workloads::MlpSpec Mlp1Int8 = Mlp1;
+  Mlp1Int8.Int8 = true;
+  runCase(S, "mlp1_int8", workloads::buildMlp(Mlp1Int8));
+
+  workloads::MhaSpec Mha;
+  Mha.Batch = 2;
+  runCase(S, "mha_f32", workloads::buildMha(Mha));
+
+  // Recompile an identical graph: measures the compiled-partition cache
+  // (cache_hit should report 1 and compile cost should vanish).
+  runCase(S, "mlp1_f32_recompile", workloads::buildMlp(Mlp1));
+  return 0;
+}

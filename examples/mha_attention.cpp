@@ -28,11 +28,11 @@ namespace {
 double timeIt(core::CompiledPartition &P,
               const std::vector<runtime::TensorData *> &In,
               const std::vector<runtime::TensorData *> &Out) {
-  P.execute(In, Out);
+  (void)P.execute(In, Out);
   Timer T;
   int Iters = 0;
   do {
-    P.execute(In, Out);
+    (void)P.execute(In, Out);
     ++Iters;
   } while (T.seconds() < 0.2);
   return T.seconds() / Iters;

@@ -64,11 +64,11 @@ int main(int argc, char **argv) {
 
   auto timeIt = [&](core::CompiledPartition &P,
                     runtime::TensorData &Out) {
-    P.execute({&In}, {&Out}); // warmup + fold
+    (void)P.execute({&In}, {&Out}); // warmup + fold
     Timer T;
     int Iters = 0;
     do {
-      P.execute({&In}, {&Out});
+      (void)P.execute({&In}, {&Out});
       ++Iters;
     } while (T.seconds() < 0.2);
     return T.seconds() / Iters;

@@ -1,15 +1,16 @@
 //===- quickstart.cpp - build, compile and run a graph in 60 lines ---------------===//
 //
-// Minimal end-to-end use of the public API: build a Graph IR program
-// (matmul + bias + relu), compile it, execute it on runtime tensors, and
-// sanity-check one value. Mirrors the oneDNN Graph API flow the paper's
-// §VII describes: graph -> compiled partition -> repeated execution.
+// Minimal end-to-end use of the public Session API: build a Graph IR
+// program (matmul + bias + relu), finalize it, compile it through a
+// Session (partition discovery + compiled-partition cache), and execute it
+// on a Stream. Mirrors the oneDNN Graph API flow the paper's §VII
+// describes: graph -> finalize -> partitions -> compile -> execute.
 //
 // Run: ./build/examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/compiler.h"
+#include "api/session.h"
 #include "graph/graph.h"
 
 #include <cstdio>
@@ -45,24 +46,41 @@ int main() {
       G.addOp(graph::OpKind::ReLU, {Biased}, DataType::F32, {M, N});
   G.markOutput(Out);
 
-  // --- 2. compile -------------------------------------------------------
-  core::CompileOptions Opts; // defaults: full optimization pipeline
-  auto Partition = core::compileGraph(G, Opts);
-  std::printf("compiled: %d parallel nest(s), %lld B scratch arena\n",
-              Partition->stats().ParallelNests,
-              (long long)Partition->stats().ScratchArenaBytes);
+  // --- 2. finalize + compile through a session --------------------------
+  if (const Status S = G.finalize(); !S.isOk()) {
+    std::fprintf(stderr, "invalid graph: %s\n", S.toString().c_str());
+    return 1;
+  }
+  api::Session Session; // defaults: full optimization pipeline
+  Expected<api::CompiledGraphPtr> CompiledOr = Session.compile(G);
+  if (!CompiledOr) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 CompiledOr.status().toString().c_str());
+    return 1;
+  }
+  const api::CompiledGraph &Compiled = **CompiledOr;
+  std::printf("compiled: %zu partition(s), %zu on the reference fallback\n",
+              Compiled.numPartitions(), Compiled.numFallbackPartitions());
 
-  // --- 3. execute --------------------------------------------------------
+  // --- 3. execute on a stream -------------------------------------------
   runtime::TensorData Input(DataType::F32, {M, K});
   Input.fillConstant(1.0);
   runtime::TensorData Output(DataType::F32, {M, N});
-  Partition->execute({&Input}, {&Output});
+  api::Stream Stream = Session.stream();
+  if (const Status S = Stream.execute(Compiled, {&Input}, {&Output});
+      !S.isOk()) {
+    std::fprintf(stderr, "execute failed: %s\n", S.toString().c_str());
+    return 1;
+  }
 
   // Every output element is relu(sum_k 1 * 0.01 + 0.5) = 128*0.01 + 0.5.
   std::printf("output[0][0] = %.4f (expected %.4f)\n",
               Output.dataAs<float>()[0], K * 0.01f + 0.5f);
-  std::printf("fold cache: %zu tensors, %lld bytes (prepacked weight)\n",
-              Partition->stats().FoldedTensors,
-              (long long)Partition->stats().FoldedBytes);
+
+  // Recompiling an identical graph is served from the session cache.
+  Session.compile(G);
+  std::printf("recompile: cache hits=%llu misses=%llu\n",
+              (unsigned long long)Session.cacheHits(),
+              (unsigned long long)Session.cacheMisses());
   return 0;
 }

@@ -1,0 +1,67 @@
+//===- partitioner.h - Graph -> partition discovery -------------*- C++ -*-===//
+///
+/// \file
+/// Carves a finalized Graph IR graph into maximal executable partitions,
+/// mirroring the oneDNN Graph API's get_partitions() step (§VII). Ops the
+/// compiler can lower group into Compiled partitions; unsupported or
+/// unknown ops (and ops explicitly pinned with attr impl="reference") form
+/// Fallback partitions executed by the reference interpreter, so any valid
+/// graph runs end-to-end. The partition list is topologically ordered:
+/// executing partitions in list order respects every data dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_API_PARTITIONER_H
+#define GC_API_PARTITIONER_H
+
+#include "graph/graph.h"
+#include "support/status.h"
+
+#include <vector>
+
+namespace gc {
+namespace api {
+
+/// How a partition executes.
+enum class PartitionKind : uint8_t {
+  Compiled, ///< lowered through the full compiler pipeline
+  Fallback, ///< interpreted by the reference evaluator
+};
+
+/// One partition of a source graph. The subgraph preserves the source
+/// graph's tensor ids, so boundary tensors are identified across
+/// partitions by id. Constants initially reference the source graph's
+/// data as non-owning views; api::Session drops them (compiled) or
+/// deep-copies them (fallback) when it builds the CompiledGraph.
+struct PartitionSpec {
+  PartitionKind Kind = PartitionKind::Compiled;
+  /// Source-graph op ids belonging to this partition (topological order).
+  std::vector<int64_t> OpIds;
+  /// The extracted subgraph; inputs()/outputs() define execute() order.
+  graph::Graph Subgraph;
+};
+
+/// Walks a graph and produces its partition list.
+class Partitioner {
+public:
+  explicit Partitioner(const graph::Graph &G) : G(G) {}
+
+  /// True when the compiler pipeline can lower \p O on the main side.
+  /// partition() additionally admits any-kind ops on the constant (fold)
+  /// side, which the compiled pipeline preprocesses at first execution.
+  static bool isCompilable(const graph::Graph &G, const graph::Op &O);
+
+  /// Carves the graph into maximal same-kind partitions. Ops join the
+  /// latest partition that (a) matches their kind and (b) is not earlier
+  /// than any producer's partition, which keeps the partition DAG acyclic
+  /// while merging across independent unsupported ops.
+  Expected<std::vector<PartitionSpec>> partition() const;
+
+private:
+  const graph::Graph &G;
+};
+
+} // namespace api
+} // namespace gc
+
+#endif // GC_API_PARTITIONER_H

@@ -1,0 +1,334 @@
+//===- session.cpp - Public Session / CompiledGraph / Stream API -------------------===//
+
+#include "api/session.h"
+
+#include "graph/reference.h"
+#include "support/str.h"
+
+#include <cstring>
+#include <unordered_set>
+
+namespace gc {
+namespace api {
+
+using namespace graph;
+
+namespace {
+
+/// Sanity screen for compiled-partition cache hits: the 64-bit fingerprint
+/// is not collision-proof, so a hit must at least agree with the spec on
+/// its boundary signature before being reused. A gross collision then
+/// degrades to a recompile instead of silently executing the wrong code.
+bool boundaryMatches(const Graph &Sub, const core::CompiledPartition &CP) {
+  const Graph &Opt = CP.optimizedGraph();
+  if (Sub.inputs().size() != Opt.inputs().size() ||
+      Sub.outputs().size() != Opt.outputs().size())
+    return false;
+  for (size_t I = 0; I < Sub.inputs().size(); ++I) {
+    const LogicalTensor &A = Sub.tensor(Sub.inputs()[I]);
+    const LogicalTensor &B = Opt.tensor(Opt.inputs()[I]);
+    if (A.Ty != B.Ty || A.Shape != B.Shape)
+      return false;
+  }
+  for (size_t I = 0; I < Sub.outputs().size(); ++I) {
+    const LogicalTensor &A = Sub.tensor(Sub.outputs()[I]);
+    const LogicalTensor &B = Opt.tensor(Opt.outputs()[I]);
+    if (A.Ty != B.Ty || A.Shape != B.Shape)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompiledGraph
+//===----------------------------------------------------------------------===//
+
+size_t CompiledGraph::numFallbackPartitions() const {
+  size_t N = 0;
+  for (const Part &P : Parts)
+    if (P.Spec.Kind == PartitionKind::Fallback)
+      ++N;
+  return N;
+}
+
+std::vector<std::vector<int64_t>> CompiledGraph::outputShapes() const {
+  std::vector<std::vector<int64_t>> Shapes;
+  Shapes.reserve(OutputMeta.size());
+  for (const LogicalTensor &T : OutputMeta)
+    Shapes.push_back(T.Shape);
+  return Shapes;
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(core::CompileOptions Opts) : Opts(std::move(Opts)) {
+  if (this->Opts.Threads > 0)
+    Pool = std::make_shared<runtime::ThreadPool>(this->Opts.Threads);
+  else
+    Pool = core::globalThreadPool();
+}
+
+size_t Session::cacheSize() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Cache.size();
+}
+
+void Session::clearCache() {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  Cache.clear();
+  UnsupportedKeys.clear();
+}
+
+Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
+  // Always re-validate, finalized or not: the mutable op()/tensor()
+  // accessors can invalidate a graph without clearing the finalized flag,
+  // and validation is trivially cheap next to fingerprinting/compiling.
+  if (const Status S = G.validate(); !S.isOk())
+    return S;
+
+  Partitioner P(G);
+  Expected<std::vector<PartitionSpec>> SpecsOr = P.partition();
+  if (!SpecsOr)
+    return SpecsOr.status();
+
+  auto CG = std::make_shared<CompiledGraph>();
+  CG->InputIds = G.inputs();
+  CG->OutputIds = G.outputs();
+  for (int64_t In : CG->InputIds)
+    CG->InputMeta.push_back(G.tensor(In));
+  for (int64_t Out : CG->OutputIds)
+    CG->OutputMeta.push_back(G.tensor(Out));
+  {
+    // A tensor listed as output more than once is produced once and
+    // copied into the remaining caller buffers after execution.
+    std::unordered_map<int64_t, size_t> FirstOut;
+    for (size_t OI = 0; OI < CG->OutputIds.size(); ++OI) {
+      const auto [It, Inserted] =
+          FirstOut.try_emplace(CG->OutputIds[OI], OI);
+      if (!Inserted)
+        CG->DuplicateOutputs.emplace_back(OI, It->second);
+    }
+  }
+
+  for (PartitionSpec &Spec : SpecsOr.value()) {
+    CompiledGraph::Part Part;
+    if (Spec.Kind == PartitionKind::Compiled) {
+      const uint64_t Key = Spec.Subgraph.fingerprint();
+      bool KnownUnsupported = false;
+      {
+        std::lock_guard<std::mutex> Lock(CacheMutex);
+        auto It = Cache.find(Key);
+        if (It != Cache.end() && boundaryMatches(Spec.Subgraph, *It->second)) {
+          Hits.fetch_add(1);
+          Part.Compiled = It->second;
+        } else if (UnsupportedKeys.count(Key)) {
+          KnownUnsupported = true;
+        }
+      }
+      if (KnownUnsupported) {
+        Spec.Kind = PartitionKind::Fallback;
+      } else if (!Part.Compiled) {
+        Misses.fetch_add(1);
+        Expected<std::shared_ptr<core::CompiledPartition>> CompiledOr =
+            core::compilePartition(Spec.Subgraph, Opts, Pool);
+        if (CompiledOr) {
+          std::lock_guard<std::mutex> Lock(CacheMutex);
+          // Keep the first entry when two threads raced on the same key so
+          // later compiles observe one canonical partition.
+          Part.Compiled =
+              Cache.try_emplace(Key, CompiledOr.value()).first->second;
+        } else if (CompiledOr.status().code() == StatusCode::Unsupported) {
+          // The partitioner's static screen was too optimistic; run this
+          // partition on the interpreter instead of failing the graph, and
+          // remember the verdict so identical subgraphs skip the attempt.
+          Spec.Kind = PartitionKind::Fallback;
+          std::lock_guard<std::mutex> Lock(CacheMutex);
+          UnsupportedKeys.insert(Key);
+        } else {
+          return CompiledOr.status();
+        }
+      }
+    }
+    // Settle constant ownership: compiled partitions own their copy (in
+    // CompiledPartition::OptimizedG + fold cache), so the spec's views are
+    // dropped; fallback subgraphs deep-copy theirs since the CompiledGraph
+    // may outlive the source graph.
+    if (Part.Compiled)
+      Spec.Subgraph.dropConstantData();
+    else
+      Spec.Subgraph.materializeConstantData();
+    Part.Spec = std::move(Spec);
+    CG->Parts.push_back(std::move(Part));
+  }
+
+  // Every graph output must be produced by a partition or be a verbatim
+  // copy of a graph input (pass-through edge).
+  std::unordered_set<int64_t> Produced;
+  for (const CompiledGraph::Part &Part : CG->Parts)
+    for (int64_t Out : Part.Spec.Subgraph.outputs())
+      Produced.insert(Out);
+  for (size_t OI = 0; OI < CG->OutputIds.size(); ++OI) {
+    const int64_t Out = CG->OutputIds[OI];
+    if (Produced.count(Out))
+      continue;
+    bool Found = false;
+    for (size_t II = 0; II < CG->InputIds.size(); ++II)
+      if (CG->InputIds[II] == Out) {
+        CG->Passthrough.emplace_back(OI, II);
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return Status::error(
+          StatusCode::Unsupported,
+          formatString("graph output t%lld is produced by no op and is not "
+                       "a graph input",
+                       (long long)Out));
+  }
+  return CG;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks one caller tensor against the graph-boundary metadata.
+Status checkBoundaryTensor(const runtime::TensorData *T,
+                           const LogicalTensor &Meta, const char *What,
+                           size_t Index) {
+  if (!T || !T->valid())
+    return Status::error(StatusCode::InvalidArgument,
+                         formatString("%s %zu is null", What, Index));
+  if (T->dtype() != Meta.Ty)
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("%s %zu dtype mismatch: got %s, expected %s", What,
+                     Index, dataTypeName(T->dtype()),
+                     dataTypeName(Meta.Ty)));
+  if (T->shape() != Meta.Shape)
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("%s %zu shape mismatch: got %s, expected %s", What,
+                     Index, shapeToString(T->shape()).c_str(),
+                     shapeToString(Meta.Shape).c_str()));
+  return Status::ok();
+}
+
+} // namespace
+
+Status Stream::execute(const CompiledGraph &CG,
+                       const std::vector<runtime::TensorData *> &Inputs,
+                       const std::vector<runtime::TensorData *> &Outputs)
+    const {
+  if (Inputs.size() != CG.InputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("input arity mismatch: got %zu, expected %zu",
+                     Inputs.size(), CG.InputIds.size()));
+  if (Outputs.size() != CG.OutputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("output arity mismatch: got %zu, expected %zu",
+                     Outputs.size(), CG.OutputIds.size()));
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    if (Status S = checkBoundaryTensor(Inputs[I], CG.InputMeta[I], "input", I);
+        !S.isOk())
+      return S;
+  for (size_t I = 0; I < Outputs.size(); ++I)
+    if (Status S =
+            checkBoundaryTensor(Outputs[I], CG.OutputMeta[I], "output", I);
+        !S.isOk())
+      return S;
+
+  // Execution-local tensor environment: boundary ids -> storage. Caller
+  // tensors are borrowed; cross-partition intermediates are owned by this
+  // execution (per-execution scratch — concurrent executes never share).
+  std::unordered_map<int64_t, runtime::TensorData *> Bound;
+  std::unordered_map<int64_t, runtime::TensorData> Owned;
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    Bound.try_emplace(CG.InputIds[I], Inputs[I]);
+  // First occurrence wins; duplicate output listings are copied after the
+  // partition loop (see DuplicateOutputs).
+  for (size_t I = 0; I < Outputs.size(); ++I)
+    Bound.try_emplace(CG.OutputIds[I], Outputs[I]);
+
+  for (const CompiledGraph::Part &Part : CG.Parts) {
+    const Graph &Sub = Part.Spec.Subgraph;
+    std::vector<runtime::TensorData *> Ins, Outs;
+    Ins.reserve(Sub.inputs().size());
+    Outs.reserve(Sub.outputs().size());
+    for (int64_t In : Sub.inputs()) {
+      auto It = Bound.find(In);
+      if (It == Bound.end())
+        return Status::error(
+            StatusCode::Internal,
+            formatString("partition input t%lld was never produced",
+                         (long long)In));
+      Ins.push_back(It->second);
+    }
+    for (int64_t Out : Sub.outputs()) {
+      auto It = Bound.find(Out);
+      if (It != Bound.end()) {
+        Outs.push_back(It->second);
+        continue;
+      }
+      const LogicalTensor &Meta = Sub.tensor(Out);
+      runtime::TensorData &T =
+          Owned.emplace(Out, runtime::TensorData(Meta.Ty, Meta.Shape))
+              .first->second;
+      Bound[Out] = &T;
+      Outs.push_back(&T);
+    }
+
+    if (Part.Compiled) {
+      if (Status S = Part.Compiled->execute(Ins, Outs); !S.isOk())
+        return S;
+      continue;
+    }
+
+    // Reference fallback: interpret the subgraph on plain tensors. Inputs
+    // and constants are wrapped as views (no copy; constants are read-only
+    // during evaluation); outputs are copied into their destination
+    // buffers.
+    TensorMap Env;
+    for (int64_t TId : Sub.tensorIds())
+      if (const runtime::TensorData *Data = Sub.constantData(TId))
+        Env[TId] = runtime::TensorData::view(
+            Data->dtype(), Data->shape(), const_cast<void *>(Data->data()));
+    const std::vector<int64_t> &SubIns = Sub.inputs();
+    for (size_t I = 0; I < SubIns.size(); ++I) {
+      const LogicalTensor &Meta = Sub.tensor(SubIns[I]);
+      Env[SubIns[I]] =
+          runtime::TensorData::view(Meta.Ty, Meta.Shape, Ins[I]->data());
+    }
+    evalGraphReference(Sub, Env);
+    const std::vector<int64_t> &SubOuts = Sub.outputs();
+    for (size_t I = 0; I < SubOuts.size(); ++I) {
+      const runtime::TensorData &Result = Env.at(SubOuts[I]);
+      if (Result.numBytes() != Outs[I]->numBytes())
+        return Status::error(StatusCode::Internal,
+                             "fallback output size mismatch");
+      std::memcpy(Outs[I]->data(), Result.data(),
+                  static_cast<size_t>(Result.numBytes()));
+    }
+  }
+
+  for (const auto &[OutIdx, InIdx] : CG.Passthrough)
+    if (Outputs[OutIdx]->data() != Inputs[InIdx]->data())
+      std::memcpy(Outputs[OutIdx]->data(), Inputs[InIdx]->data(),
+                  static_cast<size_t>(Inputs[InIdx]->numBytes()));
+  for (const auto &[DupIdx, FirstIdx] : CG.DuplicateOutputs)
+    if (Outputs[DupIdx]->data() != Outputs[FirstIdx]->data())
+      std::memcpy(Outputs[DupIdx]->data(), Outputs[FirstIdx]->data(),
+                  static_cast<size_t>(Outputs[FirstIdx]->numBytes()));
+  return Status::ok();
+}
+
+} // namespace api
+} // namespace gc

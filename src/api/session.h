@@ -1,0 +1,162 @@
+//===- session.h - Public Session / CompiledGraph / Stream API --*- C++ -*-===//
+///
+/// \file
+/// The partition-based public API, mirroring the oneDNN Graph API flow of
+/// §VII: finalize a graph, discover partitions, compile each partition,
+/// execute on a stream.
+///
+///   api::Session S;                          // options + shared thread pool
+///   G.finalize();
+///   auto Compiled = S.compile(G);            // Expected<CompiledGraphPtr>
+///   if (!Compiled) ...;                      // Status error, no abort
+///   api::Stream Str = S.stream();
+///   Str.execute(**Compiled, {&X}, {&Y});     // thread-safe, repeatable
+///
+/// A Session owns the CompileOptions, a thread pool shared by every
+/// partition it compiles, and a compiled-partition cache keyed by the
+/// canonical subgraph fingerprint: recompiling an identical subgraph
+/// returns the cached CompiledPartition (pointer identity). Ops the
+/// compiler cannot lower run in reference-interpreter fallback partitions,
+/// so any valid graph executes end-to-end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_API_SESSION_H
+#define GC_API_SESSION_H
+
+#include "api/partitioner.h"
+#include "core/compiler.h"
+#include "graph/graph.h"
+#include "runtime/tensor_data.h"
+#include "runtime/thread_pool.h"
+#include "support/status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gc {
+namespace api {
+
+class Session;
+class Stream;
+
+/// A fully prepared executable graph: the ordered partition list with one
+/// CompiledPartition per compiled partition (fallback partitions carry
+/// none and interpret their subgraph). Immutable after compilation and
+/// safe to execute from many streams/threads concurrently.
+class CompiledGraph {
+public:
+  size_t numPartitions() const { return Parts.size(); }
+  PartitionKind partitionKind(size_t I) const { return Parts[I].Spec.Kind; }
+  /// The compiled executable of partition \p I; nullptr for fallback
+  /// partitions. Pointer identity with a previous compile() of an
+  /// identical subgraph demonstrates a cache hit.
+  std::shared_ptr<core::CompiledPartition> compiledPartition(size_t I) const {
+    return Parts[I].Compiled;
+  }
+  /// Number of partitions served by the reference interpreter.
+  size_t numFallbackPartitions() const;
+
+  /// Graph boundary in source declaration order.
+  const std::vector<int64_t> &inputIds() const { return InputIds; }
+  const std::vector<int64_t> &outputIds() const { return OutputIds; }
+  /// Logical shapes of the graph outputs, in output order.
+  std::vector<std::vector<int64_t>> outputShapes() const;
+
+private:
+  friend class Session;
+  friend class Stream;
+
+  struct Part {
+    PartitionSpec Spec;
+    std::shared_ptr<core::CompiledPartition> Compiled; // null = fallback
+  };
+
+  std::vector<Part> Parts;
+  std::vector<int64_t> InputIds;
+  std::vector<int64_t> OutputIds;
+  /// Boundary metadata (dtype/shape) per graph input/output for argument
+  /// validation and intermediate allocation.
+  std::vector<graph::LogicalTensor> InputMeta;
+  std::vector<graph::LogicalTensor> OutputMeta;
+  /// Graph outputs that are plain copies of a graph input
+  /// (output index -> input index); no partition produces them.
+  std::vector<std::pair<size_t, size_t>> Passthrough;
+  /// Outputs listing a tensor already listed earlier (duplicate index ->
+  /// first index); partitions write the first, execute copies the rest.
+  std::vector<std::pair<size_t, size_t>> DuplicateOutputs;
+};
+
+using CompiledGraphPtr = std::shared_ptr<CompiledGraph>;
+
+/// Execution handle vended by a session. Streams are cheap empty value
+/// objects; execute() is thread-safe and any number of streams may execute
+/// the same CompiledGraph concurrently (per-execution scratch, fold-once —
+/// the compiled partitions carry their session's thread pool).
+class Stream {
+public:
+  /// Executes \p CG. \p Inputs follow the source graph's input declaration
+  /// order, \p Outputs its output order (caller-allocated, plain
+  /// row-major). Compiled partitions run on the session's thread pool;
+  /// fallback partitions interpret. Boundary tensors between partitions
+  /// are allocated per execution.
+  Status execute(const CompiledGraph &CG,
+                 const std::vector<runtime::TensorData *> &Inputs,
+                 const std::vector<runtime::TensorData *> &Outputs) const;
+
+private:
+  friend class Session;
+  Stream() = default;
+};
+
+/// Owns compilation options, the execution thread pool, and the
+/// compiled-partition cache. Thread-safe: compile() and Stream::execute()
+/// may be called concurrently.
+class Session {
+public:
+  explicit Session(core::CompileOptions Opts = {});
+
+  const core::CompileOptions &options() const { return Opts; }
+  runtime::ThreadPool &threadPool() const { return *Pool; }
+
+  /// Finalizes (verifies) \p G if needed, partitions it, and compiles
+  /// every compilable partition — identical subgraphs are served from the
+  /// session cache. Partitions the compiler rejects as unsupported are
+  /// demoted to reference fallback instead of failing the compile.
+  Expected<CompiledGraphPtr> compile(const graph::Graph &G);
+
+  /// Creates an execution stream.
+  Stream stream() { return Stream(); }
+
+  /// Compiled-partition cache introspection.
+  size_t cacheSize() const;
+  uint64_t cacheHits() const { return Hits.load(); }
+  uint64_t cacheMisses() const { return Misses.load(); }
+  void clearCache();
+
+private:
+  friend class Stream;
+
+  core::CompileOptions Opts;
+  std::shared_ptr<runtime::ThreadPool> Pool;
+
+  mutable std::mutex CacheMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<core::CompiledPartition>>
+      Cache;
+  /// Negative cache: subgraph fingerprints the compiler already rejected
+  /// as Unsupported; later compiles demote straight to fallback without
+  /// re-running the pass pipeline and lowering.
+  std::unordered_set<uint64_t> UnsupportedKeys;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace api
+} // namespace gc
+
+#endif // GC_API_SESSION_H

@@ -136,7 +136,8 @@ LoopNestExecutor::LoopNestExecutor(const Graph &Source, int Threads) {
   PM.addPass(passes::createLowPrecisionPass());
   PM.addPass(passes::createConstantFoldPass());
   PM.addPass(passes::createDcePass());
-  PM.run(G);
+  if (const Status S = PM.run(G); !S.isOk())
+    fatalError(S.toString().c_str());
 
   InputIds = G.inputs();
   OutputIds = G.outputs();

@@ -1,11 +1,13 @@
-//===- compiler.cpp - Public compile/execute API -----------------------------------===//
+//===- compiler.cpp - Partition compile/execute engine -----------------------------===//
 
 #include "core/compiler.h"
 
+#include "api/session.h"
 #include "graph/reference.h"
 #include "kernels/packing.h"
 #include "passes/pass.h"
 #include "support/common.h"
+#include "support/str.h"
 #include "tirpass/tirpass.h"
 
 #include <algorithm>
@@ -125,14 +127,49 @@ void CompiledPartition::runFoldFunction() {
   runFoldGraph(Prog.FoldGraph, Prog.FoldOutputs, Cache);
 }
 
-void CompiledPartition::execute(
+std::unique_ptr<tir::Evaluator> CompiledPartition::acquireEvaluator() {
+  {
+    std::lock_guard<std::mutex> Lock(EvalMutex);
+    if (!IdleEvals.empty()) {
+      std::unique_ptr<tir::Evaluator> Eval = std::move(IdleEvals.back());
+      IdleEvals.pop_back();
+      return Eval;
+    }
+  }
+  return std::make_unique<tir::Evaluator>(Prog.Entry, *Pool);
+}
+
+void CompiledPartition::releaseEvaluator(
+    std::unique_ptr<tir::Evaluator> Eval) {
+  // Bound the idle pool so a one-off concurrency burst does not pin one
+  // scratch arena per peak-concurrent execute for the partition's
+  // lifetime; evaluators beyond the cap are simply dropped.
+  constexpr size_t kMaxIdleEvaluators = 8;
+  std::lock_guard<std::mutex> Lock(EvalMutex);
+  if (IdleEvals.size() < kMaxIdleEvaluators)
+    IdleEvals.push_back(std::move(Eval));
+}
+
+Status CompiledPartition::execute(
     const std::vector<runtime::TensorData *> &Inputs,
     const std::vector<runtime::TensorData *> &Outputs) {
-  assert(Inputs.size() == InputIds.size() && "input arity mismatch");
-  assert(Outputs.size() == OutputIds.size() && "output arity mismatch");
-  if (!Cache.isPopulated())
+  if (Inputs.size() != InputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("input arity mismatch: got %zu, expected %zu",
+                     Inputs.size(), InputIds.size()));
+  if (Outputs.size() != OutputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("output arity mismatch: got %zu, expected %zu",
+                     Outputs.size(), OutputIds.size()));
+  std::call_once(FoldOnce, [this] {
     runFoldFunction();
+    FoldDone.store(true, std::memory_order_release);
+  });
 
+  std::unique_ptr<tir::Evaluator> Eval = acquireEvaluator();
+  Status Result = Status::ok();
   for (const lower::Binding &B : Prog.Bindings) {
     switch (B.Kind) {
     case lower::BindingKind::Input: {
@@ -141,6 +178,11 @@ void CompiledPartition::execute(
       assert(It != InputIds.end() && "binding refers to unknown input");
       runtime::TensorData *T =
           Inputs[static_cast<size_t>(It - InputIds.begin())];
+      if (!T || !T->valid()) {
+        Result = Status::error(StatusCode::InvalidArgument,
+                               "null input tensor passed to execute");
+        break;
+      }
       Eval->bindBuffer(B.BufferId, T->data());
       break;
     }
@@ -150,11 +192,19 @@ void CompiledPartition::execute(
       assert(It != OutputIds.end() && "binding refers to unknown output");
       runtime::TensorData *T =
           Outputs[static_cast<size_t>(It - OutputIds.begin())];
+      if (!T || !T->valid()) {
+        Result = Status::error(StatusCode::InvalidArgument,
+                               "null output tensor passed to execute");
+        break;
+      }
       Eval->bindBuffer(B.BufferId, T->data());
       break;
     }
     case lower::BindingKind::Folded: {
       const runtime::TensorData *T = Cache.get(B.TensorId);
+      // Internal invariant (the fold function populates every binding):
+      // stays a loud abort so legacy callers ignoring the Status cannot
+      // silently read an unwritten output.
       if (!T)
         fatalError("folded constant missing from the cache");
       Eval->bindBuffer(B.BufferId, const_cast<void *>(T->data()));
@@ -168,8 +218,13 @@ void CompiledPartition::execute(
       break;
     }
     }
+    if (!Result.isOk())
+      break;
   }
-  Eval->run();
+  if (Result.isOk())
+    Eval->run();
+  releaseEvaluator(std::move(Eval));
+  return Result;
 }
 
 PartitionStats CompiledPartition::stats() const {
@@ -178,8 +233,12 @@ PartitionStats CompiledPartition::stats() const {
   S.ParallelNests = tirpass::countParallelNests(Prog.Entry);
   S.ScratchArenaBytes = Prog.Entry.ArenaBytes;
   S.ScratchArenaBytesNoReuse = Prog.Entry.ArenaBytesNoReuse;
-  S.FoldedTensors = Cache.size();
-  S.FoldedBytes = Cache.totalBytes();
+  // The fold-dependent fields read 0 until the first execution has run the
+  // fold function (FoldDone orders the cache contents for this reader).
+  if (FoldDone.load(std::memory_order_acquire)) {
+    S.FoldedTensors = Cache.size();
+    S.FoldedBytes = Cache.totalBytes();
+  }
   return S;
 }
 
@@ -200,19 +259,25 @@ CompileOptions primitivesBaselineOptions(int Threads) {
   return Opts;
 }
 
-std::unique_ptr<CompiledPartition> compileGraph(const Graph &G,
-                                                const CompileOptions &Opts) {
-  auto Partition = std::unique_ptr<CompiledPartition>(new CompiledPartition);
+std::shared_ptr<runtime::ThreadPool> globalThreadPool() {
+  // Non-owning handle: the global pool outlives every session/partition.
+  return std::shared_ptr<runtime::ThreadPool>(&runtime::ThreadPool::global(),
+                                              [](runtime::ThreadPool *) {});
+}
+
+Expected<std::shared_ptr<CompiledPartition>>
+compilePartition(const Graph &G, const CompileOptions &Opts,
+                 std::shared_ptr<runtime::ThreadPool> Pool) {
+  auto Partition = std::shared_ptr<CompiledPartition>(new CompiledPartition);
   Partition->OptimizedG = G.clone();
 
-  // Thread pool.
-  if (Opts.Threads > 0) {
-    Partition->OwnedPool =
-        std::make_unique<runtime::ThreadPool>(Opts.Threads);
-    Partition->Pool = Partition->OwnedPool.get();
-  } else {
-    Partition->Pool = &runtime::ThreadPool::global();
-  }
+  // Thread pool: session-shared when provided, else derived from options.
+  if (Pool)
+    Partition->Pool = std::move(Pool);
+  else if (Opts.Threads > 0)
+    Partition->Pool = std::make_shared<runtime::ThreadPool>(Opts.Threads);
+  else
+    Partition->Pool = globalThreadPool();
   const int Threads = Partition->Pool->numThreads();
 
   // §V Graph IR pipeline.
@@ -226,7 +291,8 @@ std::unique_ptr<CompiledPartition> compileGraph(const Graph &G,
   passes::PassManager PM(PassOpts);
   for (auto &P : passes::buildStandardPipeline(PassOpts))
     PM.addPass(std::move(P));
-  PM.run(Partition->OptimizedG);
+  if (const Status S = PM.run(Partition->OptimizedG); !S.isOk())
+    return S;
 
   // Stable boundary ids (inputs never rewritten; outputs keep order).
   Partition->InputIds = Partition->OptimizedG.inputs();
@@ -237,11 +303,26 @@ std::unique_ptr<CompiledPartition> compileGraph(const Graph &G,
   DrvOpts.Threads = Threads;
   DrvOpts.EnableCoarseGrainFusion = Opts.EnableCoarseGrainFusion;
   DrvOpts.EnableBufferReuse = Opts.EnableBufferReuse;
-  Partition->Prog = lower::lowerGraph(Partition->OptimizedG, DrvOpts);
+  Expected<lower::LoweredProgram> ProgOr =
+      lower::lowerGraph(Partition->OptimizedG, DrvOpts);
+  if (!ProgOr)
+    return ProgOr.status();
+  Partition->Prog = ProgOr.takeValue();
 
-  Partition->Eval = std::make_unique<tir::Evaluator>(Partition->Prog.Entry,
-                                                     *Partition->Pool);
   return Partition;
+}
+
+std::shared_ptr<CompiledPartition> compileGraph(const Graph &G,
+                                                const CompileOptions &Opts) {
+  api::Session S(Opts);
+  Expected<std::shared_ptr<api::CompiledGraph>> CompiledOr = S.compile(G);
+  if (!CompiledOr)
+    fatalError(("compileGraph: " + CompiledOr.status().toString()).c_str());
+  const api::CompiledGraph &CG = **CompiledOr;
+  if (CG.numPartitions() != 1 || !CG.compiledPartition(0))
+    fatalError("compileGraph: graph is not fully compilable as one "
+               "partition; use api::Session::compile for fallback support");
+  return CG.compiledPartition(0);
 }
 
 } // namespace core

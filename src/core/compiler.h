@@ -1,19 +1,21 @@
-//===- compiler.h - Public compile/execute API -------------------*- C++ -*-===//
+//===- compiler.h - Partition compile/execute engine -------------*- C++ -*-===//
 ///
 /// \file
-/// The public entry point of the oneDNN Graph Compiler reproduction,
-/// mirroring the oneDNN Graph API flow (§VII): build a Graph IR graph,
-/// compile it into a CompiledPartition, then execute it repeatedly with
-/// runtime tensors. The first execution runs the fold function (constant
-/// weight preprocessing); its outputs are cached and reused.
+/// The compilation engine behind the public Session API (api/session.h),
+/// mirroring the oneDNN Graph API flow (§VII): a Graph IR subgraph is
+/// compiled into a CompiledPartition, then executed repeatedly with runtime
+/// tensors. The first execution runs the fold function (constant weight
+/// preprocessing); its outputs are cached and reused.
 ///
-/// Typical use:
+/// Preferred entry point (partitioning, fallback, compile cache):
 /// \code
-///   graph::Graph G = ...;                 // matmuls, eltwise, quant ops
-///   core::CompileOptions Opts;
-///   auto Partition = core::compileGraph(G, Opts);
-///   Partition->execute({&X}, {&Y});       // graph-input / output order
+///   api::Session S;                        // owns options + thread pool
+///   auto Compiled = S.compile(G);          // Expected<CompiledGraphPtr>
+///   S.stream().execute(**Compiled, {&X}, {&Y});
 /// \endcode
+///
+/// The legacy core::compileGraph() remains as a thin wrapper over a
+/// one-partition Session for graphs known to be fully compilable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,9 +26,12 @@
 #include "lower/driver.h"
 #include "runtime/const_cache.h"
 #include "runtime/thread_pool.h"
+#include "support/status.h"
 #include "tir/eval.h"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 namespace gc {
 namespace core {
@@ -64,50 +69,89 @@ struct PartitionStats {
   int ParallelNests = 0;
   int64_t ScratchArenaBytes = 0;
   int64_t ScratchArenaBytesNoReuse = 0;
+  /// Fold-dependent: 0 until the first execute() ran the fold function.
   size_t FoldedTensors = 0;
+  /// Fold-dependent: 0 until the first execute() ran the fold function.
   int64_t FoldedBytes = 0;
 };
 
 /// A compiled DNN computation (sub)graph ready for repeated execution.
+///
+/// Thread safety: execute() may be called concurrently from any number of
+/// threads. The fold function runs exactly once (std::call_once); each
+/// execution binds its buffers on a private evaluator drawn from a small
+/// pool, whose scratch arenas belong to that execution rather than to the
+/// partition. All inspection accessors are const and safe to call at any
+/// time, including before the first execution.
 class CompiledPartition {
 public:
   /// Executes the partition. \p Inputs follow the source graph's input
   /// declaration order; \p Outputs its output order (caller-allocated,
   /// plain row-major, logical shapes). The first call runs the fold
-  /// function and populates the constant cache.
-  void execute(const std::vector<runtime::TensorData *> &Inputs,
-               const std::vector<runtime::TensorData *> &Outputs);
+  /// function and populates the constant cache. Returns InvalidArgument
+  /// on arity mismatch or null tensors (internal binding invariants still
+  /// abort loudly, so callers ignoring the Status cannot silently read an
+  /// unwritten output).
+  Status execute(const std::vector<runtime::TensorData *> &Inputs,
+                 const std::vector<runtime::TensorData *> &Outputs);
 
   /// Post-optimization Graph IR (inspection / tests).
   const graph::Graph &optimizedGraph() const { return OptimizedG; }
   /// Lowered entry function (inspection / tests).
   const tir::Func &entry() const { return Prog.Entry; }
-  /// Compilation statistics.
+  /// Compilation statistics. Safe before the first execution; the
+  /// Folded* fields read as 0 until the fold function has run.
   PartitionStats stats() const;
   /// Logical shapes of the graph outputs, in output order.
   std::vector<std::vector<int64_t>> outputShapes() const;
   /// Thread pool executing this partition.
-  runtime::ThreadPool &threadPool() { return *Pool; }
+  runtime::ThreadPool &threadPool() const { return *Pool; }
 
 private:
-  friend std::unique_ptr<CompiledPartition>
-  compileGraph(const graph::Graph &G, const CompileOptions &Opts);
+  friend Expected<std::shared_ptr<CompiledPartition>>
+  compilePartition(const graph::Graph &G, const CompileOptions &Opts,
+                   std::shared_ptr<runtime::ThreadPool> Pool);
+
+  CompiledPartition() = default;
 
   void runFoldFunction();
+
+  /// Takes an idle evaluator from the pool (or builds one). Each execute()
+  /// owns its evaluator for the duration of the call, making concurrent
+  /// executions independent.
+  std::unique_ptr<tir::Evaluator> acquireEvaluator();
+  void releaseEvaluator(std::unique_ptr<tir::Evaluator> Eval);
 
   graph::Graph OptimizedG;
   lower::LoweredProgram Prog;
   runtime::ConstCache Cache;
-  runtime::ThreadPool *Pool = nullptr;
-  std::unique_ptr<runtime::ThreadPool> OwnedPool;
-  std::unique_ptr<tir::Evaluator> Eval;
+  std::shared_ptr<runtime::ThreadPool> Pool;
+  std::once_flag FoldOnce;
+  std::atomic<bool> FoldDone{false};
+  std::mutex EvalMutex;
+  std::vector<std::unique_ptr<tir::Evaluator>> IdleEvals;
   std::vector<int64_t> InputIds;  // optimized-graph ids in input order
   std::vector<int64_t> OutputIds; // optimized-graph ids in output order
 };
 
-/// Compiles \p G (copied; the original is untouched) with \p Opts.
-std::unique_ptr<CompiledPartition> compileGraph(const graph::Graph &G,
+/// Compiles \p G (copied; the original is untouched) with \p Opts into one
+/// partition, reporting failures as Status instead of aborting. \p Pool is
+/// the execution thread pool to attach (shared across the partitions of a
+/// Session); pass nullptr to derive one from Opts.Threads.
+Expected<std::shared_ptr<CompiledPartition>>
+compilePartition(const graph::Graph &G, const CompileOptions &Opts,
+                 std::shared_ptr<runtime::ThreadPool> Pool = nullptr);
+
+/// Legacy convenience wrapper: compiles \p G through a one-partition
+/// api::Session and returns the sole compiled partition. Aborts when the
+/// graph is invalid or contains an op the compiler cannot lower — use
+/// api::Session::compile for graphs that may need the reference fallback.
+std::shared_ptr<CompiledPartition> compileGraph(const graph::Graph &G,
                                                 const CompileOptions &Opts);
+
+/// Returns the process-wide default thread pool as a non-owning handle,
+/// sharable alongside session-owned pools.
+std::shared_ptr<runtime::ThreadPool> globalThreadPool();
 
 /// Executes the fold graph: reference evaluation with layout-aware Reorder
 /// packing. Exposed for tests of constant weight preprocessing.

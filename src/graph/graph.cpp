@@ -117,6 +117,7 @@ std::string Op::toString(const Graph &Parent) const {
 
 int64_t Graph::addTensor(DataType Ty, std::vector<int64_t> Shape,
                          const std::string &Name, TensorProperty Property) {
+  Finalized = false;
   LogicalTensor T;
   T.Id = NextTensorId++;
   T.Name = Name;
@@ -139,6 +140,7 @@ int64_t Graph::addOp(OpKind Kind, const std::vector<int64_t> &Inputs,
 int64_t Graph::addOpExplicit(OpKind Kind, const std::vector<int64_t> &Inputs,
                              const std::vector<int64_t> &Outputs,
                              AttrMap Attrs) {
+  Finalized = false;
   Op NewOp(NextOpId++, Kind);
   NewOp.Inputs = Inputs;
   NewOp.Outputs = Outputs;
@@ -150,6 +152,7 @@ int64_t Graph::addOpExplicit(OpKind Kind, const std::vector<int64_t> &Inputs,
 }
 
 void Graph::setConstantData(int64_t TensorId, runtime::TensorData Data) {
+  Finalized = false;
   assert(Tensors.count(TensorId) && "unknown tensor");
   Tensors.at(TensorId).Property = TensorProperty::Constant;
   ConstData[TensorId] = std::move(Data);
@@ -239,6 +242,13 @@ runtime::TensorData *Graph::mutableConstantData(int64_t TensorId) {
   return &It->second;
 }
 
+void Graph::dropConstantData() { ConstData.clear(); }
+
+void Graph::materializeConstantData() {
+  for (auto &[Id, Data] : ConstData)
+    Data = Data.clone();
+}
+
 //===----------------------------------------------------------------------===//
 // Graph: mutation
 //===----------------------------------------------------------------------===//
@@ -267,6 +277,7 @@ void Graph::forgetOpLinks(int64_t OpId) {
 }
 
 void Graph::replaceAllUses(int64_t OldTensor, int64_t NewTensor) {
+  Finalized = false;
   if (OldTensor == NewTensor)
     return;
   auto It = Consumers.find(OldTensor);
@@ -289,12 +300,14 @@ void Graph::replaceAllUses(int64_t OldTensor, int64_t NewTensor) {
 }
 
 void Graph::eraseOp(int64_t OpId) {
+  Finalized = false;
   assert(Ops.count(OpId) && "unknown op");
   forgetOpLinks(OpId);
   Ops.erase(OpId);
 }
 
 void Graph::eraseTensor(int64_t TensorId) {
+  Finalized = false;
   assert(producerOf(TensorId) < 0 && consumersOf(TensorId).empty() &&
          "erasing a tensor still in use");
   Tensors.erase(TensorId);
@@ -303,7 +316,34 @@ void Graph::eraseTensor(int64_t TensorId) {
                  InputIds.end());
 }
 
+void Graph::replaceOutput(int64_t OldTensor, int64_t NewTensor) {
+  Finalized = false;
+  assert(Tensors.count(NewTensor) && "unknown replacement tensor");
+  for (int64_t &Out : OutputIds)
+    if (Out == OldTensor)
+      Out = NewTensor;
+}
+
+void Graph::setOutputs(std::vector<int64_t> NewOutputs) {
+  Finalized = false;
+  for (int64_t Out : NewOutputs) {
+    (void)Out;
+    assert(Tensors.count(Out) && "graph output must name a tensor");
+  }
+  OutputIds = std::move(NewOutputs);
+}
+
+void Graph::setInputs(std::vector<int64_t> NewInputs) {
+  Finalized = false;
+  for (int64_t In : NewInputs) {
+    (void)In;
+    assert(Tensors.count(In) && "graph input must name a tensor");
+  }
+  InputIds = std::move(NewInputs);
+}
+
 void Graph::setOpInputs(int64_t OpId, std::vector<int64_t> NewInputs) {
+  Finalized = false;
   Op &O = Ops.at(OpId);
   for (int64_t In : O.Inputs) {
     auto It = Consumers.find(In);
@@ -387,13 +427,150 @@ std::string Graph::verify() const {
   return std::string();
 }
 
-Graph Graph::clone() const {
+Status Graph::validate() const {
+  const std::string Err = verify();
+  if (!Err.empty())
+    return Status::error(StatusCode::InvalidGraph, Err);
+  for (const auto &[Id, T] : Tensors)
+    for (int64_t D : T.Shape)
+      if (D <= 0)
+        return Status::error(
+            StatusCode::InvalidGraph,
+            formatString("tensor %lld has non-positive dimension %lld",
+                         (long long)Id, (long long)D));
+  return Status::ok();
+}
+
+Status Graph::finalize() {
+  if (const Status S = validate(); !S.isOk())
+    return S;
+  Finalized = true;
+  return Status::ok();
+}
+
+namespace {
+
+/// FNV-1a accumulation over raw bytes; the basis of Graph::fingerprint().
+struct Fnv1a {
+  uint64_t H = 1469598103934665603ull;
+
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 1099511628211ull;
+    }
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) { bytes(&V, sizeof(V)); }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  void i64vec(const std::vector<int64_t> &V) {
+    u64(V.size());
+    for (int64_t X : V)
+      i64(X);
+  }
+};
+
+} // namespace
+
+uint64_t Graph::fingerprint() const {
+  Fnv1a H;
+  // Canonical dense renumbering of tensor ids by first appearance, so the
+  // hash is independent of construction-order id gaps.
+  std::unordered_map<int64_t, uint64_t> Canon;
+  auto canonId = [&](int64_t Id) -> uint64_t {
+    auto It = Canon.find(Id);
+    if (It != Canon.end())
+      return It->second;
+    const uint64_t C = Canon.size();
+    Canon.emplace(Id, C);
+    return C;
+  };
+  // Per-tensor digests are memoized: a tensor referenced by several ops
+  // (notably large constants, whose byte payload dominates) is hashed
+  // exactly once per fingerprint() call.
+  std::unordered_map<int64_t, uint64_t> DigestMemo;
+  auto hashTensor = [&](int64_t Id) {
+    H.u64(canonId(Id));
+    auto MemoIt = DigestMemo.find(Id);
+    if (MemoIt != DigestMemo.end()) {
+      H.u64(MemoIt->second);
+      return;
+    }
+    const LogicalTensor &T = Tensors.at(Id);
+    Fnv1a TH;
+    TH.u64(static_cast<uint64_t>(T.Ty));
+    TH.i64vec(T.Shape);
+    TH.u64(static_cast<uint64_t>(T.Lay.K));
+    TH.i64(T.Lay.Block0);
+    TH.i64(T.Lay.Block1);
+    TH.u64(static_cast<uint64_t>(T.Property));
+    // Constant values are part of identity: two graphs differing only in
+    // weight data must compile (and fold) separately.
+    auto DataIt = ConstData.find(Id);
+    if (DataIt != ConstData.end() && DataIt->second.valid()) {
+      TH.i64(DataIt->second.numBytes());
+      TH.bytes(DataIt->second.data(),
+               static_cast<size_t>(DataIt->second.numBytes()));
+    } else {
+      TH.i64(-1);
+    }
+    DigestMemo.emplace(Id, TH.H);
+    H.u64(TH.H);
+  };
+  H.u64(InputIds.size());
+  for (int64_t In : InputIds)
+    hashTensor(In);
+  const std::vector<int64_t> Order = topologicalOrder();
+  H.u64(Order.size());
+  for (int64_t OpId : Order) {
+    const Op &O = Ops.at(OpId);
+    H.u64(static_cast<uint64_t>(O.kind()));
+    H.u64(O.attrs().size());
+    for (const auto &[Name, Value] : O.attrs()) {
+      H.str(Name);
+      H.u64(Value.index());
+      if (const int64_t *V = std::get_if<int64_t>(&Value))
+        H.i64(*V);
+      else if (const double *V = std::get_if<double>(&Value))
+        H.f64(*V);
+      else if (const std::string *V = std::get_if<std::string>(&Value))
+        H.str(*V);
+      else if (const auto *V = std::get_if<std::vector<int64_t>>(&Value))
+        H.i64vec(*V);
+      else if (const auto *V = std::get_if<std::vector<double>>(&Value)) {
+        H.u64(V->size());
+        for (double D : *V)
+          H.f64(D);
+      }
+    }
+    H.u64(O.numInputs());
+    for (int64_t In : O.inputs())
+      hashTensor(In);
+    H.u64(O.numOutputs());
+    for (int64_t Out : O.outputs())
+      hashTensor(Out);
+    if (const Graph *Sub = O.subgraph())
+      H.u64(Sub->fingerprint());
+  }
+  H.u64(OutputIds.size());
+  for (int64_t Out : OutputIds)
+    H.u64(canonId(Out));
+  return H.H;
+}
+
+Graph Graph::clone(bool WithConstData) const {
   Graph Copy;
   Copy.Tensors = Tensors;
   Copy.InputIds = InputIds;
   Copy.OutputIds = OutputIds;
   Copy.NextTensorId = NextTensorId;
   Copy.NextOpId = NextOpId;
+  Copy.Finalized = Finalized;
   for (const auto &[Id, O] : Ops) {
     Op NewOp(O.Id, O.Kind);
     NewOp.Inputs = O.Inputs;
@@ -406,8 +583,9 @@ Graph Graph::clone() const {
     Copy.Ops.emplace(Id, std::move(NewOp));
     Copy.recordOpLinks(Id);
   }
-  for (const auto &[Id, Data] : ConstData)
-    Copy.ConstData[Id] = Data.clone();
+  if (WithConstData)
+    for (const auto &[Id, Data] : ConstData)
+      Copy.ConstData[Id] = Data.clone();
   return Copy;
 }
 

@@ -16,6 +16,7 @@
 #include "graph/logical_tensor.h"
 #include "graph/op_kind.h"
 #include "runtime/tensor_data.h"
+#include "support/status.h"
 
 #include <map>
 #include <memory>
@@ -118,8 +119,14 @@ public:
                         AttrMap Attrs = {});
 
   /// Declares \p TensorId as a graph input / output.
-  void markInput(int64_t TensorId) { InputIds.push_back(TensorId); }
-  void markOutput(int64_t TensorId) { OutputIds.push_back(TensorId); }
+  void markInput(int64_t TensorId) {
+    InputIds.push_back(TensorId);
+    Finalized = false;
+  }
+  void markOutput(int64_t TensorId) {
+    OutputIds.push_back(TensorId);
+    Finalized = false;
+  }
 
   /// Attaches compile-time data to a constant tensor.
   void setConstantData(int64_t TensorId, runtime::TensorData Data);
@@ -141,7 +148,6 @@ public:
 
   const std::vector<int64_t> &inputs() const { return InputIds; }
   const std::vector<int64_t> &outputs() const { return OutputIds; }
-  std::vector<int64_t> &mutableOutputs() { return OutputIds; }
 
   /// Id of the op producing \p TensorId, or -1 for graph inputs/constants.
   int64_t producerOf(int64_t TensorId) const;
@@ -155,6 +161,17 @@ public:
   /// Constant data of \p TensorId, or nullptr.
   const runtime::TensorData *constantData(int64_t TensorId) const;
   runtime::TensorData *mutableConstantData(int64_t TensorId);
+
+  /// Discards every constant byte payload (tensors stay marked Constant).
+  /// Used once a partition subgraph has compiled: the compiled partition
+  /// owns its own copy, so retaining another here would double weight
+  /// memory.
+  void dropConstantData();
+
+  /// Deep-copies every constant payload into owned storage. Used on
+  /// fallback partition subgraphs whose constants were attached as
+  /// non-owning views of a source graph that may not outlive them.
+  void materializeConstantData();
 
   //===--------------------------------------------------------------------===//
   // Mutation
@@ -174,6 +191,16 @@ public:
   /// Replaces the input list of an op (updates consumer maps).
   void setOpInputs(int64_t OpId, std::vector<int64_t> NewInputs);
 
+  /// Rewrites every occurrence of \p OldTensor in the graph output list to
+  /// \p NewTensor (op inputs are untouched; see replaceAllUses for both).
+  void replaceOutput(int64_t OldTensor, int64_t NewTensor);
+
+  /// Replaces the whole graph output list. Every id must name a tensor.
+  void setOutputs(std::vector<int64_t> NewOutputs);
+
+  /// Replaces the whole graph input list. Every id must name a tensor.
+  void setInputs(std::vector<int64_t> NewInputs);
+
   //===--------------------------------------------------------------------===//
   // Analysis
   //===--------------------------------------------------------------------===//
@@ -185,8 +212,34 @@ public:
   /// Checks structural invariants; returns an error description or empty.
   std::string verify() const;
 
-  /// Deep copy, preserving ids.
-  Graph clone() const;
+  /// Full compile-readiness validation: structural verify() plus shape
+  /// sanity (positive dimensions). Used by finalize() and by
+  /// api::Session::compile for graphs that skipped finalize().
+  Status validate() const;
+
+  /// Marks graph construction complete: runs validate() and freezes the
+  /// graph for partitioning / compilation (mirroring the oneDNN Graph
+  /// API's graph.finalize()). Idempotent; any subsequent mutation through
+  /// the graph's mutator methods clears the finalized state (direct edits
+  /// via the mutable op()/tensor() accessors do not — Session::compile
+  /// re-validates regardless).
+  Status finalize();
+
+  /// True while finalize() has succeeded and no mutator ran since.
+  bool isFinalized() const { return Finalized; }
+
+  /// Canonical 64-bit content hash over ops (kind + attrs, topological
+  /// order), tensors (dtype, shape, layout, constness, constant bytes) and
+  /// the input/output boundary. Tensor/op ids are renumbered canonically,
+  /// so two graphs built in different id orders but describing the same
+  /// computation collide. Used as the compiled-partition cache key.
+  uint64_t fingerprint() const;
+
+  /// Deep copy, preserving ids. Pass false to skip copying constant byte
+  /// payloads (the Partitioner re-attaches data only for the tensors that
+  /// survive subgraph extraction, avoiding O(partitions x weight-bytes)
+  /// transient copies).
+  Graph clone(bool WithConstData = true) const;
 
   /// Multi-line textual dump.
   std::string toString() const;
@@ -204,6 +257,7 @@ private:
   std::unordered_map<int64_t, runtime::TensorData> ConstData;
   int64_t NextTensorId = 0;
   int64_t NextOpId = 0;
+  bool Finalized = false;
 };
 
 } // namespace graph

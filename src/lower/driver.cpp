@@ -57,7 +57,8 @@ std::unordered_set<int64_t> computeFoldSide(const Graph &G) {
 
 } // namespace
 
-LoweredProgram lowerGraph(const Graph &G, const DriverOptions &Opts) {
+Expected<LoweredProgram> lowerGraph(const Graph &G,
+                                    const DriverOptions &Opts) {
   LoweredProgram Prog;
   Prog.Entry.Name = "entry";
 
@@ -84,7 +85,7 @@ LoweredProgram lowerGraph(const Graph &G, const DriverOptions &Opts) {
   for (int64_t OpId : Prog.FoldGraph.opIds())
     if (!FoldOps.count(OpId))
       Prog.FoldGraph.eraseOp(OpId);
-  Prog.FoldGraph.mutableOutputs() = Prog.FoldOutputs;
+  Prog.FoldGraph.setOutputs(Prog.FoldOutputs);
 
   // ---- entry buffers ----
   LoweringContext Ctx;
@@ -161,7 +162,11 @@ LoweredProgram lowerGraph(const Graph &G, const DriverOptions &Opts) {
       const std::vector<int64_t> Perm = O.getAttrIntVec("perm");
       const LogicalTensor &In = G.tensor(O.input(0));
       if (!(Perm == std::vector<int64_t>{0, 2, 1, 3} && In.rank() == 4))
-        fatalError("standalone transpose supports perm [0,2,1,3] only");
+        return Status::error(
+            StatusCode::Unsupported,
+            formatString("standalone transpose op%lld supports perm "
+                         "[0,2,1,3] on rank-4 tensors only",
+                         (long long)OpId));
       const int Src = Ctx.BufferFor(O.input(0));
       const int Dst = Ctx.BufferFor(O.output(0));
       Prog.Entry.Body.push_back(tir::makeSeq(
@@ -176,11 +181,11 @@ LoweredProgram lowerGraph(const Graph &G, const DriverOptions &Opts) {
       continue;
     }
     default:
-      fatalError(formatString(
-                     "main-side op '%s' is not a fused region; run the "
-                     "fusion pass before lowering",
-                     opKindName(O.kind()))
-                     .c_str());
+      return Status::error(
+          StatusCode::Unsupported,
+          formatString("main-side op '%s' is not a fused region; run the "
+                       "fusion pass before lowering",
+                       opKindName(O.kind())));
     }
   }
 

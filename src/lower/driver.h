@@ -13,6 +13,7 @@
 #define GC_LOWER_DRIVER_H
 
 #include "graph/graph.h"
+#include "support/status.h"
 #include "tir/function.h"
 #include "tirpass/tirpass.h"
 
@@ -59,8 +60,12 @@ struct LoweredProgram {
   tirpass::BufferReuseStats ReuseStats;
 };
 
-/// Lowers the optimized (fused + layout-propagated) graph \p G.
-LoweredProgram lowerGraph(const graph::Graph &G, const DriverOptions &Opts);
+/// Lowers the optimized (fused + layout-propagated) graph \p G. Returns an
+/// Unsupported error when a main-side op has no lowering rule (unfused op,
+/// non-[0,2,1,3] standalone transpose) instead of aborting; the caller
+/// (api::Session) routes such graphs to the reference fallback.
+Expected<LoweredProgram> lowerGraph(const graph::Graph &G,
+                                    const DriverOptions &Opts);
 
 } // namespace lower
 } // namespace gc

@@ -10,7 +10,7 @@
 namespace gc {
 namespace passes {
 
-void PassManager::run(graph::Graph &G) {
+Status PassManager::run(graph::Graph &G) {
   Changed.clear();
   for (const auto &P : Pipeline) {
     const bool DidChange = P->run(G, Opts);
@@ -18,16 +18,20 @@ void PassManager::run(graph::Graph &G) {
       Changed.push_back(P->name());
     const std::string Err = G.verify();
     if (!Err.empty()) {
-      std::fprintf(stderr, "graph verification failed after pass %s: %s\n",
-                   P->name(), Err.c_str());
-      std::fprintf(stderr, "%s\n", G.toString().c_str());
-      fatalError("pass pipeline produced an invalid graph");
+      if (verboseAtLeast(1))
+        std::fprintf(stderr,
+                     "graph verification failed after pass %s: %s\n%s\n",
+                     P->name(), Err.c_str(), G.toString().c_str());
+      return Status::error(StatusCode::Internal,
+                           std::string("pass '") + P->name() +
+                               "' produced an invalid graph: " + Err);
     }
     if (verboseAtLeast(2))
       std::fprintf(stderr, "=== after %s (%s) ===\n%s\n", P->name(),
                    DidChange ? "changed" : "no change",
                    G.toString().c_str());
   }
+  return Status::ok();
 }
 
 std::vector<std::unique_ptr<Pass>>

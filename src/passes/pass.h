@@ -11,6 +11,7 @@
 #define GC_PASSES_PASS_H
 
 #include "graph/graph.h"
+#include "support/status.h"
 
 #include <memory>
 #include <string>
@@ -70,8 +71,11 @@ public:
 
   void addPass(std::unique_ptr<Pass> P) { Pipeline.push_back(std::move(P)); }
 
-  /// Runs every pass once, in order. Aborts on verification failure.
-  void run(graph::Graph &G);
+  /// Runs every pass once, in order, verifying the graph in between.
+  /// Returns an Internal error (with the offending pass named) when a pass
+  /// produces an invalid graph; the graph is left in its failed state for
+  /// inspection.
+  Status run(graph::Graph &G);
 
   /// Names of passes that reported changes in the last run (test hook).
   const std::vector<std::string> &changedPasses() const { return Changed; }

@@ -82,11 +82,12 @@ void ThreadPool::parallelFor(
   if (NumWorkers == 1 || End - Begin == 1) {
     // Serial fast path; still counts as one (degenerate) barrier so the
     // coarse-grain ablation can count loop regions uniformly.
-    ++Barriers;
+    Barriers.fetch_add(1, std::memory_order_relaxed);
     for (int64_t I = Begin; I < End; ++I)
       Body(I, 0);
     return;
   }
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     JobBody = &Body;
@@ -94,7 +95,7 @@ void ThreadPool::parallelFor(
     JobEnd = End;
     Pending = NumWorkers - 1;
     ++Generation;
-    ++Barriers;
+    Barriers.fetch_add(1, std::memory_order_relaxed);
   }
   WakeCv.notify_all();
   runRange(Begin, End, /*ThreadId=*/0);

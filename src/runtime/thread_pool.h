@@ -16,6 +16,7 @@
 #ifndef GC_RUNTIME_THREAD_POOL_H
 #define GC_RUNTIME_THREAD_POOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -43,13 +44,15 @@ public:
   /// Runs Body(I) for I in [Begin, End) across the pool. Body must be safe
   /// to invoke concurrently for distinct I. Blocks until all iterations
   /// complete (one barrier per call). ThreadId passed to Body is in
-  /// [0, numThreads()).
+  /// [0, numThreads()). Safe to call from multiple threads concurrently:
+  /// fork/join regions from different submitters are serialized, so
+  /// concurrent Stream executions interleave at nest granularity.
   void parallelFor(int64_t Begin, int64_t End,
                    const std::function<void(int64_t I, int ThreadId)> &Body);
 
   /// Total number of fork/join barriers executed so far (used by tests and
   /// the coarse-grain fusion ablation to show barrier reduction).
-  uint64_t barrierCount() const { return Barriers; }
+  uint64_t barrierCount() const { return Barriers.load(); }
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool &global();
@@ -61,6 +64,9 @@ private:
   int NumWorkers = 1;
   std::vector<std::thread> Threads;
 
+  /// Held for a whole fork/join region; gives concurrent submitters
+  /// exclusive use of the job slot below.
+  std::mutex SubmitMutex;
   std::mutex Mutex;
   std::condition_variable WakeCv;
   std::condition_variable DoneCv;
@@ -73,7 +79,7 @@ private:
   int64_t JobBegin = 0;
   int64_t JobEnd = 0;
 
-  uint64_t Barriers = 0;
+  std::atomic<uint64_t> Barriers{0};
 };
 
 } // namespace runtime

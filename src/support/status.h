@@ -1,0 +1,121 @@
+//===- status.h - Status / Expected error model -----------------*- C++ -*-===//
+///
+/// \file
+/// Recoverable-error reporting for the public compilation API. User-facing
+/// entry points (graph finalization, partitioning, compilation, execution)
+/// return Status / Expected<T> instead of aborting, so a serving process can
+/// reject one bad graph without dying. fatalError() remains reserved for
+/// internal invariant violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_STATUS_H
+#define GC_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gc {
+
+/// Coarse error taxonomy of the public API.
+enum class StatusCode : uint8_t {
+  Ok,
+  /// Caller passed malformed arguments (wrong arity, null tensor, ...).
+  InvalidArgument,
+  /// The graph fails structural verification.
+  InvalidGraph,
+  /// The construct is valid but this compiler cannot lower it.
+  Unsupported,
+  /// A pipeline stage produced an inconsistent result.
+  Internal,
+};
+
+/// Printable name of a status code.
+constexpr const char *statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok: return "ok";
+  case StatusCode::InvalidArgument: return "invalid_argument";
+  case StatusCode::InvalidGraph: return "invalid_graph";
+  case StatusCode::Unsupported: return "unsupported";
+  case StatusCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+/// An error code plus a human-readable message. Default-constructed status
+/// is success; evaluates to true in boolean context when ok. [[nodiscard]]
+/// so silently dropping an error at a call site is a compile-time warning.
+class [[nodiscard]] Status {
+public:
+  Status() = default;
+  Status(StatusCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
+
+  static Status ok() { return Status(); }
+  static Status error(StatusCode Code, std::string Message) {
+    assert(Code != StatusCode::Ok && "error status needs a non-ok code");
+    return Status(Code, std::move(Message));
+  }
+
+  bool isOk() const { return Code == StatusCode::Ok; }
+  explicit operator bool() const { return isOk(); }
+
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  std::string toString() const {
+    if (isOk())
+      return "ok";
+    return std::string(statusCodeName(Code)) + ": " + Message;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Message;
+};
+
+/// Either a value or an error Status. Modeled after llvm::Expected but
+/// without the must-check machinery: callers test with operator bool and
+/// read either value() or status().
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Status Err) : Err(std::move(Err)) {
+    assert(!this->Err.isOk() && "Expected error must carry a non-ok status");
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &value() {
+    assert(hasValue() && "value() on an error Expected");
+    return *Value;
+  }
+  const T &value() const {
+    assert(hasValue() && "value() on an error Expected");
+    return *Value;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the value out (the Expected is left in a consumed state).
+  T takeValue() {
+    assert(hasValue() && "takeValue() on an error Expected");
+    return std::move(*Value);
+  }
+
+  /// The error status; Status::ok() when a value is present.
+  const Status &status() const { return Err; }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace gc
+
+#endif // GC_SUPPORT_STATUS_H

@@ -92,7 +92,7 @@ void runPrimitives(const Graph &G, double RelTol = 2e-3,
   std::vector<TensorData *> OutPtrs;
   for (auto &T : Outs)
     OutPtrs.push_back(&T);
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   checkAgainstReference(Outs, Want, RelTol, QuantTol);
 }
 

@@ -72,7 +72,7 @@ void runAndCompare(const Graph &G, bool UseCompiler, double RelTol,
     Opts.Threads = 1;
     Opts.FastSoftmax = false;
     auto Partition = core::compileGraph(G, Opts);
-    Partition->execute(InPtrs, OutPtrs);
+    EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   } else {
     baseline::LoopNestExecutor Exec(G, 1);
     Exec.execute(InPtrs, OutPtrs);
@@ -122,7 +122,7 @@ TEST(BertLayer, CompilerStatsShowFusionAndFolding) {
   std::vector<TensorData *> OutPtrs;
   for (auto &T : Outs)
     OutPtrs.push_back(&T);
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   EXPECT_GE(Partition->stats().FoldedTensors, 6u);
 }
 

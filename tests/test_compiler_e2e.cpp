@@ -64,10 +64,10 @@ RunResult runBoth(const Graph &G, const CompileOptions &Opts,
   std::vector<TensorData *> OutPtrs;
   for (TensorData &T : Result.Compiled)
     OutPtrs.push_back(&T);
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   // Execute twice: the second run must reuse the fold cache and produce
   // identical results (catches cache corruption / buffer aliasing bugs).
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   return Result;
 }
 
@@ -313,7 +313,7 @@ TEST(CompilerE2E, FoldFunctionCachesPackedWeights) {
   std::vector<TensorData *> OutPtrs;
   for (auto &T : Outs)
     OutPtrs.push_back(&T);
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
   // Two prepacked weights must now live in the cache.
   EXPECT_GE(Partition->stats().FoldedTensors, 2u);
   EXPECT_GT(Partition->stats().FoldedBytes, 0);

@@ -56,7 +56,7 @@ void compareCompiledToReference(const Graph &G, int Threads,
   std::vector<TensorData *> OutPtrs;
   for (auto &T : Outs)
     OutPtrs.push_back(&T);
-  Partition->execute(InPtrs, OutPtrs);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
 
   for (size_t I = 0; I < Outs.size(); ++I) {
     if (isQuantizedType(Outs[I].dtype()))

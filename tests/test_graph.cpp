@@ -73,6 +73,27 @@ TEST(GraphIr, ReplaceAllUsesRewiresConsumersAndOutputs) {
   EXPECT_FALSE(F.G.isOutput(F.Out));
 }
 
+TEST(GraphIr, ReplaceOutputRewritesOnlyTheOutputList) {
+  MlpFixture F;
+  const int64_t Fresh = F.G.addTensor(DataType::F32, {4, 16}, "fresh");
+  F.G.replaceOutput(F.Out, Fresh);
+  EXPECT_TRUE(F.G.isOutput(Fresh));
+  EXPECT_FALSE(F.G.isOutput(F.Out));
+  // Unlike replaceAllUses, op inputs are untouched.
+  const int64_t ReluOp = F.G.producerOf(F.Out);
+  EXPECT_EQ(F.G.op(ReluOp).input(0), F.Addv);
+  // Replacing a tensor that is not an output is a no-op.
+  F.G.replaceOutput(F.Mm, F.Addv);
+  EXPECT_EQ(F.G.outputs(), std::vector<int64_t>{Fresh});
+}
+
+TEST(GraphIr, SetOutputsReplacesWholeList) {
+  MlpFixture F;
+  F.G.setOutputs({F.Addv, F.Out});
+  EXPECT_TRUE(F.G.isOutput(F.Addv));
+  EXPECT_EQ(F.G.outputs().size(), 2u);
+}
+
 TEST(GraphIr, EraseOpDropsLinks) {
   MlpFixture F;
   const int64_t ReluOp = F.G.producerOf(F.Out);

@@ -34,7 +34,7 @@ bool runPass(std::unique_ptr<Pass> P, Graph &G,
              PassOptions Opts = defaultOpts()) {
   PassManager PM(Opts);
   PM.addPass(std::move(P));
-  PM.run(G);
+  EXPECT_TRUE(PM.run(G).isOk());
   return !PM.changedPasses().empty();
 }
 
@@ -391,7 +391,7 @@ TEST(LayoutPropagation, InsertsVnniWeightReorder) {
   for (auto &P : buildStandardPipeline(defaultOpts())) {
     PassManager PM(defaultOpts());
     PM.addPass(std::move(P));
-    PM.run(G);
+    EXPECT_TRUE(PM.run(G).isOk());
   }
   int VnniReorders = 0;
   for (int64_t Id : G.opIds()) {
@@ -412,7 +412,7 @@ TEST(LayoutPropagation, NegotiatesBlockedIntermediate) {
   for (auto &P : buildStandardPipeline(defaultOpts())) {
     PassManager PM(defaultOpts());
     PM.addPass(std::move(P));
-    PM.run(G);
+    EXPECT_TRUE(PM.run(G).isOk());
   }
   // The tensor between the two fused matmul regions is BlockedA with the
   // producer's (MB, NB) as (MB, KB), and the consumer is marked
@@ -446,7 +446,7 @@ TEST(LayoutPropagation, GraphBoundariesStayPlain) {
   for (auto &P : buildStandardPipeline(defaultOpts())) {
     PassManager PM(defaultOpts());
     PM.addPass(std::move(P));
-    PM.run(G);
+    EXPECT_TRUE(PM.run(G).isOk());
   }
   for (int64_t In : G.inputs())
     EXPECT_TRUE(G.tensor(In).Lay.isPlain());

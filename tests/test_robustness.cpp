@@ -65,7 +65,7 @@ TEST(Robustness, DegenerateOneByOneMatmul) {
   TensorData In(DataType::F32, {1, 1});
   In.fillConstant(3.0);
   TensorData Out(DataType::F32, {1, 1});
-  Partition->execute({&In}, {&Out});
+  EXPECT_TRUE(Partition->execute({&In}, {&Out}).isOk());
   TensorMap Env;
   Env[G.inputs()[0]] = In.clone();
   const auto Want = runGraphReference(G, std::move(Env));
@@ -87,7 +87,7 @@ TEST(Robustness, ManyMoreThreadsThanWork) {
   Rng R(72);
   In.fillRandom(R);
   TensorData Out(DataType::F32, {8, 16});
-  Partition->execute({&In}, {&Out});
+  EXPECT_TRUE(Partition->execute({&In}, {&Out}).isOk());
   TensorMap Env;
   Env[G.inputs()[0]] = In.clone();
   const auto Want = runGraphReference(G, std::move(Env));
@@ -110,10 +110,10 @@ TEST(Robustness, RepeatedExecutionIsIdempotent) {
   Rng R(74);
   In.fillRandom(R);
   TensorData First(DataType::U8, {16, 16});
-  Partition->execute({&In}, {&First});
+  EXPECT_TRUE(Partition->execute({&In}, {&First}).isOk());
   for (int Run = 0; Run < 20; ++Run) {
     TensorData Out(DataType::U8, {16, 16});
-    Partition->execute({&In}, {&Out});
+    EXPECT_TRUE(Partition->execute({&In}, {&Out}).isOk());
     ASSERT_EQ(runtime::maxAbsDiff(Out, First), 0.0) << "run " << Run;
   }
 }
@@ -136,8 +136,8 @@ TEST(Robustness, PartitionsShareGlobalPoolSafely) {
   In.fillRandom(R);
   TensorData O1(DataType::F32, {8, 24}), O2(DataType::F32, {8, 40});
   for (int Run = 0; Run < 5; ++Run) {
-    P1->execute({&In}, {&O1});
-    P2->execute({&In}, {&O2});
+    EXPECT_TRUE(P1->execute({&In}, {&O1}).isOk());
+    EXPECT_TRUE(P2->execute({&In}, {&O2}).isOk());
   }
   TensorMap Env1, Env2;
   Env1[G1.inputs()[0]] = In.clone();

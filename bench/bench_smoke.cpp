@@ -4,17 +4,25 @@
 // Table 1 workloads through the Session API and emits one JSON object per
 // line on stdout, e.g.
 //
-//   {"bench":"mlp1_f32","threads":4,"partitions":1,"us_per_iter":123.4,
-//    "cache_hit":0}
+//   {"bench":"mlp1_f32","exec":"bytecode","threads":4,"partitions":1,
+//    "us_per_iter":123.4,"cache_hit":0}
 //
 // Shapes are reduced versus the paper sweeps so the whole run stays under a
 // few seconds; the numbers track relative movement between commits, not
 // absolute paper figures. GC_BENCH_MIN_TIME shrinks/extends measurement.
 //
+// The *_small cases are deliberately tiny (batch-1, narrow layers): their
+// kernel work is a few microseconds, so they measure the interpretation /
+// dispatch overhead around the microkernels. The CI job runs the whole set
+// under GC_EXEC=tree and GC_EXEC=bytecode and commits the comparison as
+// BENCH_<pr>.json; the small cases are where the bytecode executor must
+// show its headroom.
+//
 //===----------------------------------------------------------------------===//
 
 #include "api/session.h"
 #include "bench_common.h"
+#include "exec/backend.h"
 #include "workloads/mha.h"
 #include "workloads/mlp.h"
 
@@ -40,10 +48,11 @@ void runCase(api::Session &S, const char *Name, graph::Graph G) {
   api::Stream Str = S.stream();
   const double Secs = measureSeconds(
       [&] { (void)Str.execute(CG, W.InPtrs, W.OutPtrs); });
-  std::printf("{\"bench\":\"%s\",\"threads\":%d,\"partitions\":%zu,"
-              "\"fallback_partitions\":%zu,\"us_per_iter\":%.2f,"
-              "\"cache_hit\":%d}\n",
-              Name, S.threadPool().numThreads(), CG.numPartitions(),
+  std::printf("{\"bench\":\"%s\",\"exec\":\"%s\",\"threads\":%d,"
+              "\"partitions\":%zu,\"fallback_partitions\":%zu,"
+              "\"us_per_iter\":%.2f,\"cache_hit\":%d}\n",
+              Name, exec::backendName(S.options().Exec),
+              S.threadPool().numThreads(), CG.numPartitions(),
               CG.numFallbackPartitions(), Secs * 1e6,
               S.cacheHits() > HitsBefore ? 1 : 0);
   std::fflush(stdout);
@@ -54,6 +63,29 @@ void runCase(api::Session &S, const char *Name, graph::Graph G) {
 int main() {
   api::Session S;
 
+  // Smallest shapes first: interpretation-overhead probes (see header).
+  runCase(S, "matmul_small_f32",
+          workloads::buildSingleMatmul(/*Batch=*/8, /*K=*/32, /*N=*/32,
+                                       /*Int8=*/false, /*Seed=*/11));
+
+  workloads::MlpSpec MlpTiny;
+  MlpTiny.Batch = 1;
+  MlpTiny.LayerDims = {13, 64, 32, 16};
+  runCase(S, "mlp_small_f32", workloads::buildMlp(MlpTiny));
+
+  workloads::MlpSpec MlpDeep;
+  MlpDeep.Batch = 1;
+  MlpDeep.LayerDims = {16, 16, 16, 16, 16, 16, 16, 16};
+  runCase(S, "mlp_deep_small_f32", workloads::buildMlp(MlpDeep));
+
+  workloads::MhaSpec MhaTiny;
+  MhaTiny.Batch = 1;
+  MhaTiny.Heads = 1;
+  MhaTiny.SeqLen = 16;
+  MhaTiny.HeadDim = 16;
+  runCase(S, "mha_small_f32", workloads::buildMha(MhaTiny));
+
+  // Table 1 style medium shapes.
   workloads::MlpSpec Mlp1;
   Mlp1.Batch = 64;
   Mlp1.LayerDims = workloads::mlp1Dims();

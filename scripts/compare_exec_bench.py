@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Two-executor bench comparison for the CI perf gate.
+
+Runs bench_smoke under GC_EXEC=tree and GC_EXEC=bytecode, merges the JSON
+lines into one report (written to the path given by --out, e.g.
+BENCH_2.json for PR 2) and fails when the bytecode executor is slower than
+the tree evaluator by more than the allowed regression on any case.
+
+Usage:
+  python3 scripts/compare_exec_bench.py --bench build/bench/bench_smoke \
+      --out BENCH_2.json [--min-time 0.2] [--max-regression 0.05]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_mode(bench, mode, min_time, repeats):
+    """Runs the bench `repeats` times; keeps the per-case minimum, the
+    standard noise-robust estimator for short benchmarks."""
+    cases = {}
+    for _ in range(repeats):
+        env = dict(os.environ)
+        env["GC_EXEC"] = mode
+        env.setdefault("GC_BENCH_MIN_TIME", str(min_time))
+        out = subprocess.run([bench], env=env, check=True,
+                             capture_output=True, text=True).stdout
+        for line in out.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "error" in rec:
+                raise SystemExit(f"bench case {rec.get('bench')} failed "
+                                 f"under {mode}: {rec['error']}")
+            prev = cases.get(rec["bench"])
+            if prev is None or rec["us_per_iter"] < prev["us_per_iter"]:
+                cases[rec["bench"]] = rec
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="path to bench_smoke")
+    ap.add_argument("--out", required=True, help="output JSON path")
+    ap.add_argument("--min-time", type=float, default=0.2,
+                    help="GC_BENCH_MIN_TIME per case (seconds)")
+    ap.add_argument("--max-regression", type=float, default=0.05,
+                    help="fail if bytecode is slower than tree by more "
+                         "than this fraction on any case")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="bench runs per mode (per-case minimum is kept)")
+    args = ap.parse_args()
+
+    tree = run_mode(args.bench, "tree", args.min_time, args.repeats)
+    byte = run_mode(args.bench, "bytecode", args.min_time, args.repeats)
+    if set(tree) != set(byte):
+        raise SystemExit("tree and bytecode runs produced different case "
+                         f"sets: {sorted(tree)} vs {sorted(byte)}")
+
+    report = {
+        "bench": "bench_smoke",
+        "compare": "GC_EXEC=tree vs GC_EXEC=bytecode",
+        "threads": next(iter(tree.values()))["threads"],
+        "max_regression": args.max_regression,
+        "cases": [],
+    }
+    failures = []
+    for name in tree:
+        t = tree[name]["us_per_iter"]
+        b = byte[name]["us_per_iter"]
+        speedup = t / b if b > 0 else float("inf")
+        report["cases"].append({
+            "bench": name,
+            "tree_us_per_iter": t,
+            "bytecode_us_per_iter": b,
+            "bytecode_speedup": round(speedup, 3),
+        })
+        if b > t * (1.0 + args.max_regression):
+            failures.append(f"{name}: bytecode {b:.2f}us vs tree {t:.2f}us "
+                            f"({b / t - 1.0:+.1%})")
+    report["cases"].sort(key=lambda c: c["bench"])
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for case in report["cases"]:
+        print(f"  {case['bench']:24s} tree {case['tree_us_per_iter']:10.2f}us"
+              f"  bytecode {case['bytecode_us_per_iter']:10.2f}us"
+              f"  speedup {case['bytecode_speedup']:.2f}x")
+    if failures:
+        print("FAIL: bytecode regressions over the allowed threshold:",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

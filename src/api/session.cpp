@@ -138,9 +138,17 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
         if (CompiledOr) {
           std::lock_guard<std::mutex> Lock(CacheMutex);
           // Keep the first entry when two threads raced on the same key so
-          // later compiles observe one canonical partition.
-          Part.Compiled =
-              Cache.try_emplace(Key, CompiledOr.value()).first->second;
+          // later compiles observe one canonical partition — but only when
+          // that entry really is the same subgraph. On a fingerprint
+          // collision the cached partition belongs to a different graph;
+          // serve the freshly compiled one uncached instead of executing
+          // the colliding entry's code.
+          const auto [It, Inserted] =
+              Cache.try_emplace(Key, CompiledOr.value());
+          Part.Compiled = Inserted ||
+                                  boundaryMatches(Spec.Subgraph, *It->second)
+                              ? It->second
+                              : CompiledOr.value();
         } else if (CompiledOr.status().code() == StatusCode::Unsupported) {
           // The partitioner's static screen was too optimistic; run this
           // partition on the interpreter instead of failing the graph, and
@@ -189,6 +197,10 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
                        "a graph input",
                        (long long)Out));
   }
+  CG->Direct = CG->Parts.size() == 1 && CG->Parts[0].Compiled &&
+               CG->Passthrough.empty() && CG->DuplicateOutputs.empty() &&
+               CG->Parts[0].Spec.Subgraph.inputs() == CG->InputIds &&
+               CG->Parts[0].Spec.Subgraph.outputs() == CG->OutputIds;
   return CG;
 }
 
@@ -245,6 +257,11 @@ Status Stream::execute(const CompiledGraph &CG,
             checkBoundaryTensor(Outputs[I], CG.OutputMeta[I], "output", I);
         !S.isOk())
       return S;
+
+  // Whole-graph single compiled partition: hand the caller tensors over
+  // without building the per-execution environment below.
+  if (CG.Direct)
+    return CG.Parts[0].Compiled->execute(Inputs, Outputs);
 
   // Execution-local tensor environment: boundary ids -> storage. Caller
   // tensors are borrowed; cross-partition intermediates are owned by this

@@ -90,6 +90,11 @@ private:
   /// Outputs listing a tensor already listed earlier (duplicate index ->
   /// first index); partitions write the first, execute copies the rest.
   std::vector<std::pair<size_t, size_t>> DuplicateOutputs;
+  /// Fast-path flag: exactly one compiled partition whose boundary equals
+  /// the graph boundary (no intermediates, pass-throughs or duplicate
+  /// outputs), so execute() forwards the caller tensors directly instead
+  /// of building a per-execution tensor environment.
+  bool Direct = false;
 };
 
 using CompiledGraphPtr = std::shared_ptr<CompiledGraph>;

@@ -127,27 +127,61 @@ void CompiledPartition::runFoldFunction() {
   runFoldGraph(Prog.FoldGraph, Prog.FoldOutputs, Cache);
 }
 
-std::unique_ptr<tir::Evaluator> CompiledPartition::acquireEvaluator() {
-  {
-    std::lock_guard<std::mutex> Lock(EvalMutex);
-    if (!IdleEvals.empty()) {
-      std::unique_ptr<tir::Evaluator> Eval = std::move(IdleEvals.back());
-      IdleEvals.pop_back();
-      return Eval;
+void CompiledPartition::resolveBindings() {
+  Bindings.clear();
+  Bindings.reserve(Prog.Bindings.size());
+  for (const lower::Binding &B : Prog.Bindings) {
+    ResolvedBinding R;
+    R.BufferId = B.BufferId;
+    R.TensorId = B.TensorId;
+    R.Kind = B.Kind;
+    switch (B.Kind) {
+    case lower::BindingKind::Input: {
+      const auto It = std::find(InputIds.begin(), InputIds.end(), B.TensorId);
+      assert(It != InputIds.end() && "binding refers to unknown input");
+      R.Arg = static_cast<size_t>(It - InputIds.begin());
+      break;
     }
+    case lower::BindingKind::Output: {
+      const auto It =
+          std::find(OutputIds.begin(), OutputIds.end(), B.TensorId);
+      assert(It != OutputIds.end() && "binding refers to unknown output");
+      R.Arg = static_cast<size_t>(It - OutputIds.begin());
+      break;
+    }
+    case lower::BindingKind::Folded:
+    case lower::BindingKind::ConstData:
+      break; // addressed by TensorId
+    }
+    Bindings.push_back(R);
   }
-  return std::make_unique<tir::Evaluator>(Prog.Entry, *Pool);
 }
 
-void CompiledPartition::releaseEvaluator(
-    std::unique_ptr<tir::Evaluator> Eval) {
+CompiledPartition::ExecState CompiledPartition::acquireExecState() {
+  {
+    std::lock_guard<std::mutex> Lock(EvalMutex);
+    if (!IdleExecs.empty()) {
+      ExecState State = std::move(IdleExecs.back());
+      IdleExecs.pop_back();
+      return State;
+    }
+  }
+  ExecState State;
+  if (Backend == exec::Backend::Bytecode)
+    State.Byte = std::make_unique<exec::Executor>(Prog.Bytecode, *Pool);
+  else
+    State.Tree = std::make_unique<tir::Evaluator>(Prog.Entry, *Pool);
+  return State;
+}
+
+void CompiledPartition::releaseExecState(ExecState State) {
   // Bound the idle pool so a one-off concurrency burst does not pin one
   // scratch arena per peak-concurrent execute for the partition's
-  // lifetime; evaluators beyond the cap are simply dropped.
-  constexpr size_t kMaxIdleEvaluators = 8;
+  // lifetime; execution states beyond the cap are simply dropped.
+  constexpr size_t kMaxIdleExecStates = 8;
   std::lock_guard<std::mutex> Lock(EvalMutex);
-  if (IdleEvals.size() < kMaxIdleEvaluators)
-    IdleEvals.push_back(std::move(Eval));
+  if (IdleExecs.size() < kMaxIdleExecStates)
+    IdleExecs.push_back(std::move(State));
 }
 
 Status CompiledPartition::execute(
@@ -168,36 +202,28 @@ Status CompiledPartition::execute(
     FoldDone.store(true, std::memory_order_release);
   });
 
-  std::unique_ptr<tir::Evaluator> Eval = acquireEvaluator();
+  ExecState Eval = acquireExecState();
   Status Result = Status::ok();
-  for (const lower::Binding &B : Prog.Bindings) {
+  for (const ResolvedBinding &B : Bindings) {
     switch (B.Kind) {
     case lower::BindingKind::Input: {
-      const auto It =
-          std::find(InputIds.begin(), InputIds.end(), B.TensorId);
-      assert(It != InputIds.end() && "binding refers to unknown input");
-      runtime::TensorData *T =
-          Inputs[static_cast<size_t>(It - InputIds.begin())];
+      runtime::TensorData *T = Inputs[B.Arg];
       if (!T || !T->valid()) {
         Result = Status::error(StatusCode::InvalidArgument,
                                "null input tensor passed to execute");
         break;
       }
-      Eval->bindBuffer(B.BufferId, T->data());
+      Eval.bindBuffer(B.BufferId, T->data());
       break;
     }
     case lower::BindingKind::Output: {
-      const auto It =
-          std::find(OutputIds.begin(), OutputIds.end(), B.TensorId);
-      assert(It != OutputIds.end() && "binding refers to unknown output");
-      runtime::TensorData *T =
-          Outputs[static_cast<size_t>(It - OutputIds.begin())];
+      runtime::TensorData *T = Outputs[B.Arg];
       if (!T || !T->valid()) {
         Result = Status::error(StatusCode::InvalidArgument,
                                "null output tensor passed to execute");
         break;
       }
-      Eval->bindBuffer(B.BufferId, T->data());
+      Eval.bindBuffer(B.BufferId, T->data());
       break;
     }
     case lower::BindingKind::Folded: {
@@ -207,14 +233,14 @@ Status CompiledPartition::execute(
       // silently read an unwritten output.
       if (!T)
         fatalError("folded constant missing from the cache");
-      Eval->bindBuffer(B.BufferId, const_cast<void *>(T->data()));
+      Eval.bindBuffer(B.BufferId, const_cast<void *>(T->data()));
       break;
     }
     case lower::BindingKind::ConstData: {
       const runtime::TensorData *T = OptimizedG.constantData(B.TensorId);
       if (!T)
         fatalError("constant binding without data");
-      Eval->bindBuffer(B.BufferId, const_cast<void *>(T->data()));
+      Eval.bindBuffer(B.BufferId, const_cast<void *>(T->data()));
       break;
     }
     }
@@ -222,8 +248,8 @@ Status CompiledPartition::execute(
       break;
   }
   if (Result.isOk())
-    Eval->run();
-  releaseEvaluator(std::move(Eval));
+    Eval.run();
+  releaseExecState(std::move(Eval));
   return Result;
 }
 
@@ -270,6 +296,7 @@ compilePartition(const Graph &G, const CompileOptions &Opts,
                  std::shared_ptr<runtime::ThreadPool> Pool) {
   auto Partition = std::shared_ptr<CompiledPartition>(new CompiledPartition);
   Partition->OptimizedG = G.clone();
+  Partition->Backend = Opts.Exec;
 
   // Thread pool: session-shared when provided, else derived from options.
   if (Pool)
@@ -308,6 +335,7 @@ compilePartition(const Graph &G, const CompileOptions &Opts,
   if (!ProgOr)
     return ProgOr.status();
   Partition->Prog = ProgOr.takeValue();
+  Partition->resolveBindings();
 
   return Partition;
 }

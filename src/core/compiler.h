@@ -22,6 +22,8 @@
 #ifndef GC_CORE_COMPILER_H
 #define GC_CORE_COMPILER_H
 
+#include "exec/backend.h"
+#include "exec/executor.h"
 #include "graph/graph.h"
 #include "lower/driver.h"
 #include "runtime/const_cache.h"
@@ -57,6 +59,10 @@ struct CompileOptions {
   /// execution with prepacked weights, plain activations between
   /// primitives, post-op-API-shaped fusion only, no coarse-grain merging.
   bool PrimitivesMode = false;
+  /// Which execution engine runs compiled partitions: the flat bytecode
+  /// dispatch loop (default) or the tree-walking evaluator kept as the
+  /// reference oracle. Defaults from GC_EXEC ("tree" | "bytecode").
+  exec::Backend Exec = exec::defaultBackend();
 };
 
 /// Compile options preset for the primitives-library baseline of §VII.
@@ -79,10 +85,12 @@ struct PartitionStats {
 ///
 /// Thread safety: execute() may be called concurrently from any number of
 /// threads. The fold function runs exactly once (std::call_once); each
-/// execution binds its buffers on a private evaluator drawn from a small
-/// pool, whose scratch arenas belong to that execution rather than to the
-/// partition. All inspection accessors are const and safe to call at any
-/// time, including before the first execution.
+/// execution binds its buffers on a private execution state (a bytecode
+/// executor or a tree evaluator, per CompileOptions::Exec) drawn from a
+/// small pool, whose register frames and scratch arenas belong to that
+/// execution rather than to the partition — the bytecode program itself
+/// is compiled once and shared. All inspection accessors are const and
+/// safe to call at any time, including before the first execution.
 class CompiledPartition {
 public:
   /// Executes the partition. \p Inputs follow the source graph's input
@@ -99,6 +107,10 @@ public:
   const graph::Graph &optimizedGraph() const { return OptimizedG; }
   /// Lowered entry function (inspection / tests).
   const tir::Func &entry() const { return Prog.Entry; }
+  /// Compiled bytecode program (inspection / tests).
+  const exec::Program &bytecode() const { return *Prog.Bytecode; }
+  /// Execution engine this partition runs on.
+  exec::Backend backend() const { return Backend; }
   /// Compilation statistics. Safe before the first execution; the
   /// Folded* fields read as 0 until the fold function has run.
   PartitionStats stats() const;
@@ -116,22 +128,53 @@ private:
 
   void runFoldFunction();
 
-  /// Takes an idle evaluator from the pool (or builds one). Each execute()
-  /// owns its evaluator for the duration of the call, making concurrent
-  /// executions independent.
-  std::unique_ptr<tir::Evaluator> acquireEvaluator();
-  void releaseEvaluator(std::unique_ptr<tir::Evaluator> Eval);
+  /// One pooled execution state: exactly one of the two engines is set,
+  /// per the partition's backend. Each execute() owns its state for the
+  /// duration of the call, making concurrent executions independent.
+  struct ExecState {
+    std::unique_ptr<tir::Evaluator> Tree;
+    std::unique_ptr<exec::Executor> Byte;
+    void bindBuffer(int BufferId, void *Ptr) {
+      if (Byte)
+        Byte->bindBuffer(BufferId, Ptr);
+      else
+        Tree->bindBuffer(BufferId, Ptr);
+    }
+    void run() {
+      if (Byte)
+        Byte->run();
+      else
+        Tree->run();
+    }
+  };
+
+  /// Takes an idle execution state from the pool (or builds one).
+  ExecState acquireExecState();
+  void releaseExecState(ExecState State);
+
+  /// A lower::Binding with the execute-argument position resolved at
+  /// compile time (Input/Output kinds), so binding buffers is index
+  /// arithmetic instead of per-execution id searches.
+  struct ResolvedBinding {
+    int BufferId = -1;
+    int64_t TensorId = -1;
+    lower::BindingKind Kind = lower::BindingKind::Input;
+    size_t Arg = 0; ///< index into execute()'s Inputs/Outputs
+  };
+  void resolveBindings();
 
   graph::Graph OptimizedG;
   lower::LoweredProgram Prog;
   runtime::ConstCache Cache;
   std::shared_ptr<runtime::ThreadPool> Pool;
+  exec::Backend Backend = exec::Backend::Bytecode;
   std::once_flag FoldOnce;
   std::atomic<bool> FoldDone{false};
   std::mutex EvalMutex;
-  std::vector<std::unique_ptr<tir::Evaluator>> IdleEvals;
+  std::vector<ExecState> IdleExecs;
   std::vector<int64_t> InputIds;  // optimized-graph ids in input order
   std::vector<int64_t> OutputIds; // optimized-graph ids in output order
+  std::vector<ResolvedBinding> Bindings; // Prog.Bindings, positions resolved
 };
 
 /// Compiles \p G (copied; the original is untouched) with \p Opts into one

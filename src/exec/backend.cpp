@@ -1,0 +1,22 @@
+//===- backend.cpp - Executor backend selection -------------------------------===//
+
+#include "exec/backend.h"
+
+#include "support/env.h"
+
+namespace gc {
+namespace exec {
+
+Backend defaultBackend() {
+  const std::string V = getEnvString("GC_EXEC", "bytecode");
+  if (V == "tree")
+    return Backend::Tree;
+  return Backend::Bytecode;
+}
+
+const char *backendName(Backend B) {
+  return B == Backend::Tree ? "tree" : "bytecode";
+}
+
+} // namespace exec
+} // namespace gc

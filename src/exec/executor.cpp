@@ -1,0 +1,558 @@
+//===- executor.cpp - Bytecode dispatch loop ----------------------------------===//
+
+#include "exec/executor.h"
+
+#include "kernels/brgemm.h"
+#include "kernels/packing.h"
+#include "kernels/tile_ops.h"
+#include "support/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gc {
+namespace exec {
+
+//===----------------------------------------------------------------------===//
+// Kernel adapters
+//===----------------------------------------------------------------------===//
+//
+// One flat function per intrinsic, selected once at program compile time;
+// executing a Call is register marshalling plus one indirect call. The
+// argument layouts mirror tir/intrinsics.h (and the tree evaluator's
+// execCall, which these must match bit for bit).
+
+namespace {
+
+using namespace kernels;
+
+inline TileF32 tileArg(void *const *Ptrs, const int64_t *SI, int BufIdx,
+                       int RowsIdx = 0) {
+  TileF32 T;
+  T.Data = static_cast<float *>(Ptrs[BufIdx]);
+  T.Rows = SI[RowsIdx];
+  T.Cols = SI[RowsIdx + 1];
+  T.Ld = SI[RowsIdx + 2];
+  return T;
+}
+
+void adBrgemmF32(void *const *Ptrs, const int64_t *SI, const double *) {
+  BrgemmF32Args A;
+  A.A = static_cast<const float *>(Ptrs[0]);
+  A.B = static_cast<const float *>(Ptrs[1]);
+  A.C = static_cast<float *>(Ptrs[2]);
+  A.M = SI[0]; A.N = SI[1]; A.K = SI[2];
+  A.Lda = SI[3]; A.Ldb = SI[4]; A.Ldc = SI[5];
+  A.AStrideBatch = SI[6]; A.BStrideBatch = SI[7];
+  A.Batch = SI[8]; A.InitC = SI[9] != 0;
+  brgemmF32(A);
+}
+
+void adBrgemmU8S8(void *const *Ptrs, const int64_t *SI, const double *) {
+  BrgemmU8S8Args A;
+  A.A = static_cast<const uint8_t *>(Ptrs[0]);
+  A.B = static_cast<const int8_t *>(Ptrs[1]);
+  A.C = static_cast<int32_t *>(Ptrs[2]);
+  A.M = SI[0]; A.N = SI[1]; A.K = SI[2];
+  A.Lda = SI[3]; A.NPadded = SI[4]; A.Ldc = SI[5];
+  A.AStrideBatch = SI[6]; A.BStrideBatch = SI[7];
+  A.Batch = SI[8]; A.InitC = SI[9] != 0;
+  brgemmU8S8(A);
+}
+
+void adReluTile(void *const *P, const int64_t *SI, const double *) {
+  reluTile(tileArg(P, SI, 0));
+}
+void adExpTile(void *const *P, const int64_t *SI, const double *) {
+  expTile(tileArg(P, SI, 0));
+}
+void adTanhTile(void *const *P, const int64_t *SI, const double *) {
+  tanhTile(tileArg(P, SI, 0));
+}
+void adSqrtTile(void *const *P, const int64_t *SI, const double *) {
+  sqrtTile(tileArg(P, SI, 0));
+}
+void adRecipTile(void *const *P, const int64_t *SI, const double *) {
+  recipTile(tileArg(P, SI, 0));
+}
+void adSquareTile(void *const *P, const int64_t *SI, const double *) {
+  squareTile(tileArg(P, SI, 0));
+}
+void adSigmoidTile(void *const *P, const int64_t *SI, const double *) {
+  sigmoidTile(tileArg(P, SI, 0));
+}
+void adGeluTile(void *const *P, const int64_t *SI, const double *) {
+  geluTanhTile(tileArg(P, SI, 0));
+}
+void adAffineTile(void *const *P, const int64_t *SI, const double *SF) {
+  affineTile(tileArg(P, SI, 0), static_cast<float>(SF[3]),
+             static_cast<float>(SF[4]));
+}
+
+inline ConstTileF32 rhsArg(void *const *Ptrs, const int64_t *SI) {
+  ConstTileF32 Y;
+  Y.Data = static_cast<const float *>(Ptrs[1]);
+  Y.Ld = SI[3];
+  return Y;
+}
+
+void adAddTile(void *const *P, const int64_t *SI, const double *) {
+  addTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+void adSubTile(void *const *P, const int64_t *SI, const double *) {
+  subTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+void adMulTile(void *const *P, const int64_t *SI, const double *) {
+  mulTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+void adDivTile(void *const *P, const int64_t *SI, const double *) {
+  divTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+void adMaxTile(void *const *P, const int64_t *SI, const double *) {
+  maxTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+void adMinTile(void *const *P, const int64_t *SI, const double *) {
+  minTile(tileArg(P, SI, 0), rhsArg(P, SI));
+}
+
+void adAddRowVecTile(void *const *P, const int64_t *SI, const double *) {
+  addRowVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adSubRowVecTile(void *const *P, const int64_t *SI, const double *) {
+  subRowVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adMulRowVecTile(void *const *P, const int64_t *SI, const double *) {
+  mulRowVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adAddColVecTile(void *const *P, const int64_t *SI, const double *) {
+  addColVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adSubColVecTile(void *const *P, const int64_t *SI, const double *) {
+  subColVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adMulColVecTile(void *const *P, const int64_t *SI, const double *) {
+  mulColVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+void adDivColVecTile(void *const *P, const int64_t *SI, const double *) {
+  divColVecTile(tileArg(P, SI, 0), static_cast<const float *>(P[1]));
+}
+
+void adReduceSumRowsTile(void *const *P, const int64_t *SI, const double *) {
+  reduceSumRowsTile(tileArg(P, SI, 0), static_cast<float *>(P[1]),
+                    SI[3] != 0);
+}
+void adReduceMaxRowsTile(void *const *P, const int64_t *SI, const double *) {
+  reduceMaxRowsTile(tileArg(P, SI, 0), static_cast<float *>(P[1]),
+                    SI[3] != 0);
+}
+
+void adCopyTile(void *const *P, const int64_t *SI, const double *) {
+  TileF32 D;
+  D.Data = static_cast<float *>(P[0]);
+  D.Rows = SI[0]; D.Cols = SI[1]; D.Ld = SI[2];
+  ConstTileF32 Src;
+  Src.Data = static_cast<const float *>(P[1]);
+  Src.Ld = SI[3];
+  copyTile(D, Src);
+}
+void adCopyTileRaw(void *const *P, const int64_t *SI, const double *) {
+  copyTileRaw(P[0], SI[2], P[1], SI[3], SI[0], SI[1], SI[4]);
+}
+void adTransposeTile(void *const *P, const int64_t *SI, const double *) {
+  TileF32 D;
+  D.Data = static_cast<float *>(P[0]);
+  D.Rows = SI[0]; D.Cols = SI[1]; D.Ld = SI[2];
+  ConstTileF32 Src;
+  Src.Data = static_cast<const float *>(P[1]);
+  Src.Ld = SI[3];
+  transposeTile(D, Src);
+}
+void adPermute0213(void *const *P, const int64_t *SI, const double *) {
+  permute0213(P[0], P[1], SI[0], SI[1], SI[2], SI[3], SI[4]);
+}
+void adFillTile(void *const *P, const int64_t *SI, const double *SF) {
+  fillTile(tileArg(P, SI, 0), static_cast<float>(SF[3]));
+}
+
+void adDequantAccTile(void *const *P, const int64_t *SI, const double *) {
+  dequantAccTile(static_cast<float *>(P[0]), SI[2],
+                 static_cast<const int32_t *>(P[1]), SI[3], SI[0], SI[1],
+                 static_cast<const int32_t *>(P[2]),
+                 static_cast<int32_t>(SI[4]),
+                 static_cast<const float *>(P[3]));
+}
+void adQuantU8Tile(void *const *P, const int64_t *SI, const double *SF) {
+  quantizeU8Tile(static_cast<uint8_t *>(P[0]), SI[2],
+                 static_cast<const float *>(P[1]), SI[3], SI[0], SI[1],
+                 static_cast<float>(SF[4]), static_cast<int32_t>(SI[5]));
+}
+void adQuantS8Tile(void *const *P, const int64_t *SI, const double *SF) {
+  quantizeS8Tile(static_cast<int8_t *>(P[0]), SI[2],
+                 static_cast<const float *>(P[1]), SI[3], SI[0], SI[1],
+                 static_cast<float>(SF[4]));
+}
+void adDequantU8Tile(void *const *P, const int64_t *SI, const double *SF) {
+  dequantU8Tile(static_cast<float *>(P[0]), SI[2],
+                static_cast<const uint8_t *>(P[1]), SI[3], SI[0], SI[1],
+                static_cast<float>(SF[4]), static_cast<int32_t>(SI[5]));
+}
+void adDequantS8PerChannelTile(void *const *P, const int64_t *SI,
+                               const double *) {
+  dequantS8PerChannelTile(static_cast<float *>(P[0]), SI[2],
+                          static_cast<const int8_t *>(P[1]), SI[3], SI[0],
+                          SI[1], static_cast<const float *>(P[2]));
+}
+void adCastS32F32Tile(void *const *P, const int64_t *SI, const double *SF) {
+  castS32F32Tile(static_cast<float *>(P[0]), SI[2],
+                 static_cast<const int32_t *>(P[1]), SI[3], SI[0], SI[1],
+                 static_cast<float>(SF[4]));
+}
+
+inline PlainMatrix plainArg(void *const *P, const int64_t *SI) {
+  PlainMatrix Src;
+  Src.Data = P[1];
+  Src.Rows = SI[0];
+  Src.Cols = SI[1];
+  Src.Ld = SI[2];
+  Src.Transposed = SI[5] != 0;
+  return Src;
+}
+
+void adPackAF32(void *const *P, const int64_t *SI, const double *) {
+  packAF32(plainArg(P, SI), static_cast<float *>(P[0]), SI[3], SI[4]);
+}
+void adPackAU8(void *const *P, const int64_t *SI, const double *) {
+  packAU8(plainArg(P, SI), static_cast<uint8_t *>(P[0]), SI[3], SI[4]);
+}
+void adPackBF32(void *const *P, const int64_t *SI, const double *) {
+  packBF32(plainArg(P, SI), static_cast<float *>(P[0]), SI[3], SI[4]);
+}
+void adPackBS8Vnni(void *const *P, const int64_t *SI, const double *) {
+  packBS8Vnni(plainArg(P, SI), static_cast<int8_t *>(P[0]), SI[3], SI[4]);
+}
+void adUnpackAF32(void *const *P, const int64_t *SI, const double *) {
+  unpackAF32(static_cast<const float *>(P[1]), static_cast<float *>(P[0]),
+             SI[0], SI[1], SI[2], SI[3], SI[4]);
+}
+void adUnpackAU8(void *const *P, const int64_t *SI, const double *) {
+  unpackAU8(static_cast<const uint8_t *>(P[1]),
+            static_cast<uint8_t *>(P[0]), SI[0], SI[1], SI[2], SI[3],
+            SI[4]);
+}
+
+} // namespace
+
+KernelFn kernelAdapter(tir::Intrinsic In) {
+  using tir::Intrinsic;
+  switch (In) {
+  case Intrinsic::BrgemmF32: return adBrgemmF32;
+  case Intrinsic::BrgemmU8S8: return adBrgemmU8S8;
+  case Intrinsic::ReluTile: return adReluTile;
+  case Intrinsic::ExpTile: return adExpTile;
+  case Intrinsic::TanhTile: return adTanhTile;
+  case Intrinsic::SqrtTile: return adSqrtTile;
+  case Intrinsic::RecipTile: return adRecipTile;
+  case Intrinsic::SquareTile: return adSquareTile;
+  case Intrinsic::SigmoidTile: return adSigmoidTile;
+  case Intrinsic::GeluTile: return adGeluTile;
+  case Intrinsic::AffineTile: return adAffineTile;
+  case Intrinsic::AddTile: return adAddTile;
+  case Intrinsic::SubTile: return adSubTile;
+  case Intrinsic::MulTile: return adMulTile;
+  case Intrinsic::DivTile: return adDivTile;
+  case Intrinsic::MaxTile: return adMaxTile;
+  case Intrinsic::MinTile: return adMinTile;
+  case Intrinsic::AddRowVecTile: return adAddRowVecTile;
+  case Intrinsic::SubRowVecTile: return adSubRowVecTile;
+  case Intrinsic::MulRowVecTile: return adMulRowVecTile;
+  case Intrinsic::AddColVecTile: return adAddColVecTile;
+  case Intrinsic::SubColVecTile: return adSubColVecTile;
+  case Intrinsic::MulColVecTile: return adMulColVecTile;
+  case Intrinsic::DivColVecTile: return adDivColVecTile;
+  case Intrinsic::ReduceSumRowsTile: return adReduceSumRowsTile;
+  case Intrinsic::ReduceMaxRowsTile: return adReduceMaxRowsTile;
+  case Intrinsic::CopyTile: return adCopyTile;
+  case Intrinsic::CopyTileRaw: return adCopyTileRaw;
+  case Intrinsic::TransposeTile: return adTransposeTile;
+  case Intrinsic::Permute0213: return adPermute0213;
+  case Intrinsic::FillTile: return adFillTile;
+  case Intrinsic::DequantAccTile: return adDequantAccTile;
+  case Intrinsic::QuantU8Tile: return adQuantU8Tile;
+  case Intrinsic::QuantS8Tile: return adQuantS8Tile;
+  case Intrinsic::DequantU8Tile: return adDequantU8Tile;
+  case Intrinsic::DequantS8PerChannelTile: return adDequantS8PerChannelTile;
+  case Intrinsic::CastS32F32Tile: return adCastS32F32Tile;
+  case Intrinsic::PackAF32: return adPackAF32;
+  case Intrinsic::PackAU8: return adPackAU8;
+  case Intrinsic::PackBF32: return adPackBF32;
+  case Intrinsic::PackBS8Vnni: return adPackBS8Vnni;
+  case Intrinsic::UnpackAF32: return adUnpackAF32;
+  case Intrinsic::UnpackAU8: return adUnpackAU8;
+  }
+  GC_UNREACHABLE("unhandled intrinsic");
+}
+
+//===----------------------------------------------------------------------===//
+// Executor setup (mirrors the tree evaluator's buffer placement)
+//===----------------------------------------------------------------------===//
+
+Executor::Executor(std::shared_ptr<const Program> Prog,
+                   runtime::ThreadPool &Pool)
+    : P(std::move(Prog)), Pool(Pool) {
+  const size_t NumBuffers = P->Buffers.size();
+  BasePtrs.assign(NumBuffers, nullptr);
+
+  if (P->ArenaBytes > 0)
+    Arena.resize(static_cast<size_t>(P->ArenaBytes));
+
+  const int NumWorkers = Pool.numThreads();
+  ThreadScratch.resize(static_cast<size_t>(NumWorkers));
+  int64_t ScratchBytes = 0;
+  for (const BufferInfo &B : P->Buffers)
+    if (B.Scope == tir::BufferScope::ThreadLocal)
+      ScratchBytes += roundUp(B.Bytes, runtime::kDefaultAlignment);
+  for (auto &Block : ThreadScratch)
+    if (ScratchBytes > 0)
+      Block.resize(static_cast<size_t>(ScratchBytes));
+
+  WorkerPtrs.assign(static_cast<size_t>(NumWorkers),
+                    std::vector<void *>(NumBuffers, nullptr));
+  std::vector<int64_t> ScratchOffset(static_cast<size_t>(NumWorkers), 0);
+
+  for (size_t Id = 0; Id < NumBuffers; ++Id) {
+    const BufferInfo &B = P->Buffers[Id];
+    switch (B.Scope) {
+    case tir::BufferScope::Param:
+    case tir::BufferScope::FoldedConst:
+      break; // bound by caller
+    case tir::BufferScope::Const:
+      if (B.BakedData)
+        BasePtrs[Id] = const_cast<void *>(B.BakedData);
+      break; // otherwise bound by caller
+    case tir::BufferScope::Temp: {
+      void *Ptr = nullptr;
+      if (B.ArenaOffset >= 0) {
+        assert(B.ArenaOffset + B.Bytes <= static_cast<int64_t>(Arena.size()) &&
+               "arena overflow");
+        Ptr = static_cast<char *>(Arena.data()) + B.ArenaOffset;
+      } else {
+        Locals.emplace_back(static_cast<size_t>(B.Bytes));
+        Ptr = Locals.back().data();
+      }
+      BasePtrs[Id] = Ptr;
+      break;
+    }
+    case tir::BufferScope::ThreadLocal: {
+      for (int W = 0; W < NumWorkers; ++W) {
+        void *Ptr =
+            static_cast<char *>(ThreadScratch[W].data()) + ScratchOffset[W];
+        ScratchOffset[W] += roundUp(B.Bytes, runtime::kDefaultAlignment);
+        WorkerPtrs[W][Id] = Ptr;
+      }
+      break;
+    }
+    }
+  }
+
+  // The constant image loads once: every non-constant register (loop
+  // vars, lets, temps, inductions) is written before it is read, so runs
+  // never need a fresh frame.
+  MainRegs = P->InitRegs;
+  WorkerRegs.assign(static_cast<size_t>(NumWorkers),
+                    std::vector<Value>(P->NumRegs));
+}
+
+void Executor::bindBuffer(int BufferId, void *Ptr) {
+  assert(BufferId >= 0 &&
+         static_cast<size_t>(BufferId) < BasePtrs.size() && "bad buffer id");
+  BasePtrs[static_cast<size_t>(BufferId)] = Ptr;
+}
+
+void Executor::run() {
+  // Finalize worker tables: every non-ThreadLocal buffer points at the
+  // shared base.
+  for (size_t BId = 0; BId < BasePtrs.size(); ++BId) {
+    if (P->Buffers[BId].Scope == tir::BufferScope::ThreadLocal)
+      continue;
+    if (!BasePtrs[BId])
+      fatalError("unbound tensor buffer at execution");
+    for (auto &Table : WorkerPtrs)
+      Table[BId] = BasePtrs[BId];
+  }
+  Frame Fr;
+  Fr.Regs = MainRegs.data();
+  Fr.Buffers = WorkerPtrs[0].data();
+  runRange(0, static_cast<uint32_t>(P->Code.size()), Fr);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch loop
+//===----------------------------------------------------------------------===//
+
+void Executor::runParallel(const Instr &In, Frame &Fr, uint32_t BodyBegin) {
+  const ParDesc &D = P->Pars[static_cast<size_t>(In.Target)];
+  Value *R = Fr.Regs;
+  const int64_t Begin = R[D.BeginReg].I;
+  const int64_t End = R[D.EndReg].I;
+  const int64_t Step = R[D.StepReg].I;
+  assert(Step > 0 && "parallel loop requires positive step");
+  const int64_t Trips = Begin < End ? ceilDiv(End - Begin, Step) : 0;
+  if (Trips <= 0)
+    return;
+  const uint32_t BodyEnd = BodyBegin + D.BodyLen;
+  const int NumWorkers = Pool.numThreads();
+  if (NumWorkers == 1) {
+    // Single worker: the body only writes registers that are dead outside
+    // the nest (its loop variable, body lets, body temporaries), so it can
+    // run on the submitting frame directly; the pool call is kept for the
+    // one-barrier-per-nest accounting.
+    Pool.parallelFor(0, Trips, [&](int64_t I, int) {
+      Fr.Regs[D.VarReg].I = Begin + I * Step;
+      runRange(BodyBegin, BodyEnd, Fr);
+    });
+    return;
+  }
+  // Copy the submitting frame per worker so outer values (lets, hoisted
+  // invariants, inductions) stay visible; each worker uses its own
+  // thread-local buffer table. The pool partitions statically over worker
+  // ids 0..Trips-1 at most, so short nests only need that many frames.
+  const int ActiveWorkers =
+      static_cast<int>(std::min<int64_t>(NumWorkers, Trips));
+  for (int W = 0; W < ActiveWorkers; ++W)
+    std::copy(Fr.Regs, Fr.Regs + P->NumRegs, WorkerRegs[W].data());
+  Pool.parallelFor(0, Trips, [&](int64_t I, int ThreadId) {
+    Frame WFr;
+    WFr.Regs = WorkerRegs[static_cast<size_t>(ThreadId)].data();
+    WFr.Buffers = WorkerPtrs[static_cast<size_t>(ThreadId)].data();
+    WFr.Regs[D.VarReg].I = Begin + I * Step;
+    runRange(BodyBegin, BodyEnd, WFr);
+  });
+}
+
+void Executor::runRange(uint32_t PC, uint32_t End, Frame &Fr) {
+  const Instr *Code = P->Code.data();
+  Value *R = Fr.Regs;
+  void *const *Bufs = Fr.Buffers;
+  const BufferInfo *BI = P->Buffers.data();
+  while (PC < End) {
+    const Instr &I = Code[PC];
+    switch (I.Op) {
+    case Opcode::Mov: R[I.A] = R[I.B]; break;
+    case Opcode::I2F: R[I.A].F = static_cast<double>(R[I.B].I); break;
+    case Opcode::F2I: R[I.A].I = static_cast<int64_t>(R[I.B].F); break;
+    case Opcode::AddI: R[I.A].I = R[I.B].I + R[I.C].I; break;
+    case Opcode::SubI: R[I.A].I = R[I.B].I - R[I.C].I; break;
+    case Opcode::MulI: R[I.A].I = R[I.B].I * R[I.C].I; break;
+    case Opcode::DivI: R[I.A].I = R[I.B].I / R[I.C].I; break;
+    case Opcode::ModI: R[I.A].I = R[I.B].I % R[I.C].I; break;
+    case Opcode::MinI: R[I.A].I = std::min(R[I.B].I, R[I.C].I); break;
+    case Opcode::MaxI: R[I.A].I = std::max(R[I.B].I, R[I.C].I); break;
+    case Opcode::AddF: R[I.A].F = R[I.B].F + R[I.C].F; break;
+    case Opcode::SubF: R[I.A].F = R[I.B].F - R[I.C].F; break;
+    case Opcode::MulF: R[I.A].F = R[I.B].F * R[I.C].F; break;
+    case Opcode::DivF: R[I.A].F = R[I.B].F / R[I.C].F; break;
+    case Opcode::ModF: R[I.A].F = std::fmod(R[I.B].F, R[I.C].F); break;
+    case Opcode::MinF: R[I.A].F = std::min(R[I.B].F, R[I.C].F); break;
+    case Opcode::MaxF: R[I.A].F = std::max(R[I.B].F, R[I.C].F); break;
+    case Opcode::AddImmI: R[I.A].I += I.Imm; break;
+    case Opcode::LoadF32:
+      R[I.A].F = *reinterpret_cast<const float *>(
+          static_cast<const char *>(Bufs[I.B]) + R[I.C].I * 4);
+      break;
+    case Opcode::LoadF64:
+      R[I.A].F = *reinterpret_cast<const double *>(
+          static_cast<const char *>(Bufs[I.B]) + R[I.C].I * 8);
+      break;
+    case Opcode::LoadS32:
+      R[I.A].I = *reinterpret_cast<const int32_t *>(
+          static_cast<const char *>(Bufs[I.B]) + R[I.C].I * 4);
+      break;
+    case Opcode::LoadS8:
+      R[I.A].I = *reinterpret_cast<const int8_t *>(
+          static_cast<const char *>(Bufs[I.B]) + R[I.C].I);
+      break;
+    case Opcode::LoadU8:
+      R[I.A].I = *reinterpret_cast<const uint8_t *>(
+          static_cast<const char *>(Bufs[I.B]) + R[I.C].I);
+      break;
+    case Opcode::StoreF32:
+      *reinterpret_cast<float *>(static_cast<char *>(Bufs[I.B]) +
+                                 R[I.C].I * 4) =
+          static_cast<float>(R[I.A].F);
+      break;
+    case Opcode::StoreF64:
+      *reinterpret_cast<double *>(static_cast<char *>(Bufs[I.B]) +
+                                  R[I.C].I * 8) = R[I.A].F;
+      break;
+    case Opcode::StoreS32:
+      *reinterpret_cast<int32_t *>(static_cast<char *>(Bufs[I.B]) +
+                                   R[I.C].I * 4) =
+          static_cast<int32_t>(R[I.A].I);
+      break;
+    case Opcode::StoreS8:
+      *reinterpret_cast<int8_t *>(static_cast<char *>(Bufs[I.B]) +
+                                  R[I.C].I) =
+          static_cast<int8_t>(std::clamp<int64_t>(R[I.A].I, -128, 127));
+      break;
+    case Opcode::StoreU8:
+      *reinterpret_cast<uint8_t *>(static_cast<char *>(Bufs[I.B]) +
+                                   R[I.C].I) =
+          static_cast<uint8_t>(std::clamp<int64_t>(R[I.A].I, 0, 255));
+      break;
+    case Opcode::JumpIfGeI:
+      if (R[I.A].I >= R[I.B].I) {
+        PC = static_cast<uint32_t>(static_cast<int64_t>(PC) + I.Target);
+        continue;
+      }
+      break;
+    case Opcode::LoopNext:
+      R[I.A].I += R[I.B].I;
+      if (R[I.A].I < R[I.C].I) {
+        PC = static_cast<uint32_t>(static_cast<int64_t>(PC) + I.Target);
+        continue;
+      }
+      break;
+    case Opcode::CallKernel: {
+      const CallDesc &D = P->Calls[static_cast<size_t>(I.Target)];
+      void *Ptrs[4] = {nullptr, nullptr, nullptr, nullptr};
+      for (uint8_t K = 0; K < D.NumBufs; ++K) {
+        const CallDesc::Buf &BRef = D.Bufs[K];
+        const int64_t Off = BRef.HasOffset ? R[BRef.OffsetReg].I : 0;
+        Ptrs[K] =
+            static_cast<char *>(Bufs[BRef.BufferId]) +
+            Off * BI[BRef.BufferId].ElemSize;
+      }
+      if (D.NumDyn == 0) {
+        // Fully constant scalars: use the pre-marshalled views in place.
+        D.Fn(Ptrs, D.SI, D.SF);
+        break;
+      }
+      int64_t SI[12];
+      double SF[12];
+      std::memcpy(SI, D.SI, sizeof(SI));
+      std::memcpy(SF, D.SF, sizeof(SF));
+      for (uint8_t K = 0; K < D.NumDyn; ++K) {
+        const CallDesc::Dyn &S = D.Dyns[K];
+        if (S.IsF64) {
+          SF[S.Idx] = R[S.Reg].F;
+          SI[S.Idx] = static_cast<int64_t>(R[S.Reg].F);
+        } else {
+          SI[S.Idx] = R[S.Reg].I;
+          SF[S.Idx] = static_cast<double>(R[S.Reg].I);
+        }
+      }
+      D.Fn(Ptrs, SI, SF);
+      break;
+    }
+    case Opcode::ParallelFor:
+      runParallel(I, Fr, PC + 1);
+      PC += 1 + P->Pars[static_cast<size_t>(I.Target)].BodyLen;
+      continue;
+    }
+    ++PC;
+  }
+}
+
+} // namespace exec
+} // namespace gc

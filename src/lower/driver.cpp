@@ -2,6 +2,7 @@
 
 #include "lower/driver.h"
 
+#include "exec/program.h"
 #include "lower/region_lowering.h"
 #include "support/common.h"
 #include "support/env.h"
@@ -198,10 +199,15 @@ Expected<LoweredProgram> lowerGraph(const Graph &G,
   tirpass::shrinkTensors(Prog.Entry);
   Prog.ReuseStats = tirpass::reuseBuffers(Prog.Entry, Opts.EnableBufferReuse);
   tir::assignSlots(Prog.Entry);
+  // Final lowering step: compile the entry function to flat bytecode.
+  Prog.Bytecode = exec::compileProgram(Prog.Entry);
 
   if (verboseAtLeast(1))
     std::fprintf(stderr, "=== lowered entry ===\n%s\n",
                  tir::printFunc(Prog.Entry).c_str());
+  if (verboseAtLeast(2))
+    std::fprintf(stderr, "=== bytecode ===\n%s\n",
+                 exec::printProgram(*Prog.Bytecode).c_str());
   return Prog;
 }
 

@@ -17,7 +17,14 @@
 #include "tir/function.h"
 #include "tirpass/tirpass.h"
 
+#include <memory>
 #include <vector>
+
+namespace gc {
+namespace exec {
+struct Program;
+} // namespace exec
+} // namespace gc
 
 namespace gc {
 namespace lower {
@@ -49,6 +56,11 @@ struct Binding {
 /// Result of lowering one optimized graph.
 struct LoweredProgram {
   tir::Func Entry;
+  /// Entry compiled to flat bytecode (exec/program.h) as the final
+  /// lowering step; shared by every execution of the partition. Holds
+  /// pointers into Entry.Baked, so it lives alongside Entry. The tree
+  /// evaluator (GC_EXEC=tree) ignores it and walks Entry directly.
+  std::shared_ptr<const exec::Program> Bytecode;
   /// Fold side: the constant-reachable subgraph ("initial function" of
   /// §V); executed once by the runtime, outputs cached.
   graph::Graph FoldGraph;

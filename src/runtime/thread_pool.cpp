@@ -10,6 +10,20 @@
 namespace gc {
 namespace runtime {
 
+namespace {
+
+/// One spin-wait iteration: a pause on x86 (frees the sibling hyperthread
+/// and lowers power), a compiler barrier elsewhere.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(int NumThreads) {
   if (NumThreads <= 0) {
     const int64_t FromEnv = getEnvInt("GC_NUM_THREADS", 0);
@@ -20,6 +34,9 @@ ThreadPool::ThreadPool(int NumThreads) {
           std::max(1u, std::thread::hardware_concurrency()));
   }
   NumWorkers = std::max(1, NumThreads);
+  SpinIters = static_cast<int>(
+      std::max<int64_t>(0, getEnvInt("GC_SPIN_ITERS", 4000)));
+  SpawnedWorkers.fetch_add(NumWorkers - 1, std::memory_order_relaxed);
   // Worker 0 is the calling thread; spawn the rest.
   Threads.reserve(static_cast<size_t>(NumWorkers - 1));
   for (int W = 1; W < NumWorkers; ++W)
@@ -29,11 +46,28 @@ ThreadPool::ThreadPool(int NumThreads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    ShuttingDown = true;
+    ShuttingDown.store(true, std::memory_order_release);
   }
   WakeCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
+  SpawnedWorkers.fetch_sub(NumWorkers - 1, std::memory_order_relaxed);
+}
+
+std::atomic<int> ThreadPool::SpawnedWorkers{0};
+
+int ThreadPool::spinBudget() const {
+  // Spinning only helps when every worker owns a core. The check is
+  // process-wide: several pools can coexist (per-session pools plus the
+  // global one), and once their spawned workers oversubscribe the
+  // machine, a spinning thread just steals cycles from the worker it is
+  // waiting on — park immediately instead. Re-evaluated per wait so
+  // pools created later are accounted for.
+  static const int Hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return SpawnedWorkers.load(std::memory_order_relaxed) + 1 <= Hw
+             ? SpinIters
+             : 0;
 }
 
 ThreadPool &ThreadPool::global() {
@@ -41,42 +75,60 @@ ThreadPool &ThreadPool::global() {
   return Pool;
 }
 
-void ThreadPool::runRange(int64_t Begin, int64_t End, int ThreadId) {
+void ThreadPool::runRange(int ThreadId) {
   // Static partition: worker ThreadId takes its contiguous chunk.
   const int64_t Total = JobEnd - JobBegin;
   const int64_t Chunk = ceilDiv(Total, NumWorkers);
   const int64_t Lo = JobBegin + ThreadId * Chunk;
   const int64_t Hi = std::min(JobEnd, Lo + Chunk);
   for (int64_t I = Lo; I < Hi; ++I)
-    (*JobBody)(I, ThreadId);
-  (void)Begin;
-  (void)End;
+    JobBody(JobCtx, I, ThreadId);
 }
 
 void ThreadPool::workerLoop(int WorkerIndex) {
   uint64_t SeenGeneration = 0;
   for (;;) {
-    {
+    // Bounded spin before parking: short nests are re-submitted within a
+    // few microseconds, so burning a few thousand pause iterations beats a
+    // futex round trip. The job fields are published before the release
+    // store to Generation, so an acquire load here orders their reads.
+    uint64_t Gen = SeenGeneration;
+    bool HaveJob = false;
+    const int Budget = spinBudget();
+    for (int Spin = 0; Spin < Budget; ++Spin) {
+      if (ShuttingDown.load(std::memory_order_acquire))
+        return;
+      Gen = Generation.load(std::memory_order_acquire);
+      if (Gen != SeenGeneration) {
+        HaveJob = true;
+        break;
+      }
+      cpuRelax();
+    }
+    if (!HaveJob) {
       std::unique_lock<std::mutex> Lock(Mutex);
       WakeCv.wait(Lock, [&] {
-        return ShuttingDown || Generation != SeenGeneration;
+        return ShuttingDown.load(std::memory_order_relaxed) ||
+               Generation.load(std::memory_order_relaxed) != SeenGeneration;
       });
-      if (ShuttingDown)
+      if (ShuttingDown.load(std::memory_order_relaxed))
         return;
-      SeenGeneration = Generation;
+      Gen = Generation.load(std::memory_order_relaxed);
     }
-    runRange(JobBegin, JobEnd, WorkerIndex);
-    {
+    SeenGeneration = Gen;
+    runRange(WorkerIndex);
+    // Last worker out wakes the submitter. Taking the mutex around the
+    // notify closes the window between the submitter's predicate check
+    // and its wait.
+    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> Lock(Mutex);
-      if (--Pending == 0)
-        DoneCv.notify_all();
+      DoneCv.notify_all();
     }
   }
 }
 
-void ThreadPool::parallelFor(
-    int64_t Begin, int64_t End,
-    const std::function<void(int64_t I, int ThreadId)> &Body) {
+void ThreadPool::parallelForRaw(int64_t Begin, int64_t End, JobFn Fn,
+                                void *Ctx) {
   if (Begin >= End)
     return;
   if (NumWorkers == 1 || End - Begin == 1) {
@@ -84,26 +136,41 @@ void ThreadPool::parallelFor(
     // coarse-grain ablation can count loop regions uniformly.
     Barriers.fetch_add(1, std::memory_order_relaxed);
     for (int64_t I = Begin; I < End; ++I)
-      Body(I, 0);
+      Fn(Ctx, I, 0);
     return;
   }
   std::lock_guard<std::mutex> Submit(SubmitMutex);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    JobBody = &Body;
+    JobBody = Fn;
+    JobCtx = Ctx;
     JobBegin = Begin;
     JobEnd = End;
-    Pending = NumWorkers - 1;
-    ++Generation;
+    Pending.store(NumWorkers - 1, std::memory_order_relaxed);
+    Generation.fetch_add(1, std::memory_order_release);
     Barriers.fetch_add(1, std::memory_order_relaxed);
   }
   WakeCv.notify_all();
-  runRange(Begin, End, /*ThreadId=*/0);
-  {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    DoneCv.wait(Lock, [&] { return Pending == 0; });
-    JobBody = nullptr;
+  runRange(/*ThreadId=*/0);
+  // Spin for stragglers before parking; the tail of a balanced nest
+  // finishes within the spin budget.
+  bool Done = false;
+  const int Budget = spinBudget();
+  for (int Spin = 0; Spin < Budget; ++Spin) {
+    if (Pending.load(std::memory_order_acquire) == 0) {
+      Done = true;
+      break;
+    }
+    cpuRelax();
   }
+  if (!Done) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCv.wait(Lock, [&] {
+      return Pending.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  JobBody = nullptr;
+  JobCtx = nullptr;
 }
 
 } // namespace runtime

@@ -8,8 +8,19 @@
 /// two loop nests (coarse-grain fusion) removes one synchronization barrier,
 /// exactly the effect the paper measures.
 ///
-/// Thread count defaults to std::thread::hardware_concurrency() and can be
-/// overridden with GC_NUM_THREADS (tests use >1 virtual workers on 1 core).
+/// Hot-path design: the job body is passed by reference through a plain
+/// function pointer + context pointer (no std::function, no heap
+/// allocation per nest), and both the workers and the submitting thread
+/// spin for a bounded number of iterations before parking on a condition
+/// variable, which cuts fork/join latency on the short parallel nests that
+/// dominate small-shape inference.
+///
+/// Environment knobs:
+///   GC_NUM_THREADS  worker threads (default: hardware concurrency)
+///   GC_SPIN_ITERS   bounded spin iterations before parking (default 4000;
+///                   spinning auto-disables while the pools of this
+///                   process together oversubscribe the machine — more
+///                   spawned workers than cores)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +30,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace gc {
@@ -30,6 +42,9 @@ namespace runtime {
 /// Persistent fork/join thread pool with static range partitioning.
 class ThreadPool {
 public:
+  /// Job callback: (context, iteration index, worker id).
+  using JobFn = void (*)(void *Ctx, int64_t I, int ThreadId);
+
   /// Creates a pool with \p NumThreads workers (including the caller).
   /// NumThreads == 0 selects GC_NUM_THREADS or hardware concurrency.
   explicit ThreadPool(int NumThreads = 0);
@@ -47,8 +62,24 @@ public:
   /// [0, numThreads()). Safe to call from multiple threads concurrently:
   /// fork/join regions from different submitters are serialized, so
   /// concurrent Stream executions interleave at nest granularity.
-  void parallelFor(int64_t Begin, int64_t End,
-                   const std::function<void(int64_t I, int ThreadId)> &Body);
+  ///
+  /// The callable is captured by reference (it outlives the barrier
+  /// because parallelFor blocks); no job-closure allocation happens here.
+  template <typename Body>
+  void parallelFor(int64_t Begin, int64_t End, Body &&B) {
+    using BodyT = std::remove_reference_t<Body>;
+    parallelForRaw(
+        Begin, End,
+        [](void *Ctx, int64_t I, int ThreadId) {
+          (*static_cast<BodyT *>(const_cast<void *>(
+              static_cast<const void *>(Ctx))))(I, ThreadId);
+        },
+        const_cast<void *>(static_cast<const void *>(std::addressof(B))));
+  }
+
+  /// Function-pointer form of parallelFor; \p Ctx is passed to every
+  /// invocation of \p Fn. The templated overload forwards here.
+  void parallelForRaw(int64_t Begin, int64_t End, JobFn Fn, void *Ctx);
 
   /// Total number of fork/join barriers executed so far (used by tests and
   /// the coarse-grain fusion ablation to show barrier reduction).
@@ -59,9 +90,16 @@ public:
 
 private:
   void workerLoop(int WorkerIndex);
-  void runRange(int64_t Begin, int64_t End, int ThreadId);
+  void runRange(int ThreadId);
+  /// Effective spin iterations for this wait: GC_SPIN_ITERS, or 0 while
+  /// the process's pools together oversubscribe the hardware cores.
+  int spinBudget() const;
 
   int NumWorkers = 1;
+  /// Configured spin iterations before a worker/waiter parks.
+  int SpinIters = 0;
+  /// Spawned (non-caller) worker threads across all live pools.
+  static std::atomic<int> SpawnedWorkers;
   std::vector<std::thread> Threads;
 
   /// Held for a whole fork/join region; gives concurrent submitters
@@ -70,12 +108,17 @@ private:
   std::mutex Mutex;
   std::condition_variable WakeCv;
   std::condition_variable DoneCv;
-  uint64_t Generation = 0;
-  int Pending = 0;
-  bool ShuttingDown = false;
+  /// Bumped (release) once the job slot is populated; workers spin on it
+  /// before parking on WakeCv.
+  std::atomic<uint64_t> Generation{0};
+  /// Workers still running the current region; the submitter spins on it
+  /// reaching 0 before parking on DoneCv.
+  std::atomic<int> Pending{0};
+  std::atomic<bool> ShuttingDown{false};
 
   // Current job description (valid while Pending > 0).
-  const std::function<void(int64_t, int)> *JobBody = nullptr;
+  JobFn JobBody = nullptr;
+  void *JobCtx = nullptr;
   int64_t JobBegin = 0;
   int64_t JobEnd = 0;
 

@@ -1,12 +1,20 @@
-//===- eval.h - Tensor IR evaluator -----------------------------*- C++ -*-===//
+//===- eval.h - Tensor IR tree evaluator (reference oracle) -----*- C++ -*-===//
 ///
 /// \file
-/// Executes a Tensor IR function. The paper lowers Tensor IR to LLVM IR and
-/// microkernel intrinsic calls; offline this reproduction executes the same
-/// Tensor IR with a slot-resolved evaluator whose leaves are the identical
-/// precompiled microkernels (DESIGN.md substitution #2). Every statement
-/// moves a whole tile, so interpretation cost is amortized over the kernel
-/// work exactly as call overhead would be under a JIT.
+/// Executes a Tensor IR function by walking the IR tree. The paper lowers
+/// Tensor IR to LLVM IR and microkernel intrinsic calls; offline this
+/// reproduction executes the same Tensor IR with interpreters whose leaves
+/// are the identical precompiled microkernels (DESIGN.md substitution #2).
+///
+/// This tree walker is the REFERENCE ORACLE of the two-engine setup
+/// (exec/backend.h): it executes the IR exactly as written — recursive
+/// evalExpr, per-statement dispatch — with no compilation step that could
+/// itself be wrong. The production hot path is the flat bytecode program
+/// (exec/program.h) compiled from the same function; GC_EXEC=tree selects
+/// this evaluator, and the differential suite (tests/test_exec_bytecode)
+/// asserts both engines agree bit-for-bit on the full sweep shape set.
+/// Both engines share the same parallel decomposition, so barrier counts
+/// and numerical behavior are interchangeable.
 ///
 /// Responsibilities:
 ///  * scalar frames (loop vars / lets) resolved to array slots,

@@ -1,0 +1,469 @@
+//===- test_exec_bytecode.cpp - bytecode vs tree differential suite ---------------===//
+//
+// The bytecode executor (exec/) must be a drop-in replacement for the
+// tree-walking evaluator (tir/eval.h): same arithmetic in the same order,
+// same parallel decomposition, same barrier structure. This suite runs the
+// full test_compiler_sweep shape set (matmul / MLP / MHA grids, f32 and
+// int8, ragged primes, GEMMV edges) through both engines and asserts the
+// outputs are BIT-IDENTICAL, then checks 4-thread bytecode execution is
+// deterministic across runs and equal to the single-thread result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/compiler.h"
+#include "exec/backend.h"
+#include "workloads/mha.h"
+#include "workloads/mlp.h"
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace gc;
+using namespace gc::graph;
+using runtime::TensorData;
+
+namespace {
+
+/// Compiles \p G with the given backend and executes it on deterministic
+/// inputs; returns the outputs.
+std::vector<TensorData> runWithBackend(const Graph &G, exec::Backend B,
+                                       int Threads, uint64_t Seed) {
+  core::CompileOptions Opts;
+  Opts.Threads = Threads;
+  Opts.Exec = B;
+  auto Partition = core::compileGraph(G, Opts);
+  EXPECT_EQ(Partition->backend(), B);
+
+  std::vector<TensorData> Inputs;
+  Rng R(Seed);
+  for (int64_t In : G.inputs()) {
+    const LogicalTensor &T = G.tensor(In);
+    TensorData Data(T.Ty, T.Shape);
+    Data.fillRandom(R);
+    Inputs.push_back(std::move(Data));
+  }
+  std::vector<TensorData *> InPtrs;
+  for (auto &T : Inputs)
+    InPtrs.push_back(&T);
+
+  std::vector<TensorData> Outs;
+  std::vector<TensorData *> OutPtrs;
+  for (const auto &Shape : Partition->outputShapes())
+    Outs.emplace_back(G.tensor(G.outputs()[Outs.size()]).Ty, Shape);
+  for (auto &T : Outs)
+    OutPtrs.push_back(&T);
+  EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
+  return Outs;
+}
+
+/// Asserts both engines produce bit-identical outputs for \p G.
+void expectBitIdentical(const Graph &G, int Threads, uint64_t Seed) {
+  const std::vector<TensorData> Tree =
+      runWithBackend(G, exec::Backend::Tree, Threads, Seed);
+  const std::vector<TensorData> Byte =
+      runWithBackend(G, exec::Backend::Bytecode, Threads, Seed);
+  ASSERT_EQ(Tree.size(), Byte.size());
+  for (size_t I = 0; I < Tree.size(); ++I) {
+    ASSERT_EQ(Tree[I].numBytes(), Byte[I].numBytes()) << "output " << I;
+    EXPECT_EQ(std::memcmp(Tree[I].data(), Byte[I].data(),
+                          static_cast<size_t>(Tree[I].numBytes())),
+              0)
+        << "output " << I << " differs between tree and bytecode";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: the test_compiler_sweep shape set on both engines
+//===----------------------------------------------------------------------===//
+
+struct DiffMatmulCase {
+  int64_t M, K, N;
+  bool Int8;
+  int Threads;
+};
+
+class BytecodeDiffMatmul : public ::testing::TestWithParam<DiffMatmulCase> {};
+
+TEST_P(BytecodeDiffMatmul, BitIdenticalToTree) {
+  const DiffMatmulCase C = GetParam();
+  const Graph G = workloads::buildSingleMatmul(
+      C.M, C.K, C.N, C.Int8, /*Seed=*/static_cast<uint64_t>(C.M * 31 + C.N));
+  expectBitIdentical(G, C.Threads, static_cast<uint64_t>(C.K + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepShapes, BytecodeDiffMatmul,
+    ::testing::Values(
+        // Primes everywhere: every block has a tail.
+        DiffMatmulCase{7, 11, 13, false, 1},
+        DiffMatmulCase{17, 23, 29, false, 2},
+        DiffMatmulCase{31, 37, 41, true, 1},
+        DiffMatmulCase{53, 59, 61, false, 4},
+        // Exactly one block in each dimension.
+        DiffMatmulCase{16, 16, 16, false, 1},
+        DiffMatmulCase{32, 64, 16, true, 2},
+        // Single row / single column (GEMMV both ways).
+        DiffMatmulCase{1, 64, 64, false, 1},
+        DiffMatmulCase{64, 64, 1, false, 2},
+        DiffMatmulCase{1, 128, 1, false, 1},
+        DiffMatmulCase{48, 256, 1, true, 1},
+        // Table 1 layer slices.
+        DiffMatmulCase{32, 13, 512, false, 1},
+        DiffMatmulCase{32, 13, 512, true, 1},
+        DiffMatmulCase{64, 479, 64, true, 2},
+        DiffMatmulCase{128, 512, 256, true, 1},
+        // K smaller than any KB candidate; K = 1.
+        DiffMatmulCase{24, 3, 48, false, 1},
+        DiffMatmulCase{24, 1, 48, false, 1},
+        DiffMatmulCase{16, 5, 32, true, 2},
+        // More threads than blocks.
+        DiffMatmulCase{8, 32, 16, false, 8}));
+
+struct DiffMlpCase {
+  std::vector<int64_t> Dims;
+  bool Int8;
+};
+
+class BytecodeDiffMlp : public ::testing::TestWithParam<DiffMlpCase> {};
+
+TEST_P(BytecodeDiffMlp, BitIdenticalToTree) {
+  const DiffMlpCase C = GetParam();
+  workloads::MlpSpec Spec;
+  Spec.Batch = 24;
+  Spec.LayerDims = C.Dims;
+  Spec.Int8 = C.Int8;
+  Spec.Seed = C.Dims.front();
+  expectBitIdentical(workloads::buildMlp(Spec), 2, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepDepths, BytecodeDiffMlp,
+    ::testing::Values(DiffMlpCase{{19, 33}, false},
+                      DiffMlpCase{{19, 33, 17}, false},
+                      DiffMlpCase{{19, 33, 17, 29}, false},
+                      DiffMlpCase{{48, 64, 48, 64, 48}, false},
+                      DiffMlpCase{{32, 48}, true},
+                      DiffMlpCase{{32, 48, 64}, true},
+                      DiffMlpCase{{64, 32, 96, 16}, true}));
+
+struct DiffMhaCase {
+  int64_t B, H, S, D;
+  bool Int8;
+};
+
+class BytecodeDiffMha : public ::testing::TestWithParam<DiffMhaCase> {};
+
+TEST_P(BytecodeDiffMha, BitIdenticalToTree) {
+  const DiffMhaCase C = GetParam();
+  workloads::MhaSpec Spec;
+  Spec.Batch = C.B;
+  Spec.Heads = C.H;
+  Spec.SeqLen = C.S;
+  Spec.HeadDim = C.D;
+  Spec.Int8 = C.Int8;
+  Spec.Seed = static_cast<uint64_t>(C.S * 7 + C.D);
+  expectBitIdentical(workloads::buildMha(Spec), 2, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepGeometries, BytecodeDiffMha,
+    ::testing::Values(DiffMhaCase{1, 1, 16, 8, false},
+                      DiffMhaCase{2, 3, 24, 16, false},
+                      DiffMhaCase{3, 2, 40, 24, false}, // ragged seq
+                      DiffMhaCase{2, 2, 33, 17, false}, // primes
+                      DiffMhaCase{1, 4, 64, 32, true},
+                      DiffMhaCase{2, 2, 48, 16, true}));
+
+//===----------------------------------------------------------------------===//
+// Multi-thread determinism of the bytecode executor
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeDeterminism, FourThreadRunsAreIdentical) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 48;
+  Spec.LayerDims = {19, 64, 33, 17};
+  Spec.Seed = 5;
+  const Graph G = workloads::buildMlp(Spec);
+
+  // Single-thread result is the anchor; every 4-thread run must match it
+  // bitwise (static partitioning + per-worker scratch => no run-to-run
+  // variation).
+  const std::vector<TensorData> Anchor =
+      runWithBackend(G, exec::Backend::Bytecode, /*Threads=*/1, 9);
+  for (int Run = 0; Run < 3; ++Run) {
+    const std::vector<TensorData> Out =
+        runWithBackend(G, exec::Backend::Bytecode, /*Threads=*/4, 9);
+    ASSERT_EQ(Anchor.size(), Out.size());
+    for (size_t I = 0; I < Anchor.size(); ++I)
+      EXPECT_EQ(std::memcmp(Anchor[I].data(), Out[I].data(),
+                            static_cast<size_t>(Anchor[I].numBytes())),
+                0)
+          << "run " << Run << " output " << I;
+  }
+}
+
+TEST(BytecodeDeterminism, RepeatedExecutesOnOnePartitionMatch) {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  Spec.Heads = 2;
+  Spec.SeqLen = 24;
+  Spec.HeadDim = 16;
+  Spec.Seed = 7;
+  const Graph G = workloads::buildMha(Spec);
+
+  core::CompileOptions Opts;
+  Opts.Threads = 4;
+  Opts.Exec = exec::Backend::Bytecode;
+  auto Partition = core::compileGraph(G, Opts);
+
+  std::vector<TensorData> Inputs;
+  Rng R(11);
+  for (int64_t In : G.inputs()) {
+    const LogicalTensor &T = G.tensor(In);
+    TensorData Data(T.Ty, T.Shape);
+    Data.fillRandom(R);
+    Inputs.push_back(std::move(Data));
+  }
+  std::vector<TensorData *> InPtrs;
+  for (auto &T : Inputs)
+    InPtrs.push_back(&T);
+
+  std::vector<TensorData> First;
+  for (int Run = 0; Run < 4; ++Run) {
+    std::vector<TensorData> Outs;
+    std::vector<TensorData *> OutPtrs;
+    for (const auto &Shape : Partition->outputShapes())
+      Outs.emplace_back(G.tensor(G.outputs()[Outs.size()]).Ty, Shape);
+    for (auto &T : Outs)
+      OutPtrs.push_back(&T);
+    ASSERT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
+    if (Run == 0) {
+      First = std::move(Outs);
+      continue;
+    }
+    for (size_t I = 0; I < First.size(); ++I)
+      EXPECT_EQ(std::memcmp(First[I].data(), Outs[I].data(),
+                            static_cast<size_t>(First[I].numBytes())),
+                0)
+          << "run " << Run << " output " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Program structure sanity
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeProgram, CompilesWithDirectKernelPointersAndParallelNests) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 32;
+  Spec.LayerDims = {32, 64, 32};
+  const Graph G = workloads::buildMlp(Spec);
+  core::CompileOptions Opts;
+  Opts.Threads = 2;
+  Opts.Exec = exec::Backend::Bytecode;
+  auto Partition = core::compileGraph(G, Opts);
+  const exec::Program &P = Partition->bytecode();
+  EXPECT_FALSE(P.Code.empty());
+  EXPECT_GT(P.NumRegs, 0u);
+  EXPECT_FALSE(P.Calls.empty());
+  EXPECT_FALSE(P.Pars.empty());
+  for (const exec::CallDesc &C : P.Calls)
+    EXPECT_NE(C.Fn, nullptr);
+  // Every parallel nest body lies inside the code stream.
+  size_t ParInstrs = 0;
+  for (size_t I = 0; I < P.Code.size(); ++I)
+    if (P.Code[I].Op == exec::Opcode::ParallelFor) {
+      ++ParInstrs;
+      const exec::ParDesc &D =
+          P.Pars[static_cast<size_t>(P.Code[I].Target)];
+      EXPECT_LE(I + 1 + D.BodyLen, P.Code.size());
+    }
+  EXPECT_EQ(ParInstrs, P.Pars.size());
+}
+
+TEST(BytecodeProgram, BarrierCountMatchesTreeEvaluator) {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 24;
+  Spec.LayerDims = {19, 33, 17};
+  const Graph G = workloads::buildMlp(Spec);
+
+  auto countBarriers = [&](exec::Backend B) -> uint64_t {
+    core::CompileOptions Opts;
+    Opts.Threads = 2;
+    Opts.Exec = B;
+    auto Partition = core::compileGraph(G, Opts);
+    std::vector<TensorData> Inputs;
+    Rng R(3);
+    for (int64_t In : G.inputs()) {
+      const LogicalTensor &T = G.tensor(In);
+      TensorData Data(T.Ty, T.Shape);
+      Data.fillRandom(R);
+      Inputs.push_back(std::move(Data));
+    }
+    std::vector<TensorData *> InPtrs;
+    for (auto &T : Inputs)
+      InPtrs.push_back(&T);
+    std::vector<TensorData> Outs;
+    std::vector<TensorData *> OutPtrs;
+    for (const auto &Shape : Partition->outputShapes())
+      Outs.emplace_back(G.tensor(G.outputs()[Outs.size()]).Ty, Shape);
+    for (auto &T : Outs)
+      OutPtrs.push_back(&T);
+    const uint64_t Before = Partition->threadPool().barrierCount();
+    EXPECT_TRUE(Partition->execute(InPtrs, OutPtrs).isOk());
+    return Partition->threadPool().barrierCount() - Before;
+  };
+
+  const uint64_t TreeBarriers = countBarriers(exec::Backend::Tree);
+  const uint64_t ByteBarriers = countBarriers(exec::Backend::Bytecode);
+  EXPECT_GT(TreeBarriers, 0u);
+  EXPECT_EQ(TreeBarriers, ByteBarriers);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TIR-level differential: scalar loops, lets, loads/stores
+//===----------------------------------------------------------------------===//
+//
+// The graph-level sweep exercises the intrinsic-call path; this block
+// feeds hand-built Tensor IR with scalar element loads/stores and nested
+// serial loops through both engines, covering the opcode surface the
+// lowered templates rarely emit.
+
+#include "runtime/thread_pool.h"
+#include "tir/eval.h"
+#include "exec/executor.h"
+#include "exec/program.h"
+
+namespace {
+
+using namespace gc::tir;
+
+TEST(BytecodeScalarOps, StridedAffineStoreMatchesTree) {
+  // out[i*N + j] = in[i*N + j] * 2 + j  over a 2-D nest, with a let in
+  // between — exercises induction strength reduction on both loop levels.
+  const int64_t M = 9, N = 13;
+  Func F;
+  F.Name = "scalar_nest";
+  const int In = F.addBuffer("in", DataType::F32, {M * N},
+                             BufferScope::Param);
+  const int Out = F.addBuffer("out", DataType::F32, {M * N},
+                              BufferScope::Param);
+  Var I = makeVar("i"), J = makeVar("j"), Base = makeVar("base");
+  Expr Loaded = std::make_shared<LoadNode>(
+      In, std::vector<Expr>{Expr(Base) + Expr(J)}, ScalarType::F64);
+  Stmt Inner = makeFor(
+      J, makeInt(0), makeInt(N), makeInt(1),
+      {makeStore(Out, {Expr(Base) + Expr(J)},
+                 Loaded * makeFloat(2.0) + Expr(J))});
+  Stmt Outer = makeFor(I, makeInt(0), makeInt(M), makeInt(1),
+                       {makeLet(Base, Expr(I) * makeInt(N)), Inner});
+  F.Body = {Outer};
+  assignSlots(F);
+
+  std::vector<float> Input(static_cast<size_t>(M * N));
+  for (size_t K = 0; K < Input.size(); ++K)
+    Input[K] = 0.25f * static_cast<float>(K % 37) - 2.0f;
+  std::vector<float> TreeOut(Input.size(), -1.0f);
+  std::vector<float> ByteOut(Input.size(), -2.0f);
+
+  runtime::ThreadPool Pool(1);
+  {
+    Evaluator E(F, Pool);
+    E.bindBuffer(In, Input.data());
+    E.bindBuffer(Out, TreeOut.data());
+    E.run();
+  }
+  {
+    auto P = exec::compileProgram(F);
+    exec::Executor X(P, Pool);
+    X.bindBuffer(In, Input.data());
+    X.bindBuffer(Out, ByteOut.data());
+    X.run();
+  }
+  EXPECT_EQ(std::memcmp(TreeOut.data(), ByteOut.data(),
+                        TreeOut.size() * sizeof(float)),
+            0);
+}
+
+TEST(BytecodeScalarOps, ZeroTripLoopNeverEvaluatesTrappingOffset) {
+  // A zero-trip inner loop whose offset divides by a runtime zero: the
+  // tree oracle never evaluates it, so the bytecode compiler must not
+  // hoist it to the (executing) outer loop's entry either.
+  const int64_t N = 8;
+  Func F;
+  F.Name = "zero_trip_trap";
+  const int Out = F.addBuffer("out", DataType::F32, {N}, BufferScope::Param);
+  Var I = makeVar("i"), J = makeVar("j"), D = makeVar("d");
+  Expr TrapOffset = makeInt(5) % Expr(D) + Expr(J);
+  Stmt Inner = makeFor(J, makeInt(0), makeInt(0), makeInt(1),
+                       {makeStore(Out, {TrapOffset}, makeFloat(1.0))});
+  Stmt Outer = makeFor(I, makeInt(0), makeInt(4), makeInt(1),
+                       {makeStore(Out, {Expr(I)}, makeFloat(2.0)), Inner});
+  F.Body = {makeLet(D, makeInt(0)), Outer};
+  assignSlots(F);
+
+  std::vector<float> TreeOut(static_cast<size_t>(N), 0.0f);
+  std::vector<float> ByteOut(static_cast<size_t>(N), 0.0f);
+  runtime::ThreadPool Pool(1);
+  {
+    Evaluator E(F, Pool);
+    E.bindBuffer(Out, TreeOut.data());
+    E.run();
+  }
+  {
+    auto P = exec::compileProgram(F);
+    exec::Executor X(P, Pool);
+    X.bindBuffer(Out, ByteOut.data());
+    X.run(); // must not SIGFPE
+  }
+  EXPECT_EQ(std::memcmp(TreeOut.data(), ByteOut.data(),
+                        TreeOut.size() * sizeof(float)),
+            0);
+}
+
+TEST(BytecodeScalarOps, IntQuantClampAndMixedTypesMatchTree) {
+  // s8 store with clamping plus integer min/max/div/mod arithmetic.
+  const int64_t N = 64;
+  Func F;
+  F.Name = "clamp_mix";
+  const int In = F.addBuffer("in", DataType::S32, {N}, BufferScope::Param);
+  const int Out = F.addBuffer("out", DataType::S8, {N}, BufferScope::Param);
+  Var I = makeVar("i");
+  Expr Loaded = std::make_shared<LoadNode>(In, std::vector<Expr>{Expr(I)},
+                                           ScalarType::I64);
+  // value = min(max((x*3) / 2 % 300, -200), 250) - stresses clamp on store.
+  Expr V = minExpr(maxExpr(Loaded * makeInt(3) / makeInt(2) % makeInt(300),
+                           makeInt(-200)),
+                   makeInt(250));
+  F.Body = {makeFor(I, makeInt(0), makeInt(N), makeInt(1),
+                    {makeStore(Out, {Expr(I)}, V)})};
+  assignSlots(F);
+
+  std::vector<int32_t> Input(static_cast<size_t>(N));
+  for (size_t K = 0; K < Input.size(); ++K)
+    Input[K] = static_cast<int32_t>(K * 17) - 300;
+  std::vector<int8_t> TreeOut(Input.size(), 1);
+  std::vector<int8_t> ByteOut(Input.size(), 2);
+
+  runtime::ThreadPool Pool(1);
+  {
+    Evaluator E(F, Pool);
+    E.bindBuffer(In, Input.data());
+    E.bindBuffer(Out, TreeOut.data());
+    E.run();
+  }
+  {
+    auto P = exec::compileProgram(F);
+    exec::Executor X(P, Pool);
+    X.bindBuffer(In, Input.data());
+    X.bindBuffer(Out, ByteOut.data());
+    X.run();
+  }
+  EXPECT_EQ(std::memcmp(TreeOut.data(), ByteOut.data(), TreeOut.size()), 0);
+}
+
+} // namespace

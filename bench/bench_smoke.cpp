@@ -4,8 +4,12 @@
 // Table 1 workloads through the Session API and emits one JSON object per
 // line on stdout, e.g.
 //
-//   {"bench":"mlp1_f32","exec":"bytecode","threads":4,"partitions":1,
+//   {"bench":"mlp1_f32","exec":"bytecode","isa":"avx512f+vnni",
+//    "kernels":"avx512","threads":4,"partitions":1,
 //    "us_per_iter":123.4,"cache_hit":0}
+//
+// "isa" is the host CPU capability (CPUID); "kernels" the dispatch tier
+// actually used (GC_KERNELS-capped).
 //
 // Shapes are reduced versus the paper sweeps so the whole run stays under a
 // few seconds; the numbers track relative movement between commits, not
@@ -23,6 +27,7 @@
 #include "api/session.h"
 #include "bench_common.h"
 #include "exec/backend.h"
+#include "kernels/cpu_features.h"
 #include "workloads/mha.h"
 #include "workloads/mlp.h"
 
@@ -48,14 +53,31 @@ void runCase(api::Session &S, const char *Name, graph::Graph G) {
   api::Stream Str = S.stream();
   const double Secs = measureSeconds(
       [&] { (void)Str.execute(CG, W.InPtrs, W.OutPtrs); });
-  std::printf("{\"bench\":\"%s\",\"exec\":\"%s\",\"threads\":%d,"
+  std::printf("{\"bench\":\"%s\",\"exec\":\"%s\",\"isa\":\"%s\","
+              "\"kernels\":\"%s\",\"threads\":%d,"
               "\"partitions\":%zu,\"fallback_partitions\":%zu,"
               "\"us_per_iter\":%.2f,\"cache_hit\":%d}\n",
               Name, exec::backendName(S.options().Exec),
+              kernels::isaName().c_str(),
+              kernels::kernelTierName(kernels::activeKernelTier()),
               S.threadPool().numThreads(), CG.numPartitions(),
               CG.numFallbackPartitions(), Secs * 1e6,
               S.cacheHits() > HitsBefore ? 1 : 0);
   std::fflush(stdout);
+}
+
+/// Standalone softmax over [Rows, Cols]: almost all time is expTile +
+/// row reductions, so this case tracks the vectorized-transcendental win
+/// in isolation from the matmul kernels.
+graph::Graph buildSoftmax(int64_t Rows, int64_t Cols) {
+  graph::Graph G;
+  const std::vector<int64_t> Shape = {Rows, Cols};
+  const int64_t In = G.addTensor(DataType::F32, Shape, "x");
+  G.markInput(In);
+  const int64_t Out = G.addOp(graph::OpKind::Softmax, {In}, DataType::F32,
+                              Shape, {{"axis", int64_t(-1)}});
+  G.markOutput(Out);
+  return G;
 }
 
 } // namespace
@@ -98,6 +120,9 @@ int main() {
   workloads::MhaSpec Mha;
   Mha.Batch = 2;
   runCase(S, "mha_f32", workloads::buildMha(Mha));
+
+  // Exp-heavy case: tracks the vectorized softmax/transcendental win.
+  runCase(S, "softmax_f32", buildSoftmax(/*Rows=*/256, /*Cols=*/512));
 
   // Recompile an identical graph: measures the compiled-partition cache
   // (cache_hit should report 1 and compile cost should vanish).

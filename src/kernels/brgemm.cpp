@@ -1,10 +1,10 @@
-//===- brgemm.cpp - Batch-reduce GEMM microkernel ----------------------------===//
+//===- brgemm.cpp - Batch-reduce GEMM dispatch & portable kernels -------------===//
 //
-// Register-blocked implementations of the brgemm contract. The FP32 kernel
-// keeps a panel of C rows in zmm/ymm accumulators across the whole K*Batch
-// reduction; the int8 kernel consumes VNNI-packed B tiles with dpbusd. Both
-// fall back to portable loops that GCC auto-vectorizes when the target ISA
-// is unavailable.
+// Portable reference kernels plus the runtime tier dispatch. The ISA
+// kernels live in brgemm_avx2.cpp / brgemm_avx512.cpp / brgemm_avx512vnni.cpp
+// (compiled with per-file -m flags); the widest tier supported by both the
+// build and the executing CPU is bound once per process, capped by
+// GC_KERNELS.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,10 +14,6 @@
 
 #include <cassert>
 #include <cstring>
-
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
 
 namespace gc {
 namespace kernels {
@@ -69,144 +65,47 @@ void brgemmU8S8Portable(const BrgemmU8S8Args &Args) {
   }
 }
 
-#if defined(__AVX512F__)
+} // namespace
 
 //===----------------------------------------------------------------------===//
-// AVX-512 FP32 kernel
+// Tier dispatch
 //===----------------------------------------------------------------------===//
 
-/// Computes an MRows x 16 C panel (MRows <= 8) with masked N tail.
-template <int MRows>
-void brgemmF32PanelAvx512(const BrgemmF32Args &Args, int64_t MBase,
-                          int64_t NBase, __mmask16 Mask) {
-  __m512 Acc[MRows];
-  if (Args.InitC) {
-    for (int R = 0; R < MRows; ++R)
-      Acc[R] = _mm512_setzero_ps();
-  } else {
-    for (int R = 0; R < MRows; ++R)
-      Acc[R] = _mm512_maskz_loadu_ps(
-          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
+// Providers from the ISA translation units (nullptr when unavailable).
+BrgemmF32Fn brgemmF32Avx2Fn();
+BrgemmU8S8Fn brgemmU8S8Avx2Fn();
+BrgemmF32Fn brgemmF32Avx512Fn();
+BrgemmU8S8Fn brgemmU8S8Avx512VnniFn();
+
+BrgemmF32Fn brgemmF32ForTier(KernelTier Tier) {
+  switch (Tier) {
+  case KernelTier::Scalar: return brgemmF32Portable;
+  case KernelTier::Avx2: return brgemmF32Avx2Fn();
+  case KernelTier::Avx512: return brgemmF32Avx512Fn();
   }
-  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
-    const float *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
-    const float *BTile = Args.B + BI * Args.BStrideBatch + NBase;
-    for (int64_t KI = 0; KI < Args.K; ++KI) {
-      const __m512 BVec = _mm512_maskz_loadu_ps(Mask, BTile + KI * Args.Ldb);
-      for (int R = 0; R < MRows; ++R) {
-        const __m512 AVec = _mm512_set1_ps(ATile[R * Args.Lda + KI]);
-        Acc[R] = _mm512_fmadd_ps(AVec, BVec, Acc[R]);
-      }
-    }
-  }
-  for (int R = 0; R < MRows; ++R)
-    _mm512_mask_storeu_ps(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
-                          Acc[R]);
+  return nullptr;
 }
 
-void brgemmF32Avx512(const BrgemmF32Args &Args) {
-  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
-    const int64_t NRem = Args.N - NBase;
-    const __mmask16 Mask =
-        NRem >= 16 ? static_cast<__mmask16>(0xffff)
-                   : static_cast<__mmask16>((1u << NRem) - 1u);
-    int64_t MBase = 0;
-    for (; MBase + 8 <= Args.M; MBase += 8)
-      brgemmF32PanelAvx512<8>(Args, MBase, NBase, Mask);
-    switch (Args.M - MBase) {
-    case 7: brgemmF32PanelAvx512<7>(Args, MBase, NBase, Mask); break;
-    case 6: brgemmF32PanelAvx512<6>(Args, MBase, NBase, Mask); break;
-    case 5: brgemmF32PanelAvx512<5>(Args, MBase, NBase, Mask); break;
-    case 4: brgemmF32PanelAvx512<4>(Args, MBase, NBase, Mask); break;
-    case 3: brgemmF32PanelAvx512<3>(Args, MBase, NBase, Mask); break;
-    case 2: brgemmF32PanelAvx512<2>(Args, MBase, NBase, Mask); break;
-    case 1: brgemmF32PanelAvx512<1>(Args, MBase, NBase, Mask); break;
-    case 0: break;
-    default: GC_UNREACHABLE("tail larger than panel");
-    }
+BrgemmU8S8Fn brgemmU8S8ForTier(KernelTier Tier) {
+  switch (Tier) {
+  case KernelTier::Scalar: return brgemmU8S8Portable;
+  case KernelTier::Avx2: return brgemmU8S8Avx2Fn();
+  case KernelTier::Avx512: return brgemmU8S8Avx512VnniFn();
   }
+  return nullptr;
 }
 
-//===----------------------------------------------------------------------===//
-// AVX-512 (VNNI) u8s8s32 kernel
-//===----------------------------------------------------------------------===//
+namespace {
 
-#if defined(__AVX512VNNI__) || defined(__AVX512BW__)
-#define GC_HAVE_AVX512_INT8 1
-
-inline __m512i dotProductU8S8(__m512i Acc, __m512i AVec, __m512i BVec) {
-#if defined(__AVX512VNNI__)
-  return _mm512_dpbusd_epi32(Acc, AVec, BVec);
-#else
-  // Emulation: u8*s8 horizontal pairs via maddubs, then widen-add.
-  const __m512i OnesEpi16 = _mm512_set1_epi16(1);
-  const __m512i Prod16 = _mm512_maddubs_epi16(AVec, BVec);
-  const __m512i Prod32 = _mm512_madd_epi16(Prod16, OnesEpi16);
-  return _mm512_add_epi32(Acc, Prod32);
-#endif
+BrgemmF32Fn activeBrgemmF32() {
+  static const BrgemmF32Fn Fn = selectActiveKernel(brgemmF32ForTier);
+  return Fn;
 }
 
-/// Computes an MRows x 16 s32 C panel from VNNI-packed B.
-template <int MRows>
-void brgemmU8S8PanelAvx512(const BrgemmU8S8Args &Args, int64_t MBase,
-                           int64_t NBase, __mmask16 Mask) {
-  __m512i Acc[MRows];
-  if (Args.InitC) {
-    for (int R = 0; R < MRows; ++R)
-      Acc[R] = _mm512_setzero_si512();
-  } else {
-    for (int R = 0; R < MRows; ++R)
-      Acc[R] = _mm512_maskz_loadu_epi32(
-          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
-  }
-  const int64_t KGroups = Args.K / 4;
-  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
-    const uint8_t *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
-    const int8_t *BTile = Args.B + BI * Args.BStrideBatch + NBase * 4;
-    for (int64_t KG = 0; KG < KGroups; ++KG) {
-      // 16 columns x 4 interleaved k values = 64 bytes per k-group.
-      const __m512i BVec = _mm512_maskz_loadu_epi32(
-          Mask, reinterpret_cast<const int32_t *>(BTile +
-                                                  KG * Args.NPadded * 4));
-      for (int R = 0; R < MRows; ++R) {
-        int32_t APack;
-        std::memcpy(&APack, ATile + R * Args.Lda + KG * 4, sizeof(APack));
-        const __m512i AVec = _mm512_set1_epi32(APack);
-        Acc[R] = dotProductU8S8(Acc[R], AVec, BVec);
-      }
-    }
-  }
-  for (int R = 0; R < MRows; ++R)
-    _mm512_mask_storeu_epi32(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
-                             Acc[R]);
+BrgemmU8S8Fn activeBrgemmU8S8() {
+  static const BrgemmU8S8Fn Fn = selectActiveKernel(brgemmU8S8ForTier);
+  return Fn;
 }
-
-void brgemmU8S8Avx512(const BrgemmU8S8Args &Args) {
-  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
-    const int64_t NRem = Args.N - NBase;
-    const __mmask16 Mask =
-        NRem >= 16 ? static_cast<__mmask16>(0xffff)
-                   : static_cast<__mmask16>((1u << NRem) - 1u);
-    int64_t MBase = 0;
-    for (; MBase + 8 <= Args.M; MBase += 8)
-      brgemmU8S8PanelAvx512<8>(Args, MBase, NBase, Mask);
-    switch (Args.M - MBase) {
-    case 7: brgemmU8S8PanelAvx512<7>(Args, MBase, NBase, Mask); break;
-    case 6: brgemmU8S8PanelAvx512<6>(Args, MBase, NBase, Mask); break;
-    case 5: brgemmU8S8PanelAvx512<5>(Args, MBase, NBase, Mask); break;
-    case 4: brgemmU8S8PanelAvx512<4>(Args, MBase, NBase, Mask); break;
-    case 3: brgemmU8S8PanelAvx512<3>(Args, MBase, NBase, Mask); break;
-    case 2: brgemmU8S8PanelAvx512<2>(Args, MBase, NBase, Mask); break;
-    case 1: brgemmU8S8PanelAvx512<1>(Args, MBase, NBase, Mask); break;
-    case 0: break;
-    default: GC_UNREACHABLE("tail larger than panel");
-    }
-  }
-}
-
-#endif // GC_HAVE_AVX512_INT8
-
-#endif // __AVX512F__
 
 } // namespace
 
@@ -214,11 +113,7 @@ void brgemmF32(const BrgemmF32Args &Args) {
   assert(Args.M >= 0 && Args.N >= 0 && Args.K >= 0 && Args.Batch >= 0);
   if (Args.M == 0 || Args.N == 0)
     return;
-#if defined(__AVX512F__)
-  brgemmF32Avx512(Args);
-#else
-  brgemmF32Portable(Args);
-#endif
+  activeBrgemmF32()(Args);
 }
 
 void brgemmU8S8(const BrgemmU8S8Args &Args) {
@@ -226,11 +121,7 @@ void brgemmU8S8(const BrgemmU8S8Args &Args) {
   assert(Args.K % 4 == 0 && "packed K must be a multiple of 4");
   if (Args.M == 0 || Args.N == 0)
     return;
-#if defined(__AVX512F__) && defined(GC_HAVE_AVX512_INT8)
-  brgemmU8S8Avx512(Args);
-#else
-  brgemmU8S8Portable(Args);
-#endif
+  activeBrgemmU8S8()(Args);
 }
 
 void brgemmF32Ref(const BrgemmF32Args &Args) { brgemmF32Portable(Args); }

@@ -22,6 +22,8 @@
 #ifndef GC_KERNELS_BRGEMM_H
 #define GC_KERNELS_BRGEMM_H
 
+#include "kernels/cpu_features.h"
+
 #include <cstdint>
 
 namespace gc {
@@ -76,13 +78,31 @@ struct BrgemmU8S8Args {
   bool InitC = true;
 };
 
-/// Executes one u8s8s32 batch-reduce GEMM. Uses AVX512-VNNI when the build
-/// enables it, otherwise a portable widening loop.
+/// Executes one u8s8s32 batch-reduce GEMM. Dispatches to AVX512-VNNI
+/// (dpbusd), AVX2 (exact maddubs/madd emulation) or the portable widening
+/// loop, by runtime CPUID capped by GC_KERNELS.
 void brgemmU8S8(const BrgemmU8S8Args &Args);
 
 /// Reference implementations used by tests (always the portable path).
 void brgemmF32Ref(const BrgemmF32Args &Args);
 void brgemmU8S8Ref(const BrgemmU8S8Args &Args);
+
+//===----------------------------------------------------------------------===//
+// Per-tier entry points (differential tests & dispatch introspection)
+//===----------------------------------------------------------------------===//
+
+using BrgemmF32Fn = void (*)(const BrgemmF32Args &);
+using BrgemmU8S8Fn = void (*)(const BrgemmU8S8Args &);
+
+/// The f32 kernel of \p Tier, or nullptr when that tier is unavailable in
+/// this build / on this CPU. KernelTier::Scalar is the portable loop.
+BrgemmF32Fn brgemmF32ForTier(KernelTier Tier);
+
+/// The u8s8s32 kernel of \p Tier, or nullptr when unavailable. The AVX-512
+/// tier requires VNNI (the saturating maddubs emulation is wrong for
+/// full-range u8 activations, so no non-VNNI 512-bit path exists; such
+/// hosts use the exact AVX2 path instead).
+BrgemmU8S8Fn brgemmU8S8ForTier(KernelTier Tier);
 
 } // namespace kernels
 } // namespace gc

@@ -1,0 +1,232 @@
+//===- brgemm_avx2.cpp - AVX2 batch-reduce GEMM tier --------------------------===//
+//
+// Register-blocked AVX2 brgemm kernels (compiled with -mavx2 -mfma):
+//
+//  * F32: a 6 x 16 C panel (6 rows x two ymm accumulators = 12 of the 16
+//    ymm registers, plus two B vectors and one A broadcast) held across the
+//    whole K * Batch reduction; masked loads/stores cover the N tail.
+//
+//  * U8S8S32: 6 rows x 8 columns over the VNNI-packed [K/4][N][4] B layout.
+//    dpbusd is emulated *exactly*: the 4-byte k-groups are widened to s16
+//    (u8 zero-extended x s8 sign-extended fits s16 with no saturation) and
+//    reduced with pmaddwd — unlike the classic maddubs emulation, which
+//    saturates for full-range u8 activations and silently corrupts results.
+//    hadd merges the pair sums; the resulting permuted column order is
+//    fixed with one vpermq per panel at load/store.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/brgemm.h"
+#include "kernels/simd.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+/// Per-lane i32 mask with lanes [0, N) active (shared with the tile ops).
+inline __m256i tailMask8(int64_t N) {
+  return simd::VecF32Avx2::tailMask(N);
+}
+
+//===----------------------------------------------------------------------===//
+// FP32 kernel: MRows x 16 panels
+//===----------------------------------------------------------------------===//
+
+/// Computes an MRows x 16 C panel. Full = both 8-wide column blocks are
+/// complete; otherwise Mask0/Mask1 gate the partial blocks (NRem > 0).
+template <int MRows, bool Full>
+void brgemmF32PanelAvx2(const BrgemmF32Args &Args, int64_t MBase,
+                        int64_t NBase, __m256i Mask0, __m256i Mask1) {
+  __m256 Acc[MRows][2];
+  for (int R = 0; R < MRows; ++R) {
+    float *CRow = Args.C + (MBase + R) * Args.Ldc + NBase;
+    if (Args.InitC) {
+      Acc[R][0] = _mm256_setzero_ps();
+      Acc[R][1] = _mm256_setzero_ps();
+    } else if (Full) {
+      Acc[R][0] = _mm256_loadu_ps(CRow);
+      Acc[R][1] = _mm256_loadu_ps(CRow + 8);
+    } else {
+      Acc[R][0] = _mm256_maskload_ps(CRow, Mask0);
+      Acc[R][1] = _mm256_maskload_ps(CRow + 8, Mask1);
+    }
+  }
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const float *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const float *BTile = Args.B + BI * Args.BStrideBatch + NBase;
+    for (int64_t KI = 0; KI < Args.K; ++KI) {
+      const float *BRow = BTile + KI * Args.Ldb;
+      const __m256 B0 =
+          Full ? _mm256_loadu_ps(BRow) : _mm256_maskload_ps(BRow, Mask0);
+      const __m256 B1 = Full ? _mm256_loadu_ps(BRow + 8)
+                             : _mm256_maskload_ps(BRow + 8, Mask1);
+      for (int R = 0; R < MRows; ++R) {
+        const __m256 AV = _mm256_set1_ps(ATile[R * Args.Lda + KI]);
+        Acc[R][0] = _mm256_fmadd_ps(AV, B0, Acc[R][0]);
+        Acc[R][1] = _mm256_fmadd_ps(AV, B1, Acc[R][1]);
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R) {
+    float *CRow = Args.C + (MBase + R) * Args.Ldc + NBase;
+    if (Full) {
+      _mm256_storeu_ps(CRow, Acc[R][0]);
+      _mm256_storeu_ps(CRow + 8, Acc[R][1]);
+    } else {
+      _mm256_maskstore_ps(CRow, Mask0, Acc[R][0]);
+      _mm256_maskstore_ps(CRow + 8, Mask1, Acc[R][1]);
+    }
+  }
+}
+
+template <bool Full>
+void brgemmF32RowsAvx2(const BrgemmF32Args &Args, int64_t NBase,
+                       __m256i Mask0, __m256i Mask1) {
+  int64_t MBase = 0;
+  for (; MBase + 6 <= Args.M; MBase += 6)
+    brgemmF32PanelAvx2<6, Full>(Args, MBase, NBase, Mask0, Mask1);
+  switch (Args.M - MBase) {
+  case 5: brgemmF32PanelAvx2<5, Full>(Args, MBase, NBase, Mask0, Mask1); break;
+  case 4: brgemmF32PanelAvx2<4, Full>(Args, MBase, NBase, Mask0, Mask1); break;
+  case 3: brgemmF32PanelAvx2<3, Full>(Args, MBase, NBase, Mask0, Mask1); break;
+  case 2: brgemmF32PanelAvx2<2, Full>(Args, MBase, NBase, Mask0, Mask1); break;
+  case 1: brgemmF32PanelAvx2<1, Full>(Args, MBase, NBase, Mask0, Mask1); break;
+  default: break;
+  }
+}
+
+void brgemmF32Avx2(const BrgemmF32Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
+    const int64_t NRem = Args.N - NBase;
+    if (NRem >= 16) {
+      const __m256i Z = _mm256_setzero_si256();
+      brgemmF32RowsAvx2<true>(Args, NBase, Z, Z);
+    } else {
+      const __m256i Mask0 = tailMask8(NRem);
+      const __m256i Mask1 = tailMask8(NRem - 8); // empty when NRem <= 8
+      brgemmF32RowsAvx2<false>(Args, NBase, Mask0, Mask1);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// u8s8s32 kernel: MRows x 8 panels over VNNI-packed B
+//===----------------------------------------------------------------------===//
+
+// One k-group of 8 columns occupies 32 bytes of packed B: column n holds
+// its 4 consecutive k values at bytes [4n, 4n+4). The exact dot product
+// widens both sides to s16 and uses pmaddwd:
+//   p0 = madd(A16, B16lo) -> per column c0..c3: [c(k0+k1), c(k2+k3)] pairs
+//   p1 = madd(A16, B16hi) -> same for c4..c7
+//   hadd(p0, p1)          -> [c0, c1, c4, c5 | c2, c3, c6, c7]
+// The accumulator stays in that permuted order; one vpermq(0xD8) converts
+// natural <-> permuted at panel load/store (swapping the middle 64-bit
+// chunks is its own inverse, so the same shuffle works both ways).
+
+template <int MRows, bool Full>
+void brgemmU8S8PanelAvx2(const BrgemmU8S8Args &Args, int64_t MBase,
+                         int64_t NBase, __m256i Mask) {
+  __m256i Acc[MRows];
+  for (int R = 0; R < MRows; ++R) {
+    int32_t *CRow = Args.C + (MBase + R) * Args.Ldc + NBase;
+    if (Args.InitC) {
+      Acc[R] = _mm256_setzero_si256();
+    } else {
+      const __m256i Nat =
+          Full ? _mm256_loadu_si256(reinterpret_cast<const __m256i *>(CRow))
+               : _mm256_maskload_epi32(CRow, Mask);
+      Acc[R] = _mm256_permute4x64_epi64(Nat, 0xD8);
+    }
+  }
+  const int64_t KGroups = Args.K / 4;
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const uint8_t *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const int8_t *BTile = Args.B + BI * Args.BStrideBatch + NBase * 4;
+    for (int64_t KG = 0; KG < KGroups; ++KG) {
+      const int32_t *BGroup =
+          reinterpret_cast<const int32_t *>(BTile + KG * Args.NPadded * 4);
+      const __m256i BVec =
+          Full ? _mm256_loadu_si256(reinterpret_cast<const __m256i *>(BGroup))
+               : _mm256_maskload_epi32(BGroup, Mask);
+      const __m256i B16Lo =
+          _mm256_cvtepi8_epi16(_mm256_castsi256_si128(BVec));
+      const __m256i B16Hi =
+          _mm256_cvtepi8_epi16(_mm256_extracti128_si256(BVec, 1));
+      for (int R = 0; R < MRows; ++R) {
+        int32_t APack;
+        std::memcpy(&APack, ATile + R * Args.Lda + KG * 4, sizeof(APack));
+        const __m256i A16 =
+            _mm256_cvtepu8_epi16(_mm_set1_epi32(APack));
+        const __m256i P0 = _mm256_madd_epi16(A16, B16Lo);
+        const __m256i P1 = _mm256_madd_epi16(A16, B16Hi);
+        Acc[R] = _mm256_add_epi32(Acc[R], _mm256_hadd_epi32(P0, P1));
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R) {
+    int32_t *CRow = Args.C + (MBase + R) * Args.Ldc + NBase;
+    const __m256i Nat = _mm256_permute4x64_epi64(Acc[R], 0xD8);
+    if (Full)
+      _mm256_storeu_si256(reinterpret_cast<__m256i *>(CRow), Nat);
+    else
+      _mm256_maskstore_epi32(CRow, Mask, Nat);
+  }
+}
+
+template <bool Full>
+void brgemmU8S8RowsAvx2(const BrgemmU8S8Args &Args, int64_t NBase,
+                        __m256i Mask) {
+  int64_t MBase = 0;
+  for (; MBase + 6 <= Args.M; MBase += 6)
+    brgemmU8S8PanelAvx2<6, Full>(Args, MBase, NBase, Mask);
+  switch (Args.M - MBase) {
+  case 5: brgemmU8S8PanelAvx2<5, Full>(Args, MBase, NBase, Mask); break;
+  case 4: brgemmU8S8PanelAvx2<4, Full>(Args, MBase, NBase, Mask); break;
+  case 3: brgemmU8S8PanelAvx2<3, Full>(Args, MBase, NBase, Mask); break;
+  case 2: brgemmU8S8PanelAvx2<2, Full>(Args, MBase, NBase, Mask); break;
+  case 1: brgemmU8S8PanelAvx2<1, Full>(Args, MBase, NBase, Mask); break;
+  default: break;
+  }
+}
+
+void brgemmU8S8Avx2(const BrgemmU8S8Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 8) {
+    const int64_t NRem = Args.N - NBase;
+    if (NRem >= 8)
+      brgemmU8S8RowsAvx2<true>(Args, NBase, _mm256_setzero_si256());
+    else
+      brgemmU8S8RowsAvx2<false>(Args, NBase, tailMask8(NRem));
+  }
+}
+
+} // namespace
+
+BrgemmF32Fn brgemmF32Avx2Fn() {
+  const CpuFeatures &F = cpuFeatures();
+  return (F.HasAvx2 && F.HasFma) ? brgemmF32Avx2 : nullptr;
+}
+
+BrgemmU8S8Fn brgemmU8S8Avx2Fn() {
+  const CpuFeatures &F = cpuFeatures();
+  return (F.HasAvx2 && F.HasFma) ? brgemmU8S8Avx2 : nullptr;
+}
+
+} // namespace kernels
+} // namespace gc
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace gc {
+namespace kernels {
+BrgemmF32Fn brgemmF32Avx2Fn() { return nullptr; }
+BrgemmU8S8Fn brgemmU8S8Avx2Fn() { return nullptr; }
+} // namespace kernels
+} // namespace gc
+
+#endif

@@ -1,0 +1,90 @@
+//===- brgemm_avx512.cpp - AVX-512 FP32 batch-reduce GEMM tier ----------------===//
+//
+// The 8 x 16 register-blocked FP32 panel kernel, compiled with -mavx512f
+// (per-file flags in CMakeLists.txt). The u8s8s32 kernel of this tier lives
+// in brgemm_avx512vnni.cpp: it needs dpbusd, and keeping it in a separate
+// translation unit stops the compiler from pattern-matching VNNI
+// instructions into code that runs on non-VNNI AVX-512 hosts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/brgemm.h"
+#include "kernels/simd.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+/// Computes an MRows x 16 C panel (MRows <= 8) with masked N tail.
+template <int MRows>
+void brgemmF32PanelAvx512(const BrgemmF32Args &Args, int64_t MBase,
+                          int64_t NBase, __mmask16 Mask) {
+  __m512 Acc[MRows];
+  if (Args.InitC) {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_setzero_ps();
+  } else {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_maskz_loadu_ps(
+          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
+  }
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const float *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const float *BTile = Args.B + BI * Args.BStrideBatch + NBase;
+    for (int64_t KI = 0; KI < Args.K; ++KI) {
+      const __m512 BVec = _mm512_maskz_loadu_ps(Mask, BTile + KI * Args.Ldb);
+      for (int R = 0; R < MRows; ++R) {
+        const __m512 AVec = _mm512_set1_ps(ATile[R * Args.Lda + KI]);
+        Acc[R] = _mm512_fmadd_ps(AVec, BVec, Acc[R]);
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R)
+    _mm512_mask_storeu_ps(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
+                          Acc[R]);
+}
+
+void brgemmF32Avx512(const BrgemmF32Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
+    const __mmask16 Mask = simd::VecF32Avx512::tailMask(Args.N - NBase);
+    int64_t MBase = 0;
+    for (; MBase + 8 <= Args.M; MBase += 8)
+      brgemmF32PanelAvx512<8>(Args, MBase, NBase, Mask);
+    switch (Args.M - MBase) {
+    case 7: brgemmF32PanelAvx512<7>(Args, MBase, NBase, Mask); break;
+    case 6: brgemmF32PanelAvx512<6>(Args, MBase, NBase, Mask); break;
+    case 5: brgemmF32PanelAvx512<5>(Args, MBase, NBase, Mask); break;
+    case 4: brgemmF32PanelAvx512<4>(Args, MBase, NBase, Mask); break;
+    case 3: brgemmF32PanelAvx512<3>(Args, MBase, NBase, Mask); break;
+    case 2: brgemmF32PanelAvx512<2>(Args, MBase, NBase, Mask); break;
+    case 1: brgemmF32PanelAvx512<1>(Args, MBase, NBase, Mask); break;
+    default: break;
+    }
+  }
+}
+
+} // namespace
+
+BrgemmF32Fn brgemmF32Avx512Fn() {
+  const CpuFeatures &F = cpuFeatures();
+  return (F.HasAvx512f && F.HasAvx512bw && F.HasAvx512vl)
+             ? brgemmF32Avx512
+             : nullptr;
+}
+
+} // namespace kernels
+} // namespace gc
+
+#else // !__AVX512F__
+
+namespace gc {
+namespace kernels {
+BrgemmF32Fn brgemmF32Avx512Fn() { return nullptr; }
+} // namespace kernels
+} // namespace gc
+
+#endif

@@ -1,0 +1,98 @@
+//===- brgemm_avx512vnni.cpp - AVX-512 VNNI u8s8s32 brgemm tier ---------------===//
+//
+// The dpbusd-based u8s8s32 panel kernel, compiled with -mavx512vnni on top
+// of the AVX-512 flags. Hosts with AVX-512 but no VNNI use the exact AVX2
+// emulation instead: the classic 512-bit maddubs emulation saturates at s16
+// for full-range u8 activations, so it is deliberately not provided.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/brgemm.h"
+#include "kernels/simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512VNNI__)
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace gc {
+namespace kernels {
+
+namespace {
+
+/// Computes an MRows x 16 s32 C panel from VNNI-packed B.
+template <int MRows>
+void brgemmU8S8PanelVnni(const BrgemmU8S8Args &Args, int64_t MBase,
+                         int64_t NBase, __mmask16 Mask) {
+  __m512i Acc[MRows];
+  if (Args.InitC) {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_setzero_si512();
+  } else {
+    for (int R = 0; R < MRows; ++R)
+      Acc[R] = _mm512_maskz_loadu_epi32(
+          Mask, Args.C + (MBase + R) * Args.Ldc + NBase);
+  }
+  const int64_t KGroups = Args.K / 4;
+  for (int64_t BI = 0; BI < Args.Batch; ++BI) {
+    const uint8_t *ATile = Args.A + BI * Args.AStrideBatch + MBase * Args.Lda;
+    const int8_t *BTile = Args.B + BI * Args.BStrideBatch + NBase * 4;
+    for (int64_t KG = 0; KG < KGroups; ++KG) {
+      // 16 columns x 4 interleaved k values = 64 bytes per k-group.
+      const __m512i BVec = _mm512_maskz_loadu_epi32(
+          Mask, reinterpret_cast<const int32_t *>(BTile +
+                                                  KG * Args.NPadded * 4));
+      for (int R = 0; R < MRows; ++R) {
+        int32_t APack;
+        std::memcpy(&APack, ATile + R * Args.Lda + KG * 4, sizeof(APack));
+        const __m512i AVec = _mm512_set1_epi32(APack);
+        Acc[R] = _mm512_dpbusd_epi32(Acc[R], AVec, BVec);
+      }
+    }
+  }
+  for (int R = 0; R < MRows; ++R)
+    _mm512_mask_storeu_epi32(Args.C + (MBase + R) * Args.Ldc + NBase, Mask,
+                             Acc[R]);
+}
+
+void brgemmU8S8Vnni(const BrgemmU8S8Args &Args) {
+  for (int64_t NBase = 0; NBase < Args.N; NBase += 16) {
+    const __mmask16 Mask = simd::VecF32Avx512::tailMask(Args.N - NBase);
+    int64_t MBase = 0;
+    for (; MBase + 8 <= Args.M; MBase += 8)
+      brgemmU8S8PanelVnni<8>(Args, MBase, NBase, Mask);
+    switch (Args.M - MBase) {
+    case 7: brgemmU8S8PanelVnni<7>(Args, MBase, NBase, Mask); break;
+    case 6: brgemmU8S8PanelVnni<6>(Args, MBase, NBase, Mask); break;
+    case 5: brgemmU8S8PanelVnni<5>(Args, MBase, NBase, Mask); break;
+    case 4: brgemmU8S8PanelVnni<4>(Args, MBase, NBase, Mask); break;
+    case 3: brgemmU8S8PanelVnni<3>(Args, MBase, NBase, Mask); break;
+    case 2: brgemmU8S8PanelVnni<2>(Args, MBase, NBase, Mask); break;
+    case 1: brgemmU8S8PanelVnni<1>(Args, MBase, NBase, Mask); break;
+    default: break;
+    }
+  }
+}
+
+} // namespace
+
+BrgemmU8S8Fn brgemmU8S8Avx512VnniFn() {
+  const CpuFeatures &F = cpuFeatures();
+  return (F.HasAvx512f && F.HasAvx512bw && F.HasAvx512vl &&
+          F.HasAvx512Vnni)
+             ? brgemmU8S8Vnni
+             : nullptr;
+}
+
+} // namespace kernels
+} // namespace gc
+
+#else // !(__AVX512F__ && __AVX512VNNI__)
+
+namespace gc {
+namespace kernels {
+BrgemmU8S8Fn brgemmU8S8Avx512VnniFn() { return nullptr; }
+} // namespace kernels
+} // namespace gc
+
+#endif

@@ -1,6 +1,11 @@
-//===- cpu_features.cpp - ISA capability reporting --------------------------===//
+//===- cpu_features.cpp - Runtime ISA detection & kernel tiers ---------------===//
 
 #include "kernels/cpu_features.h"
+
+#include "support/env.h"
+
+#include <algorithm>
+#include <cstdio>
 
 namespace gc {
 namespace kernels {
@@ -8,13 +13,54 @@ namespace kernels {
 const CpuFeatures &cpuFeatures() {
   static const CpuFeatures Features = [] {
     CpuFeatures F;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    __builtin_cpu_init();
+    F.HasAvx2 = __builtin_cpu_supports("avx2");
+    F.HasFma = __builtin_cpu_supports("fma");
+    F.HasAvx512f = __builtin_cpu_supports("avx512f");
+    F.HasAvx512bw = __builtin_cpu_supports("avx512bw");
+    F.HasAvx512vl = __builtin_cpu_supports("avx512vl");
+    F.HasAvx512Vnni = __builtin_cpu_supports("avx512vnni");
+#else
+    // Non-x86 or unknown compiler: trust the compile-time target macros,
+    // which are conservative (the binary could not run otherwise).
 #ifdef __AVX2__
     F.HasAvx2 = true;
+#endif
+#ifdef __FMA__
+    F.HasFma = true;
 #endif
 #ifdef __AVX512F__
     F.HasAvx512f = true;
 #endif
+#ifdef __AVX512BW__
+    F.HasAvx512bw = true;
+#endif
+#ifdef __AVX512VL__
+    F.HasAvx512vl = true;
+#endif
 #ifdef __AVX512VNNI__
+    F.HasAvx512Vnni = true;
+#endif
+#endif
+    return F;
+  }();
+  return Features;
+}
+
+const CpuFeatures &compiledFeatures() {
+  static const CpuFeatures Features = [] {
+    CpuFeatures F;
+#ifdef GC_BUILD_AVX2
+    F.HasAvx2 = true;
+    F.HasFma = true;
+#endif
+#ifdef GC_BUILD_AVX512
+    F.HasAvx512f = true;
+    F.HasAvx512bw = true;
+    F.HasAvx512vl = true;
+#endif
+#ifdef GC_BUILD_AVX512VNNI
     F.HasAvx512Vnni = true;
 #endif
     return F;
@@ -22,9 +68,55 @@ const CpuFeatures &cpuFeatures() {
   return Features;
 }
 
+const char *kernelTierName(KernelTier Tier) {
+  switch (Tier) {
+  case KernelTier::Scalar: return "scalar";
+  case KernelTier::Avx2: return "avx2";
+  case KernelTier::Avx512: return "avx512";
+  }
+  return "scalar";
+}
+
+KernelTier maxKernelTier() {
+  static const KernelTier Tier = [] {
+    const CpuFeatures &Cpu = cpuFeatures();
+    const CpuFeatures &Built = compiledFeatures();
+    // The AVX-512 TUs are built with -mavx512f -mavx512bw -mavx512vl,
+    // so the CPU must provide all three before that tier is selectable.
+    if (Cpu.HasAvx512f && Cpu.HasAvx512bw && Cpu.HasAvx512vl &&
+        Built.HasAvx512f)
+      return KernelTier::Avx512;
+    if (Cpu.HasAvx2 && Cpu.HasFma && Built.HasAvx2)
+      return KernelTier::Avx2;
+    return KernelTier::Scalar;
+  }();
+  return Tier;
+}
+
+KernelTier activeKernelTier() {
+  static const KernelTier Tier = [] {
+    const std::string Mode = getEnvString("GC_KERNELS", "simd");
+    if (Mode == "scalar")
+      return KernelTier::Scalar;
+    if (Mode == "avx2")
+      return std::min(KernelTier::Avx2, maxKernelTier());
+    if (Mode != "simd" && Mode != "avx512")
+      std::fprintf(stderr,
+                   "gc: unrecognized GC_KERNELS=\"%s\" "
+                   "(expected scalar|simd|avx2|avx512); using \"simd\"\n",
+                   Mode.c_str());
+    return maxKernelTier();
+  }();
+  return Tier;
+}
+
+bool simdKernelsEnabled() {
+  return activeKernelTier() != KernelTier::Scalar;
+}
+
 std::string isaName() {
   const CpuFeatures &F = cpuFeatures();
-  if (F.HasAvx512Vnni)
+  if (F.HasAvx512f && F.HasAvx512Vnni)
     return "avx512f+vnni";
   if (F.HasAvx512f)
     return "avx512f";

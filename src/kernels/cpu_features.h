@@ -1,10 +1,20 @@
-//===- cpu_features.h - ISA capability reporting ----------------*- C++ -*-===//
+//===- cpu_features.h - Runtime ISA detection & kernel tiers ----*- C++ -*-===//
 ///
 /// \file
-/// Reports which SIMD paths this build of the microkernels uses. The paper's
-/// brgemm is JIT-generated per ISA via Xbyak; this reproduction selects the
-/// ISA at compile time (-march=native) and exposes the choice for logging
-/// and for tests that assert the expected path is active.
+/// Runtime CPUID-based ISA detection and the kernel dispatch tier. The
+/// paper's brgemm is JIT-generated per ISA via Xbyak; this reproduction
+/// compiles each ISA tier ahead of time into its own translation unit
+/// (per-file -m flags, see CMakeLists.txt) and picks the widest tier the
+/// executing CPU supports at process start. The selection is observable
+/// (activeKernelTier / isaName) so logs, benches and tests can assert which
+/// path ran, and overridable with GC_KERNELS for differential testing.
+///
+/// Environment:
+///   GC_KERNELS=scalar|simd|avx2|avx512
+///     scalar  force the portable reference kernels (the oracle)
+///     simd    widest tier supported by both the build and the CPU (default)
+///     avx2    cap the tier at AVX2 (useful on AVX-512 hosts)
+///     avx512  alias for simd
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,17 +26,56 @@
 namespace gc {
 namespace kernels {
 
-/// Compile-time ISA capabilities of the microkernel library.
+/// SIMD capabilities, either of the executing CPU (cpuFeatures) or of the
+/// kernel library build (compiledFeatures).
 struct CpuFeatures {
   bool HasAvx2 = false;
+  bool HasFma = false;
   bool HasAvx512f = false;
+  bool HasAvx512bw = false;
+  bool HasAvx512vl = false;
   bool HasAvx512Vnni = false;
 };
 
-/// Returns the capabilities the kernels were compiled with.
+/// Capabilities of the CPU this process is running on (CPUID; cached).
 const CpuFeatures &cpuFeatures();
 
-/// Human-readable ISA summary, e.g. "avx512f+vnni".
+/// Capabilities the kernel library was built with, i.e. which ISA-specific
+/// translation units exist in this binary (per-file -m flags).
+const CpuFeatures &compiledFeatures();
+
+/// Kernel dispatch tier. Scalar is the portable reference path; wider tiers
+/// are only selectable when both the build and the CPU support them.
+enum class KernelTier { Scalar = 0, Avx2 = 1, Avx512 = 2 };
+
+/// Short lowercase tier name: "scalar", "avx2", "avx512".
+const char *kernelTierName(KernelTier Tier);
+
+/// Widest tier supported by both the build and the executing CPU,
+/// ignoring GC_KERNELS.
+KernelTier maxKernelTier();
+
+/// The tier the kernel library dispatches to: maxKernelTier() capped by
+/// GC_KERNELS (read once at first use).
+KernelTier activeKernelTier();
+
+/// False when GC_KERNELS=scalar pinned the portable reference kernels.
+bool simdKernelsEnabled();
+
+/// Walks from the active tier down to Scalar and returns the first
+/// non-null kernel/table \p Provider vends. Shared by every kernel family
+/// so an unavailable tier degrades identically for brgemm, tile ops and
+/// the math tables.
+template <typename ProviderFn>
+auto selectActiveKernel(ProviderFn Provider)
+    -> decltype(Provider(KernelTier::Scalar)) {
+  for (int T = static_cast<int>(activeKernelTier()); T > 0; --T)
+    if (auto R = Provider(static_cast<KernelTier>(T)))
+      return R;
+  return Provider(KernelTier::Scalar);
+}
+
+/// Human-readable runtime ISA summary, e.g. "avx512f+vnni".
 std::string isaName();
 
 } // namespace kernels

@@ -1,0 +1,70 @@
+//===- simd_math.cpp - Per-tier math table dispatch ---------------------------===//
+//
+// The scalar (width-1) instantiation of the polynomial transcendentals plus
+// the per-tier table lookup. The AVX2 / AVX-512 tables live in the ISA
+// translation units (tile_ops_avx2.cpp / tile_ops_avx512.cpp) next to the
+// tile-op tables they share code with.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/simd_math.h"
+
+namespace gc {
+namespace kernels {
+
+// Providers from the ISA translation units (nullptr when unavailable).
+const SimdMathTable *simdMathTableAvx2();
+const SimdMathTable *simdMathTableAvx512();
+
+namespace {
+
+template <typename Fn> void mapScalar(float *X, int64_t N, Fn F) {
+  for (int64_t I = 0; I < N; ++I)
+    X[I] = F(simd::VecF32Scalar{X[I]}).V;
+}
+
+void expScalarArray(float *X, int64_t N) {
+  mapScalar(X, N, [](simd::VecF32Scalar A) { return simd::vexp(A); });
+}
+void tanhScalarArray(float *X, int64_t N) {
+  mapScalar(X, N, [](simd::VecF32Scalar A) { return simd::vtanh(A); });
+}
+void sigmoidScalarArray(float *X, int64_t N) {
+  mapScalar(X, N, [](simd::VecF32Scalar A) { return simd::vsigmoid(A); });
+}
+void geluTanhScalarArray(float *X, int64_t N) {
+  mapScalar(X, N, [](simd::VecF32Scalar A) { return simd::vgeluTanh(A); });
+}
+void erfScalarArray(float *X, int64_t N) {
+  mapScalar(X, N, [](simd::VecF32Scalar A) { return simd::verf(A); });
+}
+
+const SimdMathTable ScalarTable = [] {
+  SimdMathTable T;
+  T.Exp = expScalarArray;
+  T.Tanh = tanhScalarArray;
+  T.Sigmoid = sigmoidScalarArray;
+  T.GeluTanh = geluTanhScalarArray;
+  T.Erf = erfScalarArray;
+  T.Name = "scalar";
+  return T;
+}();
+
+} // namespace
+
+const SimdMathTable *simdMathTable(KernelTier Tier) {
+  switch (Tier) {
+  case KernelTier::Scalar: return &ScalarTable;
+  case KernelTier::Avx2: return simdMathTableAvx2();
+  case KernelTier::Avx512: return simdMathTableAvx512();
+  }
+  return nullptr;
+}
+
+const SimdMathTable &activeSimdMath() {
+  static const SimdMathTable *Active = selectActiveKernel(simdMathTable);
+  return *Active;
+}
+
+} // namespace kernels
+} // namespace gc

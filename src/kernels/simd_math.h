@@ -1,0 +1,154 @@
+//===- simd_math.h - Vectorized f32 transcendentals -------------*- C++ -*-===//
+///
+/// \file
+/// Polynomial, range-reduced f32 transcendentals written against the
+/// width-generic vector backends of simd.h. One template per function
+/// instantiates at every vector width, so the scalar, AVX2 and AVX-512
+/// tiers evaluate the *same* polynomial — the differential suite compares
+/// them against libm and against each other.
+///
+/// Accuracy (validated by tests/test_simd_math.cpp against double libm):
+///   vexp      <= 4 ULP on [-104, 89]; gradual denormals below -87.34;
+///             exact 0 / +inf saturation outside; NaN propagates
+///   vtanh     <= 8 ULP (Cephes split: odd polynomial for |x| < 0.625,
+///             exp-based 1 - 2/(e^2|x|+1) above); +-1 saturation; NaN ok
+///   vsigmoid  <= 8 ULP via vexp; exact 0/1 saturation; NaN propagates
+///   vgeluTanh relative <= 1e-5 (or abs <= 1e-30) vs the double tanh-form
+///             reference; formulated as x * sigmoid(2*inner) to avoid the
+///             1 + tanh cancellation of the naive form in the left tail
+///   verf      absolute <= 1e-6 (Abramowitz-Stegun 7.1.26 + vexp; measured
+///             max 5.2e-7 over [-6, 6]); +-1 saturation; NaN propagates.
+///             Not ULP-tight near 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_KERNELS_SIMD_MATH_H
+#define GC_KERNELS_SIMD_MATH_H
+
+#include "kernels/cpu_features.h"
+#include "kernels/simd.h"
+
+namespace gc {
+namespace kernels {
+namespace simd {
+
+/// exp(x), Cephes-style: n = round(x*log2e), f = x - n*ln2 (split constant),
+/// degree-5 polynomial in f, then R * 2^n via two-step exponent insertion.
+template <typename V> inline V vexp(V X) {
+  // Clamp keeps n in the range ldexpFast supports; values past the clamp
+  // saturate to 0 / +inf anyway (2^n overflow / underflow does it for us).
+  V Xc = V::min_(V::max_(X, V::set1(-104.0f)), V::set1(89.0f));
+  const V Fx = V::round(V::mul(Xc, V::set1(1.44269504088896341f)));
+  // Two-part ln2 so f keeps full precision: C1 is ln2 rounded to 1 ulp of
+  // a short mantissa, C2 the residual.
+  V F = V::fma(Fx, V::set1(-0.693359375f), Xc);
+  F = V::fma(Fx, V::set1(2.12194440e-4f), F);
+  V P = V::set1(1.9875691500e-4f);
+  P = V::fma(P, F, V::set1(1.3981999507e-3f));
+  P = V::fma(P, F, V::set1(8.3334519073e-3f));
+  P = V::fma(P, F, V::set1(4.1665795894e-2f));
+  P = V::fma(P, F, V::set1(1.6666665459e-1f));
+  P = V::fma(P, F, V::set1(5.0000001201e-1f));
+  V R = V::fma(V::mul(F, F), P, V::add(F, V::set1(1.0f)));
+  R = V::ldexpFast(R, Fx);
+  // min/max quietly replaced NaN lanes with the clamp bound; restore them.
+  return V::blend(V::isNanMask(X), X, R);
+}
+
+/// tanh(x). Cephes split: odd polynomial for |x| < 0.625, otherwise
+/// 1 - 2/(exp(2|x|) + 1) with the sign restored bitwise.
+template <typename V> inline V vtanh(V X) {
+  const V Ax = V::abs(X);
+  const V Z = V::mul(X, X);
+  V Ps = V::set1(-5.70498872745e-3f);
+  Ps = V::fma(Ps, Z, V::set1(2.06390887954e-2f));
+  Ps = V::fma(Ps, Z, V::set1(-5.37397155531e-2f));
+  Ps = V::fma(Ps, Z, V::set1(1.33314422036e-1f));
+  Ps = V::fma(Ps, Z, V::set1(-3.33332819422e-1f));
+  // tanh is sign-preserving: restoring the sign bit explicitly also fixes
+  // the x = -0 lane, where x + (x z P) would produce +0.
+  V Small = V::fma(V::mul(Ps, Z), X, X);
+  Small = V::orBits(Small, V::andBits(X, V::bitsConst(0x80000000u)));
+  const V E = vexp(V::add(Ax, Ax));
+  V Big = V::sub(V::set1(1.0f),
+                 V::div(V::set1(2.0f), V::add(E, V::set1(1.0f))));
+  Big = V::orBits(Big, V::andBits(X, V::bitsConst(0x80000000u)));
+  // NaN lanes: Ax is NaN, the compare is false, and the Big path carried
+  // the NaN through vexp — so the blend picks the right lane already.
+  return V::blend(V::ltMask(Ax, V::set1(0.625f)), Small, Big);
+}
+
+/// sigmoid(x), computed from e = exp(-|x|) so the exponential never
+/// overflows: 1/(1+e) for x >= 0, e/(1+e) for x < 0. The negative branch
+/// keeps vexp's relative accuracy all the way into the denormal tail
+/// (sigmoid(-103) is a denormal, not 0). No cancellation anywhere.
+template <typename V> inline V vsigmoid(V X) {
+  const V E = vexp(V::neg(V::abs(X)));
+  const V Den = V::add(E, V::set1(1.0f));
+  const V Num = V::blend(V::ltMask(X, V::zero()), E, V::set1(1.0f));
+  const V R = V::div(Num, Den);
+  // NaN lanes fell into the positive branch and computed 1/(1+NaN) = NaN.
+  return R;
+}
+
+/// Tanh-form GELU: 0.5 x (1 + tanh(c (x + 0.044715 x^3))) computed as
+/// x * sigmoid(2 c (x + 0.044715 x^3)) — algebraically identical, but
+/// immune to the catastrophic 1 + tanh(t) cancellation for t << 0.
+template <typename V> inline V vgeluTanh(V X) {
+  const V X3 = V::mul(V::mul(X, X), X);
+  const V Inner =
+      V::mul(V::set1(0.7978845608028654f), V::fma(X3, V::set1(0.044715f), X));
+  return V::mul(X, vsigmoid(V::add(Inner, Inner)));
+}
+
+/// erf(x), Abramowitz-Stegun 7.1.26: erf(|x|) = 1 - poly(t) exp(-x^2) with
+/// t = 1/(1 + 0.3275911 |x|); absolute error <= 1e-6 in f32 (1.5e-7 in
+/// exact arithmetic), sign restored bitwise. Saturates to +-1, NaN ok.
+template <typename V> inline V verf(V X) {
+  const V Ax = V::abs(X);
+  const V T = V::div(V::set1(1.0f),
+                     V::fma(Ax, V::set1(0.3275911f), V::set1(1.0f)));
+  V P = V::set1(1.061405429f);
+  P = V::fma(P, T, V::set1(-1.453152027f));
+  P = V::fma(P, T, V::set1(1.421413741f));
+  P = V::fma(P, T, V::set1(-0.284496736f));
+  P = V::fma(P, T, V::set1(0.254829592f));
+  P = V::mul(P, T);
+  const V E = vexp(V::neg(V::mul(Ax, Ax)));
+  V R = V::fma(V::neg(P), E, V::set1(1.0f));
+  R = V::orBits(R, V::andBits(X, V::bitsConst(0x80000000u)));
+  return V::blend(V::isNanMask(X), X, R);
+}
+
+} // namespace simd
+
+//===----------------------------------------------------------------------===//
+// Array entry points (per tier) — used by the ULP test suite and by code
+// that wants the vectorized math outside the tile-op vocabulary.
+//===----------------------------------------------------------------------===//
+
+/// In-place unary transform over a contiguous array.
+using UnaryArrayFn = void (*)(float *X, int64_t N);
+
+/// The vectorized math functions of one dispatch tier.
+struct SimdMathTable {
+  UnaryArrayFn Exp = nullptr;
+  UnaryArrayFn Tanh = nullptr;
+  UnaryArrayFn Sigmoid = nullptr;
+  UnaryArrayFn GeluTanh = nullptr;
+  UnaryArrayFn Erf = nullptr;
+  const char *Name = "";
+};
+
+/// Table for \p Tier, or nullptr when that tier is not available in this
+/// build / on this CPU. KernelTier::Scalar returns the width-1 instantiation
+/// of the same polynomials (always available).
+const SimdMathTable *simdMathTable(KernelTier Tier);
+
+/// Table of the active dispatch tier (never null).
+const SimdMathTable &activeSimdMath();
+
+} // namespace kernels
+} // namespace gc
+
+#endif // GC_KERNELS_SIMD_MATH_H

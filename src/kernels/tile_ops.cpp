@@ -1,9 +1,14 @@
 //===- tile_ops.cpp - Tile-granularity fusible-op kernels ---------------------===//
 //
-// Straight-line loops over tile rows; GCC auto-vectorizes the inner column
-// loops at -O3 -march=native. Transcendental kernels call libm per element,
-// which is the same cost for every executor in this repo (compiler and both
-// baselines), so relative comparisons stay fair.
+// The f32 tile-op vocabulary dispatches through a per-tier function table:
+// the scalar bodies below (libm per element, GCC-autovectorized loops) are
+// the GC_KERNELS=scalar reference oracle, and the AVX2 / AVX-512 tables in
+// tile_ops_avx2.cpp / tile_ops_avx512.cpp carry the simd.h-based rewrites
+// with polynomial transcendentals. The active table is chosen once per
+// process from runtime CPUID capped by GC_KERNELS.
+//
+// Data movement and the quantization bridges are shared across tiers (they
+// are memcpy- or conversion-bound and the portable loops saturate them).
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,55 +34,53 @@ void forEachRowPair(const TileF32 &X, const ConstTileF32 &Y, Fn &&Body) {
     Body(X.Data + R * X.Ld, Y.Data + R * Y.Ld);
 }
 
-} // namespace
-
 //===----------------------------------------------------------------------===//
-// Elementwise (unary)
+// Scalar reference bodies (the GC_KERNELS=scalar oracle)
 //===----------------------------------------------------------------------===//
 
-void reluTile(const TileF32 &X) {
+void reluScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = Row[C] > 0.0f ? Row[C] : 0.0f;
   });
 }
 
-void expTile(const TileF32 &X) {
+void expScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = std::exp(Row[C]);
   });
 }
 
-void tanhTile(const TileF32 &X) {
+void tanhScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = std::tanh(Row[C]);
   });
 }
 
-void sqrtTile(const TileF32 &X) {
+void sqrtScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = std::sqrt(Row[C]);
   });
 }
 
-void recipTile(const TileF32 &X) {
+void recipScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = 1.0f / Row[C];
   });
 }
 
-void affineTile(const TileF32 &X, float A, float B) {
+void affineScalar(const TileF32 &X, float A, float B) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = Row[C] * A + B;
   });
 }
 
-void geluTanhTile(const TileF32 &X) {
+void geluTanhScalar(const TileF32 &X) {
   constexpr float Sqrt2OverPi = 0.7978845608028654f;
   constexpr float Coeff = 0.044715f;
   forEachRow(X, [&](float *Row) {
@@ -89,92 +92,84 @@ void geluTanhTile(const TileF32 &X) {
   });
 }
 
-void sigmoidTile(const TileF32 &X) {
+void sigmoidScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = 1.0f / (1.0f + std::exp(-Row[C]));
   });
 }
 
-void squareTile(const TileF32 &X) {
+void squareScalar(const TileF32 &X) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] = Row[C] * Row[C];
   });
 }
 
-//===----------------------------------------------------------------------===//
-// Elementwise (binary)
-//===----------------------------------------------------------------------===//
-
-void addTile(const TileF32 &X, const ConstTileF32 &Y) {
+void addScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] += YR[C];
   });
 }
 
-void subTile(const TileF32 &X, const ConstTileF32 &Y) {
+void subScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] -= YR[C];
   });
 }
 
-void mulTile(const TileF32 &X, const ConstTileF32 &Y) {
+void mulScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] *= YR[C];
   });
 }
 
-void divTile(const TileF32 &X, const ConstTileF32 &Y) {
+void divScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] /= YR[C];
   });
 }
 
-void maxTile(const TileF32 &X, const ConstTileF32 &Y) {
+void maxScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] = std::max(XR[C], YR[C]);
   });
 }
 
-void minTile(const TileF32 &X, const ConstTileF32 &Y) {
+void minScalar(const TileF32 &X, const ConstTileF32 &Y) {
   forEachRowPair(X, Y, [&](float *XR, const float *YR) {
     for (int64_t C = 0; C < X.Cols; ++C)
       XR[C] = std::min(XR[C], YR[C]);
   });
 }
 
-//===----------------------------------------------------------------------===//
-// Broadcast binary
-//===----------------------------------------------------------------------===//
-
-void addRowVecTile(const TileF32 &X, const float *V) {
+void addRowVecScalar(const TileF32 &X, const float *V) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] += V[C];
   });
 }
 
-void subRowVecTile(const TileF32 &X, const float *V) {
+void subRowVecScalar(const TileF32 &X, const float *V) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] -= V[C];
   });
 }
 
-void mulRowVecTile(const TileF32 &X, const float *V) {
+void mulRowVecScalar(const TileF32 &X, const float *V) {
   forEachRow(X, [&](float *Row) {
     for (int64_t C = 0; C < X.Cols; ++C)
       Row[C] *= V[C];
   });
 }
 
-void addColVecTile(const TileF32 &X, const float *V) {
+void addColVecScalar(const TileF32 &X, const float *V) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     float *Row = X.Data + R * X.Ld;
     const float S = V[R];
@@ -183,7 +178,7 @@ void addColVecTile(const TileF32 &X, const float *V) {
   }
 }
 
-void subColVecTile(const TileF32 &X, const float *V) {
+void subColVecScalar(const TileF32 &X, const float *V) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     float *Row = X.Data + R * X.Ld;
     const float S = V[R];
@@ -192,7 +187,7 @@ void subColVecTile(const TileF32 &X, const float *V) {
   }
 }
 
-void mulColVecTile(const TileF32 &X, const float *V) {
+void mulColVecScalar(const TileF32 &X, const float *V) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     float *Row = X.Data + R * X.Ld;
     const float S = V[R];
@@ -201,7 +196,7 @@ void mulColVecTile(const TileF32 &X, const float *V) {
   }
 }
 
-void divColVecTile(const TileF32 &X, const float *V) {
+void divColVecScalar(const TileF32 &X, const float *V) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     float *Row = X.Data + R * X.Ld;
     const float S = 1.0f / V[R];
@@ -210,11 +205,7 @@ void divColVecTile(const TileF32 &X, const float *V) {
   }
 }
 
-//===----------------------------------------------------------------------===//
-// Reductions
-//===----------------------------------------------------------------------===//
-
-void reduceSumRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+void reduceSumRowsScalar(const TileF32 &X, float *Out, bool Accumulate) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     const float *Row = X.Data + R * X.Ld;
     float Sum = 0.0f;
@@ -224,7 +215,7 @@ void reduceSumRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
   }
 }
 
-void reduceMaxRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+void reduceMaxRowsScalar(const TileF32 &X, float *Out, bool Accumulate) {
   for (int64_t R = 0; R < X.Rows; ++R) {
     const float *Row = X.Data + R * X.Ld;
     float Max = Row[0];
@@ -234,8 +225,138 @@ void reduceMaxRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
   }
 }
 
+void fillScalar(const TileF32 &X, float Value) {
+  forEachRow(X, [&](float *Row) {
+    for (int64_t C = 0; C < X.Cols; ++C)
+      Row[C] = Value;
+  });
+}
+
+const TileOpsTable ScalarTable = [] {
+  TileOpsTable T;
+  T.Relu = reluScalar;
+  T.Exp = expScalar;
+  T.Tanh = tanhScalar;
+  T.Sqrt = sqrtScalar;
+  T.Recip = recipScalar;
+  T.Affine = affineScalar;
+  T.GeluTanh = geluTanhScalar;
+  T.Sigmoid = sigmoidScalar;
+  T.Square = squareScalar;
+  T.Add = addScalar;
+  T.Sub = subScalar;
+  T.Mul = mulScalar;
+  T.Div = divScalar;
+  T.Max = maxScalar;
+  T.Min = minScalar;
+  T.AddRowVec = addRowVecScalar;
+  T.SubRowVec = subRowVecScalar;
+  T.MulRowVec = mulRowVecScalar;
+  T.AddColVec = addColVecScalar;
+  T.SubColVec = subColVecScalar;
+  T.MulColVec = mulColVecScalar;
+  T.DivColVec = divColVecScalar;
+  T.ReduceSumRows = reduceSumRowsScalar;
+  T.ReduceMaxRows = reduceMaxRowsScalar;
+  T.Fill = fillScalar;
+  T.Name = "scalar";
+  T.Tier = KernelTier::Scalar;
+  return T;
+}();
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
-// Data movement
+// Tier dispatch
+//===----------------------------------------------------------------------===//
+
+// Providers from the ISA translation units; they return nullptr when the
+// build lacks the target flags or the CPU lacks the instructions.
+const TileOpsTable *tileOpsTableAvx2();
+const TileOpsTable *tileOpsTableAvx512();
+
+const TileOpsTable *tileOpsTable(KernelTier Tier) {
+  switch (Tier) {
+  case KernelTier::Scalar: return &ScalarTable;
+  case KernelTier::Avx2: return tileOpsTableAvx2();
+  case KernelTier::Avx512: return tileOpsTableAvx512();
+  }
+  return nullptr;
+}
+
+const TileOpsTable &activeTileOps() {
+  static const TileOpsTable *Active = selectActiveKernel(tileOpsTable);
+  return *Active;
+}
+
+//===----------------------------------------------------------------------===//
+// Public vocabulary: forward to the active tier
+//===----------------------------------------------------------------------===//
+
+void reluTile(const TileF32 &X) { activeTileOps().Relu(X); }
+void expTile(const TileF32 &X) { activeTileOps().Exp(X); }
+void tanhTile(const TileF32 &X) { activeTileOps().Tanh(X); }
+void sqrtTile(const TileF32 &X) { activeTileOps().Sqrt(X); }
+void recipTile(const TileF32 &X) { activeTileOps().Recip(X); }
+void affineTile(const TileF32 &X, float A, float B) {
+  activeTileOps().Affine(X, A, B);
+}
+void geluTanhTile(const TileF32 &X) { activeTileOps().GeluTanh(X); }
+void sigmoidTile(const TileF32 &X) { activeTileOps().Sigmoid(X); }
+void squareTile(const TileF32 &X) { activeTileOps().Square(X); }
+
+void addTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Add(X, Y);
+}
+void subTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Sub(X, Y);
+}
+void mulTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Mul(X, Y);
+}
+void divTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Div(X, Y);
+}
+void maxTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Max(X, Y);
+}
+void minTile(const TileF32 &X, const ConstTileF32 &Y) {
+  activeTileOps().Min(X, Y);
+}
+
+void addRowVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().AddRowVec(X, V);
+}
+void subRowVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().SubRowVec(X, V);
+}
+void mulRowVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().MulRowVec(X, V);
+}
+void addColVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().AddColVec(X, V);
+}
+void subColVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().SubColVec(X, V);
+}
+void mulColVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().MulColVec(X, V);
+}
+void divColVecTile(const TileF32 &X, const float *V) {
+  activeTileOps().DivColVec(X, V);
+}
+
+void reduceSumRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+  activeTileOps().ReduceSumRows(X, Out, Accumulate);
+}
+void reduceMaxRowsTile(const TileF32 &X, float *Out, bool Accumulate) {
+  activeTileOps().ReduceMaxRows(X, Out, Accumulate);
+}
+
+void fillTile(const TileF32 &X, float Value) { activeTileOps().Fill(X, Value); }
+
+//===----------------------------------------------------------------------===//
+// Data movement (shared across tiers)
 //===----------------------------------------------------------------------===//
 
 void copyTile(const TileF32 &Dst, const ConstTileF32 &Src) {
@@ -276,15 +397,8 @@ void transposeTile(const TileF32 &Dst, const ConstTileF32 &Src) {
   }
 }
 
-void fillTile(const TileF32 &X, float Value) {
-  forEachRow(X, [&](float *Row) {
-    for (int64_t C = 0; C < X.Cols; ++C)
-      Row[C] = Value;
-  });
-}
-
 //===----------------------------------------------------------------------===//
-// Quantization bridges
+// Quantization bridges (shared across tiers)
 //===----------------------------------------------------------------------===//
 
 void dequantAccTile(float *Dst, int64_t DstLd, const int32_t *Src,

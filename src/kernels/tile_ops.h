@@ -11,10 +11,19 @@
 /// (bias/scale per output channel); suffix ColVec means a length-Rows vector
 /// broadcast across columns (softmax denominators).
 ///
+/// NaN contract: for max/min-based kernels (maxTile, minTile,
+/// reduceMaxRowsTile, reluTile) the result on NaN *inputs* is
+/// tier-dependent — the scalar oracle keeps the first operand where
+/// hardware min/max instructions keep the second — so NaN tiles are out of
+/// the scalar-vs-simd parity contract. All other kernels propagate NaN
+/// identically at every tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GC_KERNELS_TILE_OPS_H
 #define GC_KERNELS_TILE_OPS_H
+
+#include "kernels/cpu_features.h"
 
 #include <cstdint>
 
@@ -148,6 +157,52 @@ void dequantS8PerChannelTile(float *Dst, int64_t DstLd, const int8_t *Src,
 /// Converts an s32 tile to f32 with a single scale: Dst = Src * Scale.
 void castS32F32Tile(float *Dst, int64_t DstLd, const int32_t *Src,
                     int64_t SrcLd, int64_t Rows, int64_t Cols, float Scale);
+
+//===----------------------------------------------------------------------===//
+// Dispatch tiers
+//===----------------------------------------------------------------------===//
+
+/// The f32 tile-op vocabulary of one kernel dispatch tier. The free
+/// functions above forward to the active tier's table (selected once per
+/// process from CPUID + GC_KERNELS); tests reach specific tiers directly
+/// through tileOpsTable() for scalar-vs-simd differential checks.
+struct TileOpsTable {
+  void (*Relu)(const TileF32 &) = nullptr;
+  void (*Exp)(const TileF32 &) = nullptr;
+  void (*Tanh)(const TileF32 &) = nullptr;
+  void (*Sqrt)(const TileF32 &) = nullptr;
+  void (*Recip)(const TileF32 &) = nullptr;
+  void (*Affine)(const TileF32 &, float, float) = nullptr;
+  void (*GeluTanh)(const TileF32 &) = nullptr;
+  void (*Sigmoid)(const TileF32 &) = nullptr;
+  void (*Square)(const TileF32 &) = nullptr;
+  void (*Add)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*Sub)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*Mul)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*Div)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*Max)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*Min)(const TileF32 &, const ConstTileF32 &) = nullptr;
+  void (*AddRowVec)(const TileF32 &, const float *) = nullptr;
+  void (*SubRowVec)(const TileF32 &, const float *) = nullptr;
+  void (*MulRowVec)(const TileF32 &, const float *) = nullptr;
+  void (*AddColVec)(const TileF32 &, const float *) = nullptr;
+  void (*SubColVec)(const TileF32 &, const float *) = nullptr;
+  void (*MulColVec)(const TileF32 &, const float *) = nullptr;
+  void (*DivColVec)(const TileF32 &, const float *) = nullptr;
+  void (*ReduceSumRows)(const TileF32 &, float *, bool) = nullptr;
+  void (*ReduceMaxRows)(const TileF32 &, float *, bool) = nullptr;
+  void (*Fill)(const TileF32 &, float) = nullptr;
+  const char *Name = "";
+  KernelTier Tier = KernelTier::Scalar;
+};
+
+/// Table for \p Tier, or nullptr when the tier is not available in this
+/// build / on this CPU. KernelTier::Scalar (the libm reference oracle) is
+/// always available.
+const TileOpsTable *tileOpsTable(KernelTier Tier);
+
+/// The table the free functions dispatch to (never null).
+const TileOpsTable &activeTileOps();
 
 } // namespace kernels
 } // namespace gc

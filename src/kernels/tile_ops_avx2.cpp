@@ -1,0 +1,43 @@
+//===- tile_ops_avx2.cpp - AVX2 tile-op & math tables -------------------------===//
+//
+// Instantiates the width-generic kernel bodies with the 8-lane AVX2 backend.
+// Compiled with -mavx2 -mfma (per-file flags in CMakeLists.txt); when the
+// toolchain cannot target AVX2 the providers return nullptr and dispatch
+// degrades to the scalar tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/tile_ops_simd.h"
+
+namespace gc {
+namespace kernels {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+const TileOpsTable *tileOpsTableAvx2() {
+  const CpuFeatures &F = cpuFeatures();
+  if (!F.HasAvx2 || !F.HasFma)
+    return nullptr;
+  static const TileOpsTable Table =
+      SimdTileOps<simd::VecF32Avx2>::table("avx2", KernelTier::Avx2);
+  return &Table;
+}
+
+const SimdMathTable *simdMathTableAvx2() {
+  const CpuFeatures &F = cpuFeatures();
+  if (!F.HasAvx2 || !F.HasFma)
+    return nullptr;
+  static const SimdMathTable Table =
+      SimdTileOps<simd::VecF32Avx2>::mathTable("avx2");
+  return &Table;
+}
+
+#else // !(__AVX2__ && __FMA__)
+
+const TileOpsTable *tileOpsTableAvx2() { return nullptr; }
+const SimdMathTable *simdMathTableAvx2() { return nullptr; }
+
+#endif
+
+} // namespace kernels
+} // namespace gc

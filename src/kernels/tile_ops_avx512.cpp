@@ -1,0 +1,43 @@
+//===- tile_ops_avx512.cpp - AVX-512 tile-op & math tables --------------------===//
+//
+// Instantiates the width-generic kernel bodies with the 16-lane AVX-512
+// backend. Compiled with -mavx512f -mavx512bw -mavx512vl (per-file flags in
+// CMakeLists.txt); when the toolchain cannot target AVX-512 the providers
+// return nullptr and dispatch degrades to the AVX2 or scalar tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/tile_ops_simd.h"
+
+namespace gc {
+namespace kernels {
+
+#if defined(__AVX512F__)
+
+const TileOpsTable *tileOpsTableAvx512() {
+  const CpuFeatures &F = cpuFeatures();
+  if (!F.HasAvx512f || !F.HasAvx512bw || !F.HasAvx512vl)
+    return nullptr;
+  static const TileOpsTable Table =
+      SimdTileOps<simd::VecF32Avx512>::table("avx512", KernelTier::Avx512);
+  return &Table;
+}
+
+const SimdMathTable *simdMathTableAvx512() {
+  const CpuFeatures &F = cpuFeatures();
+  if (!F.HasAvx512f || !F.HasAvx512bw || !F.HasAvx512vl)
+    return nullptr;
+  static const SimdMathTable Table =
+      SimdTileOps<simd::VecF32Avx512>::mathTable("avx512");
+  return &Table;
+}
+
+#else // !__AVX512F__
+
+const TileOpsTable *tileOpsTableAvx512() { return nullptr; }
+const SimdMathTable *simdMathTableAvx512() { return nullptr; }
+
+#endif
+
+} // namespace kernels
+} // namespace gc

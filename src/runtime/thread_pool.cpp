@@ -26,7 +26,11 @@ inline void cpuRelax() {
 
 ThreadPool::ThreadPool(int NumThreads) {
   if (NumThreads <= 0) {
-    const int64_t FromEnv = getEnvInt("GC_NUM_THREADS", 0);
+    // GC_THREADS is the public knob (bench/CI thread matrix); GC_NUM_THREADS
+    // is kept as a legacy alias.
+    int64_t FromEnv = getEnvInt("GC_THREADS", 0);
+    if (FromEnv <= 0)
+      FromEnv = getEnvInt("GC_NUM_THREADS", 0);
     if (FromEnv > 0)
       NumThreads = static_cast<int>(FromEnv);
     else

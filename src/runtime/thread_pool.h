@@ -16,7 +16,8 @@
 /// dominate small-shape inference.
 ///
 /// Environment knobs:
-///   GC_NUM_THREADS  worker threads (default: hardware concurrency)
+///   GC_THREADS      worker threads (default: hardware concurrency);
+///                   GC_NUM_THREADS is honored as a legacy alias
 ///   GC_SPIN_ITERS   bounded spin iterations before parking (default 4000;
 ///                   spinning auto-disables while the pools of this
 ///                   process together oversubscribe the machine — more

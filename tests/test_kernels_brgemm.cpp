@@ -193,4 +193,95 @@ INSTANTIATE_TEST_SUITE_P(
                       TileShape{33, 1, 8, 1}, TileShape{64, 64, 64, 2},
                       TileShape{7, 100, 12, 5}, TileShape{48, 48, 48, 1}));
 
+//===----------------------------------------------------------------------===//
+// Per-tier differential: every available ISA tier against the portable
+// reference, independent of the GC_KERNELS dispatch (exercises the AVX2
+// 6x16 f32 panels + exact u8s8 emulation and the AVX-512/VNNI kernels on
+// machines that have them, including ragged M/N tails).
+//===----------------------------------------------------------------------===//
+
+class BrgemmTierSweep : public ::testing::TestWithParam<TileShape> {};
+
+TEST_P(BrgemmTierSweep, F32TiersMatchReference) {
+  const TileShape S = GetParam();
+  const auto A = randomF32(S.Batch * S.M * S.K, 71);
+  const auto B = randomF32(S.Batch * S.K * S.N, 72);
+  BrgemmF32Args Args;
+  Args.A = A.data(); Args.AStrideBatch = S.M * S.K; Args.Lda = S.K;
+  Args.B = B.data(); Args.BStrideBatch = S.K * S.N; Args.Ldb = S.N;
+  Args.M = S.M; Args.N = S.N; Args.K = S.K; Args.Batch = S.Batch;
+  for (bool InitC : {true, false}) {
+    Args.InitC = InitC;
+    std::vector<float> CRef(static_cast<size_t>(S.M * S.N), 0.5f);
+    Args.C = CRef.data(); Args.Ldc = S.N;
+    brgemmF32Ref(Args);
+    for (KernelTier Tier :
+         {KernelTier::Avx2, KernelTier::Avx512}) {
+      BrgemmF32Fn Fn = brgemmF32ForTier(Tier);
+      if (!Fn)
+        continue;
+      std::vector<float> C(static_cast<size_t>(S.M * S.N), 0.5f);
+      Args.C = C.data();
+      Fn(Args);
+      for (size_t I = 0; I < C.size(); ++I)
+        ASSERT_NEAR(C[I], CRef[I], kF32Tol * S.K * S.Batch)
+            << "tier " << kernelTierName(Tier) << " at " << I
+            << " init=" << InitC;
+      Args.C = CRef.data();
+    }
+  }
+}
+
+TEST_P(BrgemmTierSweep, U8S8TiersMatchReference) {
+  const TileShape S = GetParam();
+  const int64_t KPad = (S.K + 3) / 4 * 4;
+  const auto A = randomU8(S.Batch * S.M * KPad, 73);
+  std::vector<int8_t> BPlain = randomS8(S.Batch * S.K * S.N, 74);
+  std::vector<int8_t> BPacked(static_cast<size_t>(S.Batch * KPad * S.N), 0);
+  for (int64_t BI = 0; BI < S.Batch; ++BI) {
+    PlainMatrix Src;
+    Src.Data = BPlain.data() + BI * S.K * S.N;
+    Src.Rows = S.K;
+    Src.Cols = S.N;
+    Src.Ld = S.N;
+    packBS8Vnni(Src, BPacked.data() + BI * KPad * S.N, KPad, S.N);
+  }
+  BrgemmU8S8Args Args;
+  Args.A = A.data(); Args.AStrideBatch = S.M * KPad; Args.Lda = KPad;
+  Args.B = BPacked.data(); Args.BStrideBatch = KPad * S.N;
+  Args.NPadded = S.N;
+  Args.M = S.M; Args.N = S.N; Args.K = KPad; Args.Batch = S.Batch;
+  for (bool InitC : {true, false}) {
+    Args.InitC = InitC;
+    std::vector<int32_t> CRef(static_cast<size_t>(S.M * S.N), 7);
+    Args.C = CRef.data(); Args.Ldc = S.N;
+    brgemmU8S8Ref(Args);
+    for (KernelTier Tier :
+         {KernelTier::Avx2, KernelTier::Avx512}) {
+      BrgemmU8S8Fn Fn = brgemmU8S8ForTier(Tier);
+      if (!Fn)
+        continue;
+      std::vector<int32_t> C(static_cast<size_t>(S.M * S.N), 7);
+      Args.C = C.data();
+      Fn(Args);
+      // Integer kernels are exact at every tier — full-range u8 x s8
+      // included (the AVX2 path widens to s16 before pmaddwd instead of
+      // using the saturating maddubs shortcut).
+      for (size_t I = 0; I < C.size(); ++I)
+        ASSERT_EQ(C[I], CRef[I])
+            << "tier " << kernelTierName(Tier) << " at " << I
+            << " init=" << InitC;
+      Args.C = CRef.data();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BrgemmTierSweep,
+    ::testing::Values(TileShape{1, 1, 4, 1}, TileShape{6, 16, 32, 1},
+                      TileShape{13, 17, 32, 2}, TileShape{5, 8, 16, 3},
+                      TileShape{12, 24, 20, 2}, TileShape{7, 7, 8, 1},
+                      TileShape{32, 48, 64, 2}, TileShape{3, 9, 12, 4},
+                      TileShape{11, 31, 28, 1}, TileShape{6, 100, 16, 2}));
+
 } // namespace

@@ -218,6 +218,186 @@ TEST(TileOps, DequantAccMatchesFormula) {
     }
 }
 
+//===----------------------------------------------------------------------===//
+// Scalar-vs-SIMD differential sweep
+//
+// Every op of every available SIMD tier table against the scalar oracle
+// table, over shapes that exercise full vector blocks, masked tails
+// (Cols % width != 0) and strided rows (Ld > Cols). Exact ops (single
+// IEEE operations in both paths) must match bitwise; fma-contracted and
+// transcendental ops within the documented bounds.
+//===----------------------------------------------------------------------===//
+
+struct DiffShape {
+  int64_t Rows, Cols, Ld;
+};
+
+class TileOpsDiffSweep : public ::testing::TestWithParam<DiffShape> {
+protected:
+  /// Runs Op against both tables on identical random data; checks results
+  /// within Tol (0 = bitwise) and that the row padding is untouched.
+  template <typename OpFn>
+  void diffOne(const char *Name, uint64_t Seed, double Tol, OpFn Op) {
+    const DiffShape S = GetParam();
+    for (KernelTier Tier : {KernelTier::Avx2, KernelTier::Avx512}) {
+      const TileOpsTable *Simd = tileOpsTable(Tier);
+      if (!Simd)
+        continue;
+      const TileOpsTable *Scalar = tileOpsTable(KernelTier::Scalar);
+      auto Ref = randomF32(S.Rows * S.Ld, Seed);
+      auto Vec = Ref;
+      const auto Orig = Ref;
+      Op(*Scalar, TileF32{Ref.data(), S.Rows, S.Cols, S.Ld});
+      Op(*Simd, TileF32{Vec.data(), S.Rows, S.Cols, S.Ld});
+      for (int64_t R = 0; R < S.Rows; ++R) {
+        for (int64_t C = 0; C < S.Cols; ++C) {
+          const size_t I = static_cast<size_t>(R * S.Ld + C);
+          if (Tol == 0.0)
+            ASSERT_EQ(Ref[I], Vec[I])
+                << Name << " tier=" << kernelTierName(Tier) << " r=" << R
+                << " c=" << C;
+          else
+            ASSERT_NEAR(Ref[I], Vec[I], Tol)
+                << Name << " tier=" << kernelTierName(Tier) << " r=" << R
+                << " c=" << C;
+        }
+        for (int64_t C = S.Cols; C < S.Ld; ++C) {
+          const size_t I = static_cast<size_t>(R * S.Ld + C);
+          ASSERT_EQ(Vec[I], Orig[I])
+              << Name << " wrote padding at r=" << R << " c=" << C;
+        }
+      }
+    }
+  }
+};
+
+TEST_P(TileOpsDiffSweep, ExactUnary) {
+  diffOne("relu", 21, 0.0,
+          [](const TileOpsTable &T, TileF32 X) { T.Relu(X); });
+  diffOne("sqrt", 22, 0.0, [](const TileOpsTable &T, TileF32 X) {
+    // abs first: sqrt of negatives is NaN and NaN != NaN under ASSERT_EQ.
+    for (int64_t R = 0; R < X.Rows; ++R)
+      for (int64_t C = 0; C < X.Cols; ++C)
+        X.Data[R * X.Ld + C] = std::fabs(X.Data[R * X.Ld + C]);
+    T.Sqrt(X);
+  });
+  diffOne("recip", 23, 0.0,
+          [](const TileOpsTable &T, TileF32 X) { T.Recip(X); });
+  diffOne("square", 24, 0.0,
+          [](const TileOpsTable &T, TileF32 X) { T.Square(X); });
+  diffOne("fill", 25, 0.0,
+          [](const TileOpsTable &T, TileF32 X) { T.Fill(X, 0.375f); });
+}
+
+TEST_P(TileOpsDiffSweep, AffineWithinOneUlp) {
+  // Scalar computes mul+add (two roundings at the baseline ISA), the SIMD
+  // path one fma — at most 1 ulp apart on [-1, 1) data.
+  diffOne("affine", 26, 2e-7,
+          [](const TileOpsTable &T, TileF32 X) { T.Affine(X, 1.7f, -0.3f); });
+}
+
+TEST_P(TileOpsDiffSweep, ExactBinary) {
+  const DiffShape S = GetParam();
+  const auto Y = randomF32(S.Rows * S.Ld, 31);
+  const ConstTileF32 YT{Y.data(), S.Ld};
+  diffOne("add", 32, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Add(X, YT); });
+  diffOne("sub", 33, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Sub(X, YT); });
+  diffOne("mul", 34, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Mul(X, YT); });
+  diffOne("div", 35, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Div(X, YT); });
+  diffOne("max", 36, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Max(X, YT); });
+  diffOne("min", 37, 0.0,
+          [&](const TileOpsTable &T, TileF32 X) { T.Min(X, YT); });
+}
+
+TEST_P(TileOpsDiffSweep, ExactBroadcast) {
+  const DiffShape S = GetParam();
+  const auto RowV = randomF32(S.Cols, 41);
+  auto ColV = randomF32(S.Rows, 42);
+  for (float &F : ColV)
+    F = std::abs(F) + 0.5f; // divisor safety
+  diffOne("addRowVec", 43, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.AddRowVec(X, RowV.data());
+  });
+  diffOne("subRowVec", 44, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.SubRowVec(X, RowV.data());
+  });
+  diffOne("mulRowVec", 45, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.MulRowVec(X, RowV.data());
+  });
+  diffOne("addColVec", 46, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.AddColVec(X, ColV.data());
+  });
+  diffOne("subColVec", 47, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.SubColVec(X, ColV.data());
+  });
+  diffOne("mulColVec", 48, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.MulColVec(X, ColV.data());
+  });
+  diffOne("divColVec", 49, 0.0, [&](const TileOpsTable &T, TileF32 X) {
+    T.DivColVec(X, ColV.data());
+  });
+}
+
+TEST_P(TileOpsDiffSweep, TranscendentalsWithinBounds) {
+  // Polynomial vs libm: inputs in [-1, 1) keep outputs O(1), so the
+  // documented ULP bounds translate to ~1e-6 absolute.
+  diffOne("exp", 51, 2e-6,
+          [](const TileOpsTable &T, TileF32 X) { T.Exp(X); });
+  diffOne("tanh", 52, 2e-6,
+          [](const TileOpsTable &T, TileF32 X) { T.Tanh(X); });
+  diffOne("sigmoid", 53, 2e-6,
+          [](const TileOpsTable &T, TileF32 X) { T.Sigmoid(X); });
+  diffOne("gelu", 54, 2e-6,
+          [](const TileOpsTable &T, TileF32 X) { T.GeluTanh(X); });
+}
+
+TEST_P(TileOpsDiffSweep, Reductions) {
+  const DiffShape S = GetParam();
+  for (KernelTier Tier : {KernelTier::Avx2, KernelTier::Avx512}) {
+    const TileOpsTable *Simd = tileOpsTable(Tier);
+    if (!Simd)
+      continue;
+    const TileOpsTable *Scalar = tileOpsTable(KernelTier::Scalar);
+    auto X = randomF32(S.Rows * S.Ld, 61);
+    const TileF32 XT{X.data(), S.Rows, S.Cols, S.Ld};
+    for (bool Accumulate : {false, true}) {
+      std::vector<float> OutRef(static_cast<size_t>(S.Rows), 0.25f);
+      std::vector<float> OutVec = OutRef;
+      Scalar->ReduceSumRows(XT, OutRef.data(), Accumulate);
+      Simd->ReduceSumRows(XT, OutVec.data(), Accumulate);
+      for (int64_t R = 0; R < S.Rows; ++R)
+        ASSERT_NEAR(OutRef[static_cast<size_t>(R)],
+                    OutVec[static_cast<size_t>(R)], kF32Tol)
+            << "sum tier=" << kernelTierName(Tier) << " acc=" << Accumulate;
+      // Max: different association order but identical values -> exact.
+      // Fresh outputs: reusing the sum outputs would feed the two paths
+      // different accumulation baselines.
+      std::vector<float> MaxRef(static_cast<size_t>(S.Rows), 0.25f);
+      std::vector<float> MaxVec = MaxRef;
+      Scalar->ReduceMaxRows(XT, MaxRef.data(), Accumulate);
+      Simd->ReduceMaxRows(XT, MaxVec.data(), Accumulate);
+      for (int64_t R = 0; R < S.Rows; ++R)
+        ASSERT_EQ(MaxRef[static_cast<size_t>(R)],
+                  MaxVec[static_cast<size_t>(R)])
+            << "max tier=" << kernelTierName(Tier) << " acc=" << Accumulate;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TileOpsDiffSweep,
+    ::testing::Values(DiffShape{1, 1, 1}, DiffShape{1, 7, 7},
+                      DiffShape{3, 8, 8}, DiffShape{7, 13, 16},
+                      DiffShape{4, 16, 16}, DiffShape{5, 17, 24},
+                      DiffShape{2, 31, 33}, DiffShape{6, 32, 32},
+                      DiffShape{3, 33, 40}, DiffShape{8, 64, 64},
+                      DiffShape{1, 100, 103}, DiffShape{9, 15, 15}));
+
 TEST(TileOps, DequantS8PerChannel) {
   const int64_t R = 3, C = 5;
   auto Src = randomS8(R * C, 16);

@@ -40,6 +40,9 @@ using namespace gc::bench;
 namespace {
 
 /// Measures one graph through a Session stream; prints the JSON line.
+/// "sched" reports the execute() scheduling policy (GC_SCHED /
+/// CompileOptions::AsyncExec): "serial" walks partitions in order,
+/// "async" overlaps independent partitions on the pool.
 void runCase(api::Session &S, const char *Name, graph::Graph G) {
   Instance W(std::move(G));
   const uint64_t HitsBefore = S.cacheHits();
@@ -53,11 +56,13 @@ void runCase(api::Session &S, const char *Name, graph::Graph G) {
   api::Stream Str = S.stream();
   const double Secs = measureSeconds(
       [&] { (void)Str.execute(CG, W.InPtrs, W.OutPtrs); });
-  std::printf("{\"bench\":\"%s\",\"exec\":\"%s\",\"isa\":\"%s\","
+  std::printf("{\"bench\":\"%s\",\"exec\":\"%s\",\"sched\":\"%s\","
+              "\"isa\":\"%s\","
               "\"kernels\":\"%s\",\"threads\":%d,"
               "\"partitions\":%zu,\"fallback_partitions\":%zu,"
               "\"us_per_iter\":%.2f,\"cache_hit\":%d}\n",
               Name, exec::backendName(S.options().Exec),
+              S.options().AsyncExec ? "async" : "serial",
               kernels::isaName().c_str(),
               kernels::kernelTierName(kernels::activeKernelTier()),
               S.threadPool().numThreads(), CG.numPartitions(),
@@ -77,6 +82,82 @@ graph::Graph buildSoftmax(int64_t Rows, int64_t Cols) {
   const int64_t Out = G.addOp(graph::OpKind::Softmax, {In}, DataType::F32,
                               Shape, {{"axis", int64_t(-1)}});
   G.markOutput(Out);
+  return G;
+}
+
+/// Adds one small MLP branch (Layers x [matmul + bias + relu], K -> K)
+/// with its own input; returns the branch output tensor id.
+int64_t addMlpBranch(graph::Graph &G, int64_t M, int64_t K, int Layers,
+                     uint64_t Seed, const std::string &Name) {
+  Rng R(Seed);
+  const int64_t X = G.addTensor(DataType::F32, {M, K}, Name + "_x");
+  G.markInput(X);
+  int64_t Cur = X;
+  for (int L = 0; L < Layers; ++L) {
+    const std::string Tag = Name + "_l" + std::to_string(L);
+    const int64_t W = G.addTensor(DataType::F32, {K, K}, Tag + "_w",
+                                  graph::TensorProperty::Constant);
+    runtime::TensorData WData(DataType::F32, {K, K});
+    WData.fillRandom(R);
+    G.setConstantData(W, std::move(WData));
+    const int64_t B = G.addTensor(DataType::F32, {K}, Tag + "_b",
+                                  graph::TensorProperty::Constant);
+    runtime::TensorData BData(DataType::F32, {K});
+    BData.fillRandom(R);
+    G.setConstantData(B, std::move(BData));
+    const int64_t Mm =
+        G.addOp(graph::OpKind::MatMul, {Cur, W}, DataType::F32, {M, K});
+    const int64_t Biased =
+        G.addOp(graph::OpKind::Add, {Mm, B}, DataType::F32, {M, K});
+    Cur = G.addOp(graph::OpKind::ReLU, {Biased}, DataType::F32, {M, K});
+  }
+  return Cur;
+}
+
+/// Adds one small single-head attention branch (Q*K^T -> scale ->
+/// softmax -> *V) with its own Q/K/V inputs; returns the output id.
+int64_t addMhaBranch(graph::Graph &G, int64_t S, int64_t D,
+                     const std::string &Name) {
+  const std::vector<int64_t> Bhsd = {1, 1, S, D};
+  const std::vector<int64_t> Scores = {1, 1, S, S};
+  const int64_t Q = G.addTensor(DataType::F32, Bhsd, Name + "_q");
+  const int64_t K = G.addTensor(DataType::F32, Bhsd, Name + "_k");
+  const int64_t V = G.addTensor(DataType::F32, Bhsd, Name + "_v");
+  G.markInput(Q);
+  G.markInput(K);
+  G.markInput(V);
+  const int64_t ScaleC = G.addTensor(DataType::F32, {1}, Name + "_scale",
+                                     graph::TensorProperty::Constant);
+  runtime::TensorData SD(DataType::F32, {1});
+  SD.dataAs<float>()[0] = 1.0f / std::sqrt(static_cast<float>(D));
+  G.setConstantData(ScaleC, std::move(SD));
+  const int64_t ScoresT =
+      G.addOp(graph::OpKind::MatMul, {Q, K}, DataType::F32, Scores,
+              {{"transpose_b", int64_t(1)}});
+  const int64_t Scaled =
+      G.addOp(graph::OpKind::Mul, {ScoresT, ScaleC}, DataType::F32, Scores);
+  const int64_t P = G.addOp(graph::OpKind::Softmax, {Scaled}, DataType::F32,
+                            Scores, {{"axis", int64_t(-1)}});
+  return G.addOp(graph::OpKind::MatMul, {P, V}, DataType::F32, Bhsd);
+}
+
+/// The dependency-DAG scheduler probes (BENCH_4): independent MLP and
+/// MHA branches compiled as separate partitions
+/// (SplitIndependentPartitions). Under GC_SCHED=serial each branch runs
+/// in order with parallel nests (paying one fork/join barrier per
+/// nest); under GC_SCHED=async the branches overlap on the pool as
+/// single tasks with serial nests — the win the async scheduler is
+/// built for. The nest-rich MHA branches (softmax, binary ops) are
+/// where the serial barrier cost bites most.
+graph::Graph buildMlpMhaPipe(int BranchesEach, int64_t MlpM, int64_t MlpK,
+                             int MlpLayers, int64_t MhaS, int64_t MhaD) {
+  graph::Graph G;
+  for (int B = 0; B < BranchesEach; ++B)
+    G.markOutput(addMlpBranch(G, MlpM, MlpK, MlpLayers,
+                              55 + static_cast<uint64_t>(B),
+                              "mlp" + std::to_string(B)));
+  for (int B = 0; B < BranchesEach; ++B)
+    G.markOutput(addMhaBranch(G, MhaS, MhaD, "mha" + std::to_string(B)));
   return G;
 }
 
@@ -127,5 +208,19 @@ int main() {
   // Recompile an identical graph: measures the compiled-partition cache
   // (cache_hit should report 1 and compile cost should vanish).
   runCase(S, "mlp1_f32_recompile", workloads::buildMlp(Mlp1));
+
+  // Multi-partition branch cases for the scheduler comparison
+  // (scripts/compare_sched_bench.py, BENCH_4.json): a dedicated session
+  // splits independent branches into their own partitions; GC_SCHED
+  // selects serial vs async execution of the same compiled graph.
+  core::CompileOptions BranchOpts;
+  BranchOpts.SplitIndependentPartitions = true;
+  api::Session SBranch(BranchOpts);
+  runCase(SBranch, "async_mlp_mha_f32",
+          buildMlpMhaPipe(/*BranchesEach=*/2, /*MlpM=*/32, /*MlpK=*/32,
+                          /*MlpLayers=*/1, /*MhaS=*/48, /*MhaD=*/32));
+  runCase(SBranch, "async_mlp_mha_x8_f32",
+          buildMlpMhaPipe(/*BranchesEach=*/4, /*MlpM=*/32, /*MlpK=*/32,
+                          /*MlpLayers=*/1, /*MhaS=*/48, /*MhaD=*/32));
   return 0;
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Documentation link checker for the CI docs job.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+relative links and fails when a target file or directory does not exist.
+Absolute URLs (http/https/mailto) are ignored; intra-file anchors
+("#section") are ignored; "path#anchor" links are checked for the path
+part only.
+
+Usage:
+  python3 scripts/check_docs.py [file.md ...]
+"""
+
+import glob
+import os
+import re
+import sys
+
+# [text](target) — stops at the first closing paren, good enough for the
+# plain relative links these docs use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    root = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    continue  # intra-file anchor
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(root, rel))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: dead link '{target}' "
+                                  f"(resolved to {resolved})")
+    return errors
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print(f"missing doc file: {f}", file=sys.stderr)
+        return 1
+    all_errors = []
+    for f in files:
+        all_errors.extend(check_file(f))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if all_errors:
+        print(f"FAIL: {len(all_errors)} dead link(s) in {len(files)} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} file(s), no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+//===- event.h - Completion handle for async stream submissions -*- C++ -*-===//
+///
+/// \file
+/// The future half of Stream::submit(): an Event tracks one asynchronous
+/// submission of a CompiledGraph and reports its completion and Status.
+/// Events are cheap shared handles — copies observe the same submission —
+/// and hold the submission state (and through it the CompiledGraph, the
+/// thread pool and the stream's arena) alive until destroyed.
+///
+/// Thread safety: query() and wait() may be called concurrently from any
+/// number of threads; wait() parks after helping drain the pool's task
+/// queue, so a waiter contributes to the very submission it waits on
+/// instead of idling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_API_EVENT_H
+#define GC_API_EVENT_H
+
+#include "support/status.h"
+
+#include <memory>
+
+namespace gc {
+namespace api {
+
+class Stream;
+
+namespace detail {
+struct Submission;
+} // namespace detail
+
+/// Completion handle returned by Stream::submit(). A default-constructed
+/// Event is complete and ok (the "no submission" value).
+class Event {
+public:
+  /// \brief An already-complete, successful event.
+  Event() = default;
+
+  /// \brief True once every partition of the submission has finished (or
+  /// the submission failed); never blocks. Default-constructed events
+  /// report true.
+  bool query() const;
+
+  /// \brief Blocks until the submission completes and returns its Status
+  /// (the first partition error wins; ok on success). While the
+  /// submission is in flight the waiting thread helps execute queued
+  /// partition tasks before parking. Safe to call repeatedly; later calls
+  /// return the same Status immediately.
+  Status wait() const;
+
+  /// \brief False for default-constructed events (nothing was submitted).
+  bool valid() const { return Sub != nullptr; }
+
+private:
+  friend class Stream;
+  explicit Event(std::shared_ptr<detail::Submission> S) : Sub(std::move(S)) {}
+
+  std::shared_ptr<detail::Submission> Sub;
+};
+
+} // namespace api
+} // namespace gc
+
+#endif // GC_API_EVENT_H

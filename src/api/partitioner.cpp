@@ -6,6 +6,7 @@
 #include "support/str.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -39,7 +40,58 @@ bool Partitioner::isCompilable(const Graph &G, const Op &O) {
   }
 }
 
-Expected<std::vector<PartitionSpec>> Partitioner::partition() const {
+namespace {
+
+/// Splits one op group into weakly-connected components over
+/// producer-consumer edges restricted to the group (ops that merely share
+/// an input are *not* connected). Components are emitted in order of
+/// their first member, so the op order inside each component — and the
+/// overall topological order of the refined group list — is preserved.
+std::vector<std::vector<int64_t>>
+splitConnectedComponents(const Graph &G, const std::vector<int64_t> &Ops) {
+  std::unordered_map<int64_t, size_t> Pos;
+  for (size_t I = 0; I < Ops.size(); ++I)
+    Pos.emplace(Ops[I], I);
+  // Union-find over group positions.
+  std::vector<size_t> Parent(Ops.size());
+  for (size_t I = 0; I < Ops.size(); ++I)
+    Parent[I] = I;
+  std::function<size_t(size_t)> Find = [&](size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (size_t I = 0; I < Ops.size(); ++I)
+    for (int64_t In : G.op(Ops[I]).inputs()) {
+      const int64_t Prod = G.producerOf(In);
+      if (Prod < 0)
+        continue;
+      const auto It = Pos.find(Prod);
+      if (It == Pos.end())
+        continue; // producer lives in another group
+      const size_t A = Find(It->second), B = Find(I);
+      if (A != B)
+        Parent[B] = A;
+    }
+  std::unordered_map<size_t, size_t> RootToComp;
+  std::vector<std::vector<int64_t>> Components;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    const size_t Root = Find(I);
+    const auto [It, Inserted] =
+        RootToComp.try_emplace(Root, Components.size());
+    if (Inserted)
+      Components.emplace_back();
+    Components[It->second].push_back(Ops[I]);
+  }
+  return Components;
+}
+
+} // namespace
+
+Expected<std::vector<PartitionSpec>>
+Partitioner::partition(bool SplitIndependent) const {
   const std::vector<int64_t> Topo = G.topologicalOrder();
 
   // Fold-side ops (all transitive inputs constant, not producing a graph
@@ -131,6 +183,24 @@ Expected<std::vector<PartitionSpec>> Partitioner::partition() const {
     }
     if (!Stripped)
       break;
+  }
+
+  // Split policy: refine each maximal group into its dataflow components
+  // so independent branches become separately schedulable partitions.
+  // Fold-side ops always share a component with their in-group consumers
+  // (they are connected by the producer edge), so the fixpoint's
+  // no-crossing guarantee survives the refinement.
+  if (SplitIndependent) {
+    std::vector<std::vector<int64_t>> RefinedGroups;
+    std::vector<bool> RefinedCompilable;
+    for (size_t GI = 0; GI < Groups.size(); ++GI)
+      for (std::vector<int64_t> &Component :
+           splitConnectedComponents(G, Groups[GI])) {
+        RefinedGroups.push_back(std::move(Component));
+        RefinedCompilable.push_back(GroupCompilable[GI]);
+      }
+    Groups = std::move(RefinedGroups);
+    GroupCompilable = std::move(RefinedCompilable);
   }
 
   // Extract one self-contained subgraph per group. Cloning preserves ids,

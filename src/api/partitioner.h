@@ -9,6 +9,14 @@
 /// graph runs end-to-end. The partition list is topologically ordered:
 /// executing partitions in list order respects every data dependency.
 ///
+/// Two grouping policies, selected per compile (CompileOptions::
+/// SplitIndependentPartitions / GC_PARTITION): the default merges
+/// independent same-kind ops into one maximal partition (fewest
+/// partitions, largest fusion scope); the split policy additionally
+/// separates dataflow-disconnected op groups into their own partitions so
+/// the async scheduler (Stream::submit) can run independent branches
+/// concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GC_API_PARTITIONER_H
@@ -44,18 +52,27 @@ struct PartitionSpec {
 /// Walks a graph and produces its partition list.
 class Partitioner {
 public:
+  /// \brief Binds the partitioner to \p G (borrowed; must outlive it).
   explicit Partitioner(const graph::Graph &G) : G(G) {}
 
-  /// True when the compiler pipeline can lower \p O on the main side.
-  /// partition() additionally admits any-kind ops on the constant (fold)
-  /// side, which the compiled pipeline preprocesses at first execution.
+  /// \brief True when the compiler pipeline can lower \p O on the main
+  /// side. partition() additionally admits any-kind ops on the constant
+  /// (fold) side, which the compiled pipeline preprocesses at first
+  /// execution.
   static bool isCompilable(const graph::Graph &G, const graph::Op &O);
 
-  /// Carves the graph into maximal same-kind partitions. Ops join the
-  /// latest partition that (a) matches their kind and (b) is not earlier
-  /// than any producer's partition, which keeps the partition DAG acyclic
-  /// while merging across independent unsupported ops.
-  Expected<std::vector<PartitionSpec>> partition() const;
+  /// \brief Carves the graph into maximal same-kind partitions. Ops join
+  /// the latest partition that (a) matches their kind and (b) is not
+  /// earlier than any producer's partition, which keeps the partition DAG
+  /// acyclic while merging across independent unsupported ops.
+  ///
+  /// With \p SplitIndependent, each maximal partition is additionally
+  /// split into its weakly-connected dataflow components (ops connected
+  /// only through a shared *input* stay separate), so independent
+  /// branches become schedulable in parallel; the returned list is still
+  /// topologically ordered.
+  Expected<std::vector<PartitionSpec>>
+  partition(bool SplitIndependent = false) const;
 
 private:
   const graph::Graph &G;

@@ -1,0 +1,370 @@
+//===- scheduler.cpp - Async partition DAG scheduler (internal) ---------------===//
+
+#include "api/scheduler.h"
+
+#include "graph/reference.h"
+#include "support/str.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+namespace gc {
+namespace api {
+namespace detail {
+
+using namespace graph;
+
+//===----------------------------------------------------------------------===//
+// StreamState: per-stream arena free list
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<runtime::PlanArena> StreamState::acquireArena(size_t Bytes) {
+  std::unique_ptr<runtime::PlanArena> Arena;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!FreeArenas.empty()) {
+      Arena = std::move(FreeArenas.back());
+      FreeArenas.pop_back();
+    }
+  }
+  if (!Arena)
+    Arena = std::make_unique<runtime::PlanArena>();
+  Arena->ensure(Bytes);
+  return Arena;
+}
+
+void StreamState::releaseArena(std::unique_ptr<runtime::PlanArena> Arena) {
+  // Bound the free list like the ExecState pool: a concurrency burst must
+  // not pin one arena per peak-parallel execution for the stream's
+  // lifetime.
+  constexpr size_t kMaxFreeArenas = 8;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (FreeArenas.size() < kMaxFreeArenas)
+    FreeArenas.push_back(std::move(Arena));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared execution helpers (serial path + scheduler tasks)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks one caller tensor against the graph-boundary metadata.
+Status checkBoundaryTensor(const runtime::TensorData *T,
+                           const LogicalTensor &Meta, const char *What,
+                           size_t Index) {
+  if (!T || !T->valid())
+    return Status::error(StatusCode::InvalidArgument,
+                         formatString("%s %zu is null", What, Index));
+  if (T->dtype() != Meta.Ty)
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("%s %zu dtype mismatch: got %s, expected %s", What,
+                     Index, dataTypeName(T->dtype()),
+                     dataTypeName(Meta.Ty)));
+  if (T->shape() != Meta.Shape)
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("%s %zu shape mismatch: got %s, expected %s", What,
+                     Index, shapeToString(T->shape()).c_str(),
+                     shapeToString(Meta.Shape).c_str()));
+  return Status::ok();
+}
+
+} // namespace
+
+Status Submission::validateBoundary(
+    const CompiledGraph &CG,
+    const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) {
+  if (Inputs.size() != CG.InputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("input arity mismatch: got %zu, expected %zu",
+                     Inputs.size(), CG.InputIds.size()));
+  if (Outputs.size() != CG.OutputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("output arity mismatch: got %zu, expected %zu",
+                     Outputs.size(), CG.OutputIds.size()));
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    if (Status S = checkBoundaryTensor(Inputs[I], CG.InputMeta[I], "input", I);
+        !S.isOk())
+      return S;
+  for (size_t I = 0; I < Outputs.size(); ++I)
+    if (Status S =
+            checkBoundaryTensor(Outputs[I], CG.OutputMeta[I], "output", I);
+        !S.isOk())
+      return S;
+  return Status::ok();
+}
+
+Status Submission::runPartition(
+    const CompiledGraph &CG, size_t I,
+    const std::vector<runtime::TensorData *> &Ins,
+    const std::vector<runtime::TensorData *> &Outs) {
+  const CompiledGraph::Part &Part = CG.Parts[I];
+  if (Part.Compiled)
+    return Part.Compiled->execute(Ins, Outs);
+
+  // Reference fallback: interpret the subgraph on plain tensors. Inputs
+  // and constants are wrapped as views (no copy; constants are read-only
+  // during evaluation); outputs are copied into their destination
+  // buffers.
+  const Graph &Sub = Part.Spec.Subgraph;
+  TensorMap Env;
+  for (int64_t TId : Sub.tensorIds())
+    if (const runtime::TensorData *Data = Sub.constantData(TId))
+      Env[TId] = runtime::TensorData::view(
+          Data->dtype(), Data->shape(), const_cast<void *>(Data->data()));
+  const std::vector<int64_t> &SubIns = Sub.inputs();
+  for (size_t J = 0; J < SubIns.size(); ++J) {
+    const LogicalTensor &Meta = Sub.tensor(SubIns[J]);
+    Env[SubIns[J]] =
+        runtime::TensorData::view(Meta.Ty, Meta.Shape, Ins[J]->data());
+  }
+  evalGraphReference(Sub, Env);
+  const std::vector<int64_t> &SubOuts = Sub.outputs();
+  for (size_t J = 0; J < SubOuts.size(); ++J) {
+    const runtime::TensorData &Result = Env.at(SubOuts[J]);
+    if (Result.numBytes() != Outs[J]->numBytes())
+      return Status::error(StatusCode::Internal,
+                           "fallback output size mismatch");
+    std::memcpy(Outs[J]->data(), Result.data(),
+                static_cast<size_t>(Result.numBytes()));
+  }
+  return Status::ok();
+}
+
+void Submission::buildScratchViews(const CompiledGraph &CG,
+                                   runtime::PlanArena &Arena,
+                                   std::vector<runtime::TensorData> &Views) {
+  Views.clear();
+  Views.reserve(CG.ScratchSlots.size());
+  for (const CompiledGraph::ScratchSlot &Slot : CG.ScratchSlots)
+    Views.push_back(runtime::TensorData::view(Slot.Meta.Ty, Slot.Meta.Shape,
+                                              Arena.at(Slot.Offset)));
+}
+
+runtime::TensorData *
+Submission::resolveRef(const CompiledGraph::BoundRef &Ref,
+                       const std::vector<runtime::TensorData *> &Inputs,
+                       const std::vector<runtime::TensorData *> &Outputs,
+                       std::vector<runtime::TensorData> &ScratchViews) {
+  switch (Ref.Where) {
+  case CompiledGraph::BoundRef::Loc::GraphInput:
+    return Inputs[Ref.Index];
+  case CompiledGraph::BoundRef::Loc::GraphOutput:
+    return Outputs[Ref.Index];
+  case CompiledGraph::BoundRef::Loc::Scratch:
+    return &ScratchViews[Ref.Index];
+  }
+  return nullptr;
+}
+
+void Submission::copyEpilogue(
+    const CompiledGraph &CG,
+    const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) {
+  for (const auto &[OutIdx, InIdx] : CG.Passthrough)
+    if (Outputs[OutIdx]->data() != Inputs[InIdx]->data())
+      std::memcpy(Outputs[OutIdx]->data(), Inputs[InIdx]->data(),
+                  static_cast<size_t>(Inputs[InIdx]->numBytes()));
+  for (const auto &[DupIdx, FirstIdx] : CG.DuplicateOutputs)
+    if (Outputs[DupIdx]->data() != Outputs[FirstIdx]->data())
+      std::memcpy(Outputs[DupIdx]->data(), Outputs[FirstIdx]->data(),
+                  static_cast<size_t>(Outputs[FirstIdx]->numBytes()));
+}
+
+//===----------------------------------------------------------------------===//
+// DAG scheduling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Disposes retired submissions on a dedicated (detached, lazily
+/// created, intentionally leaked) thread. Needed because the last owner
+/// of a session's resources can be the final partition task running on
+/// the session's own pool: dropping the last shared_ptr<ThreadPool>
+/// there would run ~ThreadPool on a pool worker, which would then join
+/// the very thread it is executing on (std::terminate). Any non-worker
+/// thread may release safely — the pool destructor's joins are the
+/// synchronization — so the reaper only has to be "not a pool worker".
+void reapOffWorker(std::shared_ptr<Submission> Last) {
+  struct ReaperState {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::deque<std::shared_ptr<Submission>> Queue;
+  };
+  static ReaperState *State = [] {
+    auto *S = new ReaperState; // leaked: outlives every session
+    std::thread([S] {
+      for (;;) {
+        std::shared_ptr<Submission> Dead;
+        {
+          std::unique_lock<std::mutex> Lock(S->M);
+          S->Cv.wait(Lock, [&] { return !S->Queue.empty(); });
+          Dead = std::move(S->Queue.front());
+          S->Queue.pop_front();
+        }
+        Dead.reset();
+      }
+    }).detach();
+    return S;
+  }();
+  {
+    std::lock_guard<std::mutex> Lock(State->M);
+    State->Queue.push_back(std::move(Last));
+  }
+  State->Cv.notify_one();
+}
+
+} // namespace
+
+void Submission::retire() {
+  if (!Failed.load(std::memory_order_acquire))
+    copyEpilogue(*CG, Inputs, Outputs);
+  // Views into the arena die before the arena goes back on the free list.
+  ScratchViews.clear();
+  if (SS && Arena)
+    SS->releaseArena(std::move(Arena));
+  std::shared_ptr<Submission> Keep;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Keep = std::move(Self);
+    DoneFlag.store(true, std::memory_order_release);
+    Cv.notify_all();
+  }
+  // If no Event handle is left, dropping Keep frees the submission — and
+  // possibly the session pool with it. On a pool worker that release is
+  // handed to the reaper; an Event still alive makes the hand-off a
+  // cheap no-op (the reaper's drop is not the last).
+  if (Keep && runtime::ThreadPool::onWorkerThread())
+    reapOffWorker(std::move(Keep));
+}
+
+void Submission::finishPartition(uint32_t I) {
+  const std::vector<uint32_t> &Succs = CG->Plans[I].Succs;
+  // Batch the newly-ready successors into one enqueue (one lock, one
+  // wake) instead of a futex per task.
+  std::vector<std::pair<runtime::ThreadPool::TaskFn, void *>> Ready;
+  Ready.reserve(Succs.size());
+  for (uint32_t Succ : Succs)
+    if (DepsLeft[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      Ready.emplace_back(&Submission::taskEntry, &Nodes[Succ]);
+  if (!Ready.empty())
+    Pool->submitTaskBatch(Ready.data(), Ready.size());
+  if (PartsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    retire();
+}
+
+void Submission::taskEntry(void *Ctx) {
+  auto *Node = static_cast<Submission::Node *>(Ctx);
+  Submission &S = *Node->Sub;
+  const uint32_t I = Node->Index;
+  // After a failure the rest of the DAG is cancelled: completion still
+  // propagates (successor counts, submission retirement) but no further
+  // partition executes.
+  if (!S.Failed.load(std::memory_order_acquire)) {
+    const CompiledGraph::PartitionPlan &Plan = S.CG->Plans[I];
+    std::vector<runtime::TensorData *> Ins, Outs;
+    Ins.reserve(Plan.Ins.size());
+    Outs.reserve(Plan.Outs.size());
+    for (const CompiledGraph::BoundRef &Ref : Plan.Ins)
+      Ins.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
+    for (const CompiledGraph::BoundRef &Ref : Plan.Outs)
+      Outs.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
+    if (Status St = runPartition(*S.CG, I, Ins, Outs); !St.isOk()) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      if (S.Err.isOk())
+        S.Err = St;
+      S.Failed.store(true, std::memory_order_release);
+    }
+  }
+  S.finishPartition(I);
+}
+
+std::shared_ptr<Submission> Submission::completed(Status S) {
+  auto Sub = std::make_shared<Submission>();
+  if (!S.isOk()) {
+    Sub->Err = std::move(S);
+    Sub->Failed.store(true, std::memory_order_relaxed);
+  }
+  Sub->DoneFlag.store(true, std::memory_order_release);
+  return Sub;
+}
+
+std::shared_ptr<Submission>
+Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
+                   std::shared_ptr<StreamState> SS,
+                   const std::vector<runtime::TensorData *> &Inputs,
+                   const std::vector<runtime::TensorData *> &Outputs) {
+  auto Sub = std::make_shared<Submission>();
+  Sub->CG = &CG;
+  Sub->Owned = std::move(Owned);
+  Sub->Pool = SS->Pool;
+  Sub->SS = std::move(SS);
+  Sub->Inputs = Inputs;
+  Sub->Outputs = Outputs;
+  Sub->Arena = Sub->SS->acquireArena(CG.ArenaBytes);
+  buildScratchViews(CG, *Sub->Arena, Sub->ScratchViews);
+
+  // Both Stream entry points route graphs with <= 1 partition elsewhere
+  // (Direct fast path / synchronous submit shortcut).
+  const size_t N = CG.Parts.size();
+  assert(N > 1 && "launch() requires a multi-partition graph");
+
+  Sub->Nodes.resize(N);
+  Sub->DepsLeft = std::make_unique<std::atomic<uint32_t>[]>(N);
+  for (size_t I = 0; I < N; ++I) {
+    Sub->Nodes[I].Sub = Sub.get();
+    Sub->Nodes[I].Index = static_cast<uint32_t>(I);
+    Sub->DepsLeft[I].store(CG.Plans[I].NumPreds, std::memory_order_relaxed);
+  }
+  Sub->PartsLeft.store(N, std::memory_order_relaxed);
+  // The self-reference keeps the submission alive until the last task
+  // retires it, even when the caller drops the Event immediately. Set
+  // before the first enqueue: a single-worker pool runs tasks inline, so
+  // the whole DAG may finish inside the submitTask calls below.
+  Sub->Self = Sub;
+  std::vector<std::pair<runtime::ThreadPool::TaskFn, void *>> Roots;
+  Roots.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    if (CG.Plans[I].NumPreds == 0)
+      Roots.emplace_back(&Submission::taskEntry, &Sub->Nodes[I]);
+  Sub->Pool->submitTaskBatch(Roots.data(), Roots.size());
+  return Sub;
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+} // namespace detail
+
+bool Event::query() const {
+  return !Sub || Sub->DoneFlag.load(std::memory_order_acquire);
+}
+
+Status Event::wait() const {
+  if (!Sub)
+    return Status::ok();
+  detail::Submission &S = *Sub;
+  // Help: drain queued partition tasks (this submission's or any other's)
+  // instead of idling; park only once the queue is empty. Tasks in flight
+  // on workers enqueue their successors, which the workers pick up.
+  if (S.Pool)
+    while (!S.DoneFlag.load(std::memory_order_acquire) &&
+           S.Pool->tryRunOneTask()) {
+    }
+  std::unique_lock<std::mutex> Lock(S.Mutex);
+  S.Cv.wait(Lock, [&] {
+    return S.DoneFlag.load(std::memory_order_relaxed);
+  });
+  return S.Err;
+}
+
+} // namespace api
+} // namespace gc

@@ -1,0 +1,157 @@
+//===- scheduler.h - Async partition DAG scheduler (internal) ---*- C++ -*-===//
+///
+/// \file
+/// Internals behind Stream::submit()/Event: one Submission per launched
+/// execution, scheduled over the partition dependency DAG the compiler
+/// stored on the CompiledGraph.
+///
+/// Execution model: every partition becomes a one-shot task on the
+/// session's ThreadPool once its last producer completes (dependency
+/// counts, continuation-passing — no task ever blocks). Inside a task,
+/// parallel loop nests run inline serially (see
+/// runtime::ThreadPool::onWorkerThread), so the scheduler trades
+/// loop-level parallelism for partition-level overlap; waiting threads
+/// help drain the task queue. Cross-partition intermediates resolve into
+/// a per-submission PlanArena leased from the stream's free list and
+/// returned at completion, and every partition execution leases its own
+/// ExecState from the CompiledPartition pool, which is what makes
+/// overlapping submissions of one CompiledGraph safe.
+///
+/// This header is internal: the public surface is api/session.h +
+/// api/event.h. It is exposed (and lightly documented) for tests and for
+/// the architecture walkthrough in docs/ARCHITECTURE.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_API_SCHEDULER_H
+#define GC_API_SCHEDULER_H
+
+#include "api/session.h"
+#include "runtime/buffer.h"
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gc {
+namespace api {
+namespace detail {
+
+/// Shared state behind a Stream and its copies: the session pool handle,
+/// the execute() scheduling policy, and the free list of execution arenas
+/// recycled across executions ("per-stream arena"). Concurrent executions
+/// on one stream each lease their own arena; the list is bounded so a
+/// burst does not pin arenas forever.
+struct StreamState {
+  std::shared_ptr<runtime::ThreadPool> Pool;
+  /// Route multi-partition execute() through the async scheduler
+  /// (CompileOptions::AsyncExec / GC_SCHED=async).
+  bool AsyncExec = false;
+
+  /// Leases an arena of at least \p Bytes (recycled when available).
+  std::unique_ptr<runtime::PlanArena> acquireArena(size_t Bytes);
+  /// Returns a leased arena to the free list (dropped beyond the cap).
+  void releaseArena(std::unique_ptr<runtime::PlanArena> Arena);
+
+private:
+  std::mutex Mutex;
+  std::vector<std::unique_ptr<runtime::PlanArena>> FreeArenas;
+};
+
+/// One asynchronous execution of a CompiledGraph: the dependency
+/// counters, the leased arena with the intermediate tensor views, and the
+/// completion latch behind Event. Kept alive by the Event handle and by a
+/// self-reference released when the last partition finishes, so dropping
+/// the Event mid-flight is safe.
+struct Submission {
+  /// Task context: one per partition, stable address for the pool task.
+  struct Node {
+    Submission *Sub = nullptr;
+    uint32_t Index = 0;
+  };
+
+  const CompiledGraph *CG = nullptr;
+  CompiledGraphPtr Owned; ///< lifetime pin (null for borrowed sync runs)
+  std::shared_ptr<runtime::ThreadPool> Pool;
+  std::shared_ptr<StreamState> SS;
+  std::unique_ptr<runtime::PlanArena> Arena;
+  std::vector<runtime::TensorData *> Inputs, Outputs;
+  /// Views into Arena, one per CompiledGraph::ScratchSlots entry.
+  std::vector<runtime::TensorData> ScratchViews;
+  std::vector<Node> Nodes;
+  std::unique_ptr<std::atomic<uint32_t>[]> DepsLeft;
+  std::atomic<size_t> PartsLeft{0};
+  std::atomic<bool> Failed{false};
+  std::atomic<bool> DoneFlag{false};
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  Status Err;                       ///< first partition error (under Mutex)
+  std::shared_ptr<Submission> Self; ///< released by the finishing task
+
+  /// Validates boundary arity/dtype/shape against the plan metadata.
+  static Status validateBoundary(
+      const CompiledGraph &CG,
+      const std::vector<runtime::TensorData *> &Inputs,
+      const std::vector<runtime::TensorData *> &Outputs);
+
+  /// Runs partition \p I of \p CG on the calling thread with the given
+  /// resolved arguments (compiled -> CompiledPartition::execute, fallback
+  /// -> reference interpreter). Shared by the serial path and the
+  /// scheduler tasks.
+  static Status runPartition(const CompiledGraph &CG, size_t I,
+                             const std::vector<runtime::TensorData *> &Ins,
+                             const std::vector<runtime::TensorData *> &Outs);
+
+  /// Builds the per-execution views over \p Arena for every scratch slot.
+  static void
+  buildScratchViews(const CompiledGraph &CG, runtime::PlanArena &Arena,
+                    std::vector<runtime::TensorData> &Views);
+
+  /// Resolves one plan reference against the execution's tensor sets.
+  static runtime::TensorData *
+  resolveRef(const CompiledGraph::BoundRef &Ref,
+             const std::vector<runtime::TensorData *> &Inputs,
+             const std::vector<runtime::TensorData *> &Outputs,
+             std::vector<runtime::TensorData> &ScratchViews);
+
+  /// Post-completion copies: pass-through outputs and duplicate listings.
+  static void copyEpilogue(const CompiledGraph &CG,
+                           const std::vector<runtime::TensorData *> &Inputs,
+                           const std::vector<runtime::TensorData *> &Outputs);
+
+  /// Launches the DAG: leases the arena, seeds the dependency counters
+  /// and enqueues every root partition. The caller must have run
+  /// validateBoundary() already (both Stream entry points do — exactly
+  /// once). Returns the submission, possibly already complete:
+  /// single-worker pools drain the whole DAG during the enqueues.
+  static std::shared_ptr<Submission>
+  launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
+         std::shared_ptr<StreamState> SS,
+         const std::vector<runtime::TensorData *> &Inputs,
+         const std::vector<runtime::TensorData *> &Outputs);
+
+  /// An already-complete submission carrying \p S (for early failures and
+  /// the synchronous single-partition shortcut).
+  static std::shared_ptr<Submission> completed(Status S);
+
+  /// Pool-task trampoline: \p Ctx is a Node. Executes the partition (when
+  /// the submission has not failed), then propagates completion.
+  static void taskEntry(void *Ctx);
+
+private:
+  /// Decrements successors' dependency counts (enqueueing the ready
+  /// ones), then retires the submission when this was the last partition.
+  void finishPartition(uint32_t I);
+  /// Epilogue copies, arena return, completion latch, self-release.
+  void retire();
+};
+
+} // namespace detail
+} // namespace api
+} // namespace gc
+
+#endif // GC_API_SCHEDULER_H

@@ -2,10 +2,11 @@
 
 #include "api/session.h"
 
-#include "graph/reference.h"
+#include "api/scheduler.h"
+#include "support/common.h"
 #include "support/str.h"
 
-#include <cstring>
+#include <algorithm>
 #include <unordered_set>
 
 namespace gc {
@@ -39,6 +40,13 @@ bool boundaryMatches(const Graph &Sub, const core::CompiledPartition &CP) {
   return true;
 }
 
+/// size_t face of gc::roundUp for arena byte offsets (tensor byte sizes
+/// are well within int64_t).
+inline size_t alignUp(size_t X, size_t A) {
+  return static_cast<size_t>(
+      roundUp(static_cast<int64_t>(X), static_cast<int64_t>(A)));
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -59,6 +67,157 @@ std::vector<std::vector<int64_t>> CompiledGraph::outputShapes() const {
   for (const LogicalTensor &T : OutputMeta)
     Shapes.push_back(T.Shape);
   return Shapes;
+}
+
+Status CompiledGraph::buildExecutionPlan() {
+  const size_t N = Parts.size();
+  Plans.assign(N, PartitionPlan{});
+  ScratchSlots.clear();
+  ArenaBytes = ArenaBytesNoReuse = 0;
+
+  // Boundary tensor id -> location maps. A tensor that is both a graph
+  // input and a graph output classifies as input (consumers read the
+  // caller's input buffer; the epilogue pass-through copy fills the
+  // output buffer), matching the serial environment's insertion order.
+  std::unordered_map<int64_t, uint32_t> ProducerOf; // id -> partition
+  for (size_t I = 0; I < N; ++I)
+    for (int64_t Out : Parts[I].Spec.Subgraph.outputs())
+      ProducerOf.try_emplace(Out, static_cast<uint32_t>(I));
+  std::unordered_map<int64_t, uint32_t> InputIdx, OutputIdx;
+  for (size_t I = 0; I < InputIds.size(); ++I)
+    InputIdx.try_emplace(InputIds[I], static_cast<uint32_t>(I));
+  for (size_t I = 0; I < OutputIds.size(); ++I)
+    OutputIdx.try_emplace(OutputIds[I], static_cast<uint32_t>(I));
+
+  // Pass 1 — partition outputs, creating one scratch slot per
+  // cross-partition intermediate in production (topological) order.
+  std::unordered_map<int64_t, uint32_t> ScratchIdx;
+  for (size_t I = 0; I < N; ++I) {
+    const Graph &Sub = Parts[I].Spec.Subgraph;
+    for (int64_t Out : Sub.outputs()) {
+      if (auto It = InputIdx.find(Out); It != InputIdx.end())
+        return Status::error(
+            StatusCode::Internal,
+            formatString("partition output t%lld is a graph input",
+                         (long long)Out));
+      if (auto It = OutputIdx.find(Out); It != OutputIdx.end()) {
+        Plans[I].Outs.push_back({BoundRef::Loc::GraphOutput, It->second});
+        continue;
+      }
+      ScratchSlot Slot;
+      Slot.TensorId = Out;
+      Slot.Meta = Sub.tensor(Out);
+      Slot.Bytes = static_cast<size_t>(Slot.Meta.numElements()) *
+                   dataTypeSize(Slot.Meta.Ty);
+      const uint32_t Idx = static_cast<uint32_t>(ScratchSlots.size());
+      ScratchIdx.try_emplace(Out, Idx);
+      ScratchSlots.push_back(std::move(Slot));
+      Plans[I].Outs.push_back({BoundRef::Loc::Scratch, Idx});
+    }
+  }
+
+  // Pass 2 — partition inputs: argument resolution plus the dependency
+  // edges (producer partition -> consumer partition) over boundary ids.
+  std::vector<std::vector<uint32_t>> SlotConsumers(ScratchSlots.size());
+  for (size_t I = 0; I < N; ++I) {
+    const Graph &Sub = Parts[I].Spec.Subgraph;
+    std::unordered_set<uint32_t> Preds;
+    for (int64_t In : Sub.inputs()) {
+      if (auto It = InputIdx.find(In); It != InputIdx.end()) {
+        Plans[I].Ins.push_back({BoundRef::Loc::GraphInput, It->second});
+        continue;
+      }
+      auto ProdIt = ProducerOf.find(In);
+      if (ProdIt == ProducerOf.end())
+        return Status::error(
+            StatusCode::Internal,
+            formatString("partition input t%lld was never produced",
+                         (long long)In));
+      const uint32_t Prod = ProdIt->second;
+      // The serial walk, the reverse reachability sweep and the offset
+      // packing below all rely on the partitioner's topological list
+      // order (every edge points forward); verify it instead of
+      // assuming, so a partitioner regression fails loudly here rather
+      // than silently reading unwritten arena bytes.
+      if (Prod > static_cast<uint32_t>(I))
+        return Status::error(
+            StatusCode::Internal,
+            formatString("partition list is not topologically ordered: "
+                         "t%lld is produced by partition %u but consumed "
+                         "by partition %zu",
+                         (long long)In, Prod, I));
+      if (Prod != static_cast<uint32_t>(I))
+        Preds.insert(Prod);
+      if (auto It = OutputIdx.find(In); It != OutputIdx.end()) {
+        Plans[I].Ins.push_back({BoundRef::Loc::GraphOutput, It->second});
+        continue;
+      }
+      const uint32_t Slot = ScratchIdx.at(In);
+      SlotConsumers[Slot].push_back(static_cast<uint32_t>(I));
+      Plans[I].Ins.push_back({BoundRef::Loc::Scratch, Slot});
+    }
+    Plans[I].NumPreds = static_cast<uint32_t>(Preds.size());
+    for (uint32_t P : Preds)
+      Plans[P].Succs.push_back(static_cast<uint32_t>(I));
+  }
+  for (size_t I = 0; I < N; ++I)
+    std::sort(Plans[I].Succs.begin(), Plans[I].Succs.end());
+
+  // Lifetime-packed arena offsets. Reuse must be safe under *every*
+  // DAG-consistent schedule, not just the serial list order: slot A's
+  // storage may back slot B only when all of A's readers (and its
+  // producer) are strict predecessors of B's producer in the partition
+  // DAG. Reachability over so few partitions is cheap to materialize.
+  const size_t NumSlots = ScratchSlots.size();
+  if (NumSlots > 0) {
+    std::vector<std::vector<bool>> Reach(N, std::vector<bool>(N, false));
+    // Partition list order is topological (edges point forward), so one
+    // reverse sweep closes the relation.
+    for (size_t I = N; I-- > 0;)
+      for (uint32_t S : Plans[I].Succs) {
+        Reach[I][S] = true;
+        for (size_t J = 0; J < N; ++J)
+          if (Reach[S][J])
+            Reach[I][J] = true;
+      }
+    auto slotProducer = [&](size_t SlotI) {
+      return ProducerOf.at(ScratchSlots[SlotI].TensorId);
+    };
+    // True when every use of slot A happens-before slot B's producer.
+    auto diesBefore = [&](size_t A, size_t B) {
+      const uint32_t ProdB = slotProducer(B);
+      const uint32_t ProdA = slotProducer(A);
+      if (ProdA == ProdB || !Reach[ProdA][ProdB])
+        return false;
+      for (uint32_t C : SlotConsumers[A])
+        if (C == ProdB || !Reach[C][ProdB])
+          return false;
+      return true;
+    };
+    std::vector<size_t> Placed; // slot indices with assigned offsets
+    for (size_t S = 0; S < NumSlots; ++S) {
+      const size_t Bytes = ScratchSlots[S].Bytes;
+      ArenaBytesNoReuse += alignUp(Bytes, runtime::kDefaultAlignment);
+      // Collect the intervals this slot may not overlap: every placed
+      // slot whose lifetime can coexist with ours under some schedule.
+      std::vector<std::pair<size_t, size_t>> Busy;
+      for (size_t P : Placed)
+        if (!diesBefore(P, S) && !diesBefore(S, P))
+          Busy.emplace_back(ScratchSlots[P].Offset,
+                            ScratchSlots[P].Offset + ScratchSlots[P].Bytes);
+      std::sort(Busy.begin(), Busy.end());
+      size_t Offset = 0;
+      for (const auto &[Lo, Hi] : Busy) {
+        if (Bytes > 0 && Offset + Bytes <= Lo)
+          break;
+        Offset = std::max(Offset, alignUp(Hi, runtime::kDefaultAlignment));
+      }
+      ScratchSlots[S].Offset = Offset;
+      Placed.push_back(S);
+      ArenaBytes = std::max(ArenaBytes, Offset + Bytes);
+    }
+  }
+  return Status::ok();
 }
 
 //===----------------------------------------------------------------------===//
@@ -83,6 +242,13 @@ void Session::clearCache() {
   UnsupportedKeys.clear();
 }
 
+Stream Session::stream() {
+  auto State = std::make_shared<detail::StreamState>();
+  State->Pool = Pool;
+  State->AsyncExec = Opts.AsyncExec;
+  return Stream(std::move(State));
+}
+
 Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
   // Always re-validate, finalized or not: the mutable op()/tensor()
   // accessors can invalidate a graph without clearing the finalized flag,
@@ -91,7 +257,8 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
     return S;
 
   Partitioner P(G);
-  Expected<std::vector<PartitionSpec>> SpecsOr = P.partition();
+  Expected<std::vector<PartitionSpec>> SpecsOr =
+      P.partition(Opts.SplitIndependentPartitions);
   if (!SpecsOr)
     return SpecsOr.status();
 
@@ -201,6 +368,8 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
                CG->Passthrough.empty() && CG->DuplicateOutputs.empty() &&
                CG->Parts[0].Spec.Subgraph.inputs() == CG->InputIds &&
                CG->Parts[0].Spec.Subgraph.outputs() == CG->OutputIds;
+  if (Status S = CG->buildExecutionPlan(); !S.isOk())
+    return S;
   return CG;
 }
 
@@ -208,143 +377,81 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
 // Stream
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Checks one caller tensor against the graph-boundary metadata.
-Status checkBoundaryTensor(const runtime::TensorData *T,
-                           const LogicalTensor &Meta, const char *What,
-                           size_t Index) {
-  if (!T || !T->valid())
-    return Status::error(StatusCode::InvalidArgument,
-                         formatString("%s %zu is null", What, Index));
-  if (T->dtype() != Meta.Ty)
-    return Status::error(
-        StatusCode::InvalidArgument,
-        formatString("%s %zu dtype mismatch: got %s, expected %s", What,
-                     Index, dataTypeName(T->dtype()),
-                     dataTypeName(Meta.Ty)));
-  if (T->shape() != Meta.Shape)
-    return Status::error(
-        StatusCode::InvalidArgument,
-        formatString("%s %zu shape mismatch: got %s, expected %s", What,
-                     Index, shapeToString(T->shape()).c_str(),
-                     shapeToString(Meta.Shape).c_str()));
-  return Status::ok();
-}
-
-} // namespace
-
 Status Stream::execute(const CompiledGraph &CG,
                        const std::vector<runtime::TensorData *> &Inputs,
                        const std::vector<runtime::TensorData *> &Outputs)
     const {
-  if (Inputs.size() != CG.InputIds.size())
-    return Status::error(
-        StatusCode::InvalidArgument,
-        formatString("input arity mismatch: got %zu, expected %zu",
-                     Inputs.size(), CG.InputIds.size()));
-  if (Outputs.size() != CG.OutputIds.size())
-    return Status::error(
-        StatusCode::InvalidArgument,
-        formatString("output arity mismatch: got %zu, expected %zu",
-                     Outputs.size(), CG.OutputIds.size()));
-  for (size_t I = 0; I < Inputs.size(); ++I)
-    if (Status S = checkBoundaryTensor(Inputs[I], CG.InputMeta[I], "input", I);
-        !S.isOk())
-      return S;
-  for (size_t I = 0; I < Outputs.size(); ++I)
-    if (Status S =
-            checkBoundaryTensor(Outputs[I], CG.OutputMeta[I], "output", I);
-        !S.isOk())
-      return S;
+  if (Status S = detail::Submission::validateBoundary(CG, Inputs, Outputs);
+      !S.isOk())
+    return S;
 
   // Whole-graph single compiled partition: hand the caller tensors over
-  // without building the per-execution environment below.
+  // without touching the plan machinery.
   if (CG.Direct)
     return CG.Parts[0].Compiled->execute(Inputs, Outputs);
 
-  // Execution-local tensor environment: boundary ids -> storage. Caller
-  // tensors are borrowed; cross-partition intermediates are owned by this
-  // execution (per-execution scratch — concurrent executes never share).
-  std::unordered_map<int64_t, runtime::TensorData *> Bound;
-  std::unordered_map<int64_t, runtime::TensorData> Owned;
-  for (size_t I = 0; I < Inputs.size(); ++I)
-    Bound.try_emplace(CG.InputIds[I], Inputs[I]);
-  // First occurrence wins; duplicate output listings are copied after the
-  // partition loop (see DuplicateOutputs).
-  for (size_t I = 0; I < Outputs.size(); ++I)
-    Bound.try_emplace(CG.OutputIds[I], Outputs[I]);
-
-  for (const CompiledGraph::Part &Part : CG.Parts) {
-    const Graph &Sub = Part.Spec.Subgraph;
-    std::vector<runtime::TensorData *> Ins, Outs;
-    Ins.reserve(Sub.inputs().size());
-    Outs.reserve(Sub.outputs().size());
-    for (int64_t In : Sub.inputs()) {
-      auto It = Bound.find(In);
-      if (It == Bound.end())
-        return Status::error(
-            StatusCode::Internal,
-            formatString("partition input t%lld was never produced",
-                         (long long)In));
-      Ins.push_back(It->second);
-    }
-    for (int64_t Out : Sub.outputs()) {
-      auto It = Bound.find(Out);
-      if (It != Bound.end()) {
-        Outs.push_back(It->second);
-        continue;
-      }
-      const LogicalTensor &Meta = Sub.tensor(Out);
-      runtime::TensorData &T =
-          Owned.emplace(Out, runtime::TensorData(Meta.Ty, Meta.Shape))
-              .first->second;
-      Bound[Out] = &T;
-      Outs.push_back(&T);
-    }
-
-    if (Part.Compiled) {
-      if (Status S = Part.Compiled->execute(Ins, Outs); !S.isOk())
-        return S;
-      continue;
-    }
-
-    // Reference fallback: interpret the subgraph on plain tensors. Inputs
-    // and constants are wrapped as views (no copy; constants are read-only
-    // during evaluation); outputs are copied into their destination
-    // buffers.
-    TensorMap Env;
-    for (int64_t TId : Sub.tensorIds())
-      if (const runtime::TensorData *Data = Sub.constantData(TId))
-        Env[TId] = runtime::TensorData::view(
-            Data->dtype(), Data->shape(), const_cast<void *>(Data->data()));
-    const std::vector<int64_t> &SubIns = Sub.inputs();
-    for (size_t I = 0; I < SubIns.size(); ++I) {
-      const LogicalTensor &Meta = Sub.tensor(SubIns[I]);
-      Env[SubIns[I]] =
-          runtime::TensorData::view(Meta.Ty, Meta.Shape, Ins[I]->data());
-    }
-    evalGraphReference(Sub, Env);
-    const std::vector<int64_t> &SubOuts = Sub.outputs();
-    for (size_t I = 0; I < SubOuts.size(); ++I) {
-      const runtime::TensorData &Result = Env.at(SubOuts[I]);
-      if (Result.numBytes() != Outs[I]->numBytes())
-        return Status::error(StatusCode::Internal,
-                             "fallback output size mismatch");
-      std::memcpy(Outs[I]->data(), Result.data(),
-                  static_cast<size_t>(Result.numBytes()));
-    }
+  // GC_SCHED=async: overlap independent partitions even for synchronous
+  // callers by routing through the scheduler and waiting.
+  if (State->AsyncExec && CG.Parts.size() > 1) {
+    // The CompiledGraph is borrowed, not pinned: safe because wait()
+    // returns before execute() does.
+    return Event(detail::Submission::launch(CG, nullptr, State, Inputs,
+                                            Outputs))
+        .wait();
   }
 
-  for (const auto &[OutIdx, InIdx] : CG.Passthrough)
-    if (Outputs[OutIdx]->data() != Inputs[InIdx]->data())
-      std::memcpy(Outputs[OutIdx]->data(), Inputs[InIdx]->data(),
-                  static_cast<size_t>(Inputs[InIdx]->numBytes()));
-  for (const auto &[DupIdx, FirstIdx] : CG.DuplicateOutputs)
-    if (Outputs[DupIdx]->data() != Outputs[FirstIdx]->data())
-      std::memcpy(Outputs[DupIdx]->data(), Outputs[FirstIdx]->data(),
-                  static_cast<size_t>(Outputs[FirstIdx]->numBytes()));
-  return Status::ok();
+  // Serial in-order walk over the execution plan: partition arguments
+  // resolve by precomputed index, cross-partition intermediates live in
+  // an arena leased from the stream and recycled across executions.
+  std::unique_ptr<runtime::PlanArena> Arena =
+      State->acquireArena(CG.ArenaBytes);
+  std::vector<runtime::TensorData> Views;
+  detail::Submission::buildScratchViews(CG, *Arena, Views);
+
+  Status Result = Status::ok();
+  std::vector<runtime::TensorData *> Ins, Outs;
+  for (size_t I = 0; I < CG.Parts.size(); ++I) {
+    const CompiledGraph::PartitionPlan &Plan = CG.Plans[I];
+    Ins.clear();
+    Outs.clear();
+    Ins.reserve(Plan.Ins.size());
+    Outs.reserve(Plan.Outs.size());
+    for (const CompiledGraph::BoundRef &Ref : Plan.Ins)
+      Ins.push_back(
+          detail::Submission::resolveRef(Ref, Inputs, Outputs, Views));
+    for (const CompiledGraph::BoundRef &Ref : Plan.Outs)
+      Outs.push_back(
+          detail::Submission::resolveRef(Ref, Inputs, Outputs, Views));
+    Result = detail::Submission::runPartition(CG, I, Ins, Outs);
+    if (!Result.isOk())
+      break;
+  }
+  if (Result.isOk())
+    detail::Submission::copyEpilogue(CG, Inputs, Outputs);
+
+  Views.clear(); // views into the arena die before it is recycled
+  State->releaseArena(std::move(Arena));
+  return Result;
+}
+
+Event Stream::submit(const CompiledGraphPtr &CG,
+                     const std::vector<runtime::TensorData *> &Inputs,
+                     const std::vector<runtime::TensorData *> &Outputs)
+    const {
+  if (!CG)
+    return Event(detail::Submission::completed(Status::error(
+        StatusCode::InvalidArgument, "submit: null compiled graph")));
+  // Single-partition graphs have nothing to overlap: run synchronously on
+  // the caller, keeping full loop-level parallelism, and return a
+  // completed event (execute validates).
+  if (CG->Parts.size() <= 1)
+    return Event(detail::Submission::completed(
+        execute(*CG, Inputs, Outputs)));
+  if (Status S = detail::Submission::validateBoundary(*CG, Inputs, Outputs);
+      !S.isOk())
+    return Event(detail::Submission::completed(std::move(S)));
+  return Event(
+      detail::Submission::launch(*CG, CG, State, Inputs, Outputs));
 }
 
 } // namespace api

@@ -3,14 +3,21 @@
 /// \file
 /// The partition-based public API, mirroring the oneDNN Graph API flow of
 /// §VII: finalize a graph, discover partitions, compile each partition,
-/// execute on a stream.
+/// execute on a stream — synchronously, or asynchronously along the
+/// partition dependency DAG.
 ///
 ///   api::Session S;                          // options + shared thread pool
 ///   G.finalize();
 ///   auto Compiled = S.compile(G);            // Expected<CompiledGraphPtr>
 ///   if (!Compiled) ...;                      // Status error, no abort
 ///   api::Stream Str = S.stream();
-///   Str.execute(**Compiled, {&X}, {&Y});     // thread-safe, repeatable
+///   Str.execute(**Compiled, {&X}, {&Y});     // synchronous, thread-safe
+///
+///   // Asynchronous: submit() returns immediately with an Event; ready
+///   // partitions of the DAG run concurrently on the session pool.
+///   api::Event E = Str.submit(*Compiled, {&X}, {&Y});
+///   ... /* overlap other work */ ...
+///   if (Status S2 = E.wait(); !S2.isOk()) ...;
 ///
 /// A Session owns the CompileOptions, a thread pool shared by every
 /// partition it compiles, and a compiled-partition cache keyed by the
@@ -19,11 +26,19 @@
 /// compiler cannot lower run in reference-interpreter fallback partitions,
 /// so any valid graph executes end-to-end.
 ///
+/// Compilation additionally produces an execution plan over the partition
+/// list: the partition dependency DAG (producer/consumer edges over
+/// boundary tensor ids) that drives the async scheduler, and a
+/// lifetime-based memory plan that packs every cross-partition
+/// intermediate into one reusable arena instead of allocating it per
+/// execution.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GC_API_SESSION_H
 #define GC_API_SESSION_H
 
+#include "api/event.h"
 #include "api/partitioner.h"
 #include "core/compiler.h"
 #include "graph/graph.h"
@@ -45,39 +60,116 @@ namespace api {
 class Session;
 class Stream;
 
+namespace detail {
+struct Submission;
+struct StreamState;
+} // namespace detail
+
 /// A fully prepared executable graph: the ordered partition list with one
 /// CompiledPartition per compiled partition (fallback partitions carry
-/// none and interpret their subgraph). Immutable after compilation and
-/// safe to execute from many streams/threads concurrently.
+/// none and interpret their subgraph), plus the execution plan computed at
+/// compile time — the partition dependency DAG and the packed
+/// intermediate memory plan. Immutable after compilation and safe to
+/// execute from many streams/threads concurrently; overlapping
+/// submissions of the same CompiledGraph are safe (each execution leases
+/// its own ExecState and arena).
 class CompiledGraph {
 public:
+  /// \brief Number of partitions, in topological (serial execution) order.
   size_t numPartitions() const { return Parts.size(); }
+  /// \brief Execution kind of partition \p I (compiled vs. fallback).
   PartitionKind partitionKind(size_t I) const { return Parts[I].Spec.Kind; }
-  /// The compiled executable of partition \p I; nullptr for fallback
-  /// partitions. Pointer identity with a previous compile() of an
+  /// \brief The compiled executable of partition \p I; nullptr for
+  /// fallback partitions. Pointer identity with a previous compile() of an
   /// identical subgraph demonstrates a cache hit.
   std::shared_ptr<core::CompiledPartition> compiledPartition(size_t I) const {
     return Parts[I].Compiled;
   }
-  /// Number of partitions served by the reference interpreter.
+  /// \brief Number of partitions served by the reference interpreter.
   size_t numFallbackPartitions() const;
 
-  /// Graph boundary in source declaration order.
+  /// \brief Graph input ids in source declaration order.
   const std::vector<int64_t> &inputIds() const { return InputIds; }
+  /// \brief Graph output ids in source declaration order.
   const std::vector<int64_t> &outputIds() const { return OutputIds; }
-  /// Logical shapes of the graph outputs, in output order.
+  /// \brief Logical shapes of the graph outputs, in output order.
   std::vector<std::vector<int64_t>> outputShapes() const;
+
+  /// \name Execution-plan introspection (dependency DAG + memory plan)
+  /// @{
+
+  /// \brief Number of partitions that must complete before partition \p I
+  /// may start (distinct producers of its boundary inputs). Roots of the
+  /// dependency DAG report 0.
+  size_t partitionPredecessorCount(size_t I) const {
+    return Plans[I].NumPreds;
+  }
+  /// \brief Partitions directly unblocked by partition \p I's completion.
+  const std::vector<uint32_t> &partitionSuccessors(size_t I) const {
+    return Plans[I].Succs;
+  }
+  /// \brief Cross-partition intermediates packed into the execution arena.
+  size_t numIntermediateTensors() const { return ScratchSlots.size(); }
+  /// \brief Bytes of the per-execution arena after lifetime packing (0
+  /// when the graph has no cross-partition intermediates). Intermediates
+  /// whose lifetimes cannot overlap under any DAG-consistent schedule
+  /// share offsets.
+  size_t scratchArenaBytes() const { return ArenaBytes; }
+  /// \brief Arena bytes a naive plan (one slot per intermediate, no
+  /// sharing) would need; the packing win is the ratio to
+  /// scratchArenaBytes().
+  size_t scratchArenaBytesNoReuse() const { return ArenaBytesNoReuse; }
+
+  /// @}
 
 private:
   friend class Session;
   friend class Stream;
+  friend struct detail::Submission;
 
   struct Part {
     PartitionSpec Spec;
     std::shared_ptr<core::CompiledPartition> Compiled; // null = fallback
   };
 
+  /// Where one partition boundary tensor lives at execution time.
+  struct BoundRef {
+    enum class Loc : uint8_t {
+      GraphInput,  ///< caller-provided Inputs[Index]
+      GraphOutput, ///< caller-provided Outputs[Index] (first listing)
+      Scratch,     ///< arena intermediate ScratchSlots[Index]
+    };
+    Loc Where = Loc::GraphInput;
+    uint32_t Index = 0;
+  };
+
+  /// Per-partition execution plan: argument resolution (no per-execution
+  /// id lookups) and dependency edges for the async scheduler.
+  struct PartitionPlan {
+    std::vector<BoundRef> Ins;   ///< one per subgraph input, in order
+    std::vector<BoundRef> Outs;  ///< one per subgraph output, in order
+    std::vector<uint32_t> Succs; ///< partitions unblocked by completion
+    uint32_t NumPreds = 0;       ///< distinct producer partitions
+  };
+
+  /// One cross-partition intermediate with its packed arena placement.
+  struct ScratchSlot {
+    int64_t TensorId = -1;
+    graph::LogicalTensor Meta;
+    size_t Offset = 0; ///< byte offset into the execution arena
+    size_t Bytes = 0;
+  };
+
+  /// Builds Plans/ScratchSlots/ArenaBytes from the finished partition
+  /// list; called once at the end of Session::compile().
+  Status buildExecutionPlan();
+
   std::vector<Part> Parts;
+  std::vector<PartitionPlan> Plans;
+  std::vector<ScratchSlot> ScratchSlots;
+  size_t ArenaBytes = 0;
+  size_t ArenaBytesNoReuse = 0;
+
   std::vector<int64_t> InputIds;
   std::vector<int64_t> OutputIds;
   /// Boundary metadata (dtype/shape) per graph input/output for argument
@@ -99,49 +191,95 @@ private:
 
 using CompiledGraphPtr = std::shared_ptr<CompiledGraph>;
 
-/// Execution handle vended by a session. Streams are cheap empty value
-/// objects; execute() is thread-safe and any number of streams may execute
-/// the same CompiledGraph concurrently (per-execution scratch, fold-once —
-/// the compiled partitions carry their session's thread pool).
+/// Execution handle vended by a session. A Stream is a cheap value object
+/// sharing a small state block (the arena free list) with its copies;
+/// both execute() and submit() are thread-safe and any number of streams
+/// may run the same CompiledGraph concurrently (per-execution ExecState
+/// leasing and per-submission arenas — executions never share scratch).
+///
+/// Lifetime: a Stream must not outlive its Session's thread pool (keep
+/// the Session alive while streams are in use). Asynchronous submissions
+/// pin the CompiledGraph, the thread pool and the stream state until the
+/// Event completes, so dropping those handles mid-flight is safe; the
+/// caller-owned input/output tensors are the one thing the caller must
+/// keep alive (and not mutate) until the Event reports completion.
 class Stream {
 public:
-  /// Executes \p CG. \p Inputs follow the source graph's input declaration
-  /// order, \p Outputs its output order (caller-allocated, plain
-  /// row-major). Compiled partitions run on the session's thread pool;
-  /// fallback partitions interpret. Boundary tensors between partitions
-  /// are allocated per execution.
+  /// \brief Executes \p CG synchronously. \p Inputs follow the source
+  /// graph's input declaration order, \p Outputs its output order
+  /// (caller-allocated, plain row-major). Compiled partitions run on the
+  /// session's thread pool; fallback partitions interpret.
+  /// Cross-partition intermediates live in a packed arena leased from the
+  /// stream and recycled across executions. With CompileOptions::AsyncExec
+  /// (GC_SCHED=async), multi-partition graphs route through the async
+  /// scheduler and wait, so independent partitions overlap even here.
   Status execute(const CompiledGraph &CG,
                  const std::vector<runtime::TensorData *> &Inputs,
                  const std::vector<runtime::TensorData *> &Outputs) const;
 
+  /// \brief Launches \p CG asynchronously and returns immediately with an
+  /// Event. Partitions whose producers have completed are scheduled
+  /// concurrently as tasks on the session's thread pool (fallback
+  /// partitions included), following the dependency DAG; kernels inside a
+  /// scheduled partition run serially on their worker, so submit() trades
+  /// intra-partition (loop-level) parallelism for inter-partition
+  /// overlap — the win on multi-branch graphs; see docs/TUNING.md.
+  ///
+  /// Single-partition graphs (nothing to overlap) execute synchronously
+  /// on the caller with full loop-level parallelism; the returned Event
+  /// is already complete. Argument errors are reported through the
+  /// Event's Status, never thrown or aborted.
+  ///
+  /// The submission keeps \p CG, the pool and the stream state alive; the
+  /// caller must keep \p Inputs / \p Outputs storage alive and unmodified
+  /// until the Event completes. Overlapping submissions of the same
+  /// CompiledGraph (same or different streams/threads) are safe.
+  Event submit(const CompiledGraphPtr &CG,
+               const std::vector<runtime::TensorData *> &Inputs,
+               const std::vector<runtime::TensorData *> &Outputs) const;
+
 private:
   friend class Session;
-  Stream() = default;
+  explicit Stream(std::shared_ptr<detail::StreamState> State)
+      : State(std::move(State)) {}
+
+  std::shared_ptr<detail::StreamState> State;
 };
 
 /// Owns compilation options, the execution thread pool, and the
-/// compiled-partition cache. Thread-safe: compile() and Stream::execute()
-/// may be called concurrently.
+/// compiled-partition cache. Thread-safe: compile(), Stream::execute()
+/// and Stream::submit() may all be called concurrently.
 class Session {
 public:
+  /// \brief Creates a session. \p Opts selects the pass pipeline, the
+  /// execution backend, the partitioning policy and the thread count
+  /// (0 = GC_THREADS / hardware concurrency).
   explicit Session(core::CompileOptions Opts = {});
 
+  /// \brief Compilation options this session applies to every compile().
   const core::CompileOptions &options() const { return Opts; }
+  /// \brief The execution thread pool shared by this session's partitions.
   runtime::ThreadPool &threadPool() const { return *Pool; }
 
-  /// Finalizes (verifies) \p G if needed, partitions it, and compiles
+  /// \brief Finalizes (verifies) \p G if needed, partitions it, compiles
   /// every compilable partition — identical subgraphs are served from the
-  /// session cache. Partitions the compiler rejects as unsupported are
-  /// demoted to reference fallback instead of failing the compile.
+  /// session cache — and computes the execution plan (dependency DAG +
+  /// packed intermediate arena). Partitions the compiler rejects as
+  /// unsupported are demoted to reference fallback instead of failing the
+  /// compile.
   Expected<CompiledGraphPtr> compile(const graph::Graph &G);
 
-  /// Creates an execution stream.
-  Stream stream() { return Stream(); }
+  /// \brief Creates an execution stream (cheap; one arena free list per
+  /// stream object and its copies).
+  Stream stream();
 
-  /// Compiled-partition cache introspection.
+  /// \brief Number of compiled partitions currently cached.
   size_t cacheSize() const;
+  /// \brief Times compile() served a partition from the cache.
   uint64_t cacheHits() const { return Hits.load(); }
+  /// \brief Times compile() had to run the full pipeline.
   uint64_t cacheMisses() const { return Misses.load(); }
+  /// \brief Drops every cached partition and negative-cache entry.
   void clearCache();
 
 private:

@@ -7,6 +7,7 @@
 #include "kernels/packing.h"
 #include "passes/pass.h"
 #include "support/common.h"
+#include "support/env.h"
 #include "support/str.h"
 #include "tirpass/tirpass.h"
 
@@ -16,6 +17,14 @@ namespace gc {
 namespace core {
 
 using namespace graph;
+
+bool defaultSplitPartitions() {
+  return getEnvString("GC_PARTITION", "merge") == "split";
+}
+
+bool defaultAsyncExec() {
+  return getEnvString("GC_SCHED", "serial") == "async";
+}
 
 //===----------------------------------------------------------------------===//
 // Fold function execution (constant weight preprocessing, §V)
@@ -174,14 +183,56 @@ CompiledPartition::ExecState CompiledPartition::acquireExecState() {
   return State;
 }
 
+namespace {
+
+/// Idle ExecState pool cap: GC_EXEC_POOL (default 8, min 1). Raising it
+/// helps sustained bursts of overlapping submissions of one partition;
+/// each idle state pins its register frames and scratch arenas.
+size_t execStatePoolCap() {
+  static const size_t Cap = static_cast<size_t>(
+      std::max<int64_t>(1, getEnvInt("GC_EXEC_POOL", 8)));
+  return Cap;
+}
+
+} // namespace
+
 void CompiledPartition::releaseExecState(ExecState State) {
   // Bound the idle pool so a one-off concurrency burst does not pin one
   // scratch arena per peak-concurrent execute for the partition's
   // lifetime; execution states beyond the cap are simply dropped.
-  constexpr size_t kMaxIdleExecStates = 8;
   std::lock_guard<std::mutex> Lock(EvalMutex);
-  if (IdleExecs.size() < kMaxIdleExecStates)
+  if (IdleExecs.size() < execStatePoolCap())
     IdleExecs.push_back(std::move(State));
+}
+
+size_t CompiledPartition::idleExecStates() const {
+  std::lock_guard<std::mutex> Lock(EvalMutex);
+  return IdleExecs.size();
+}
+
+void CompiledPartition::prewarmExecStates(size_t N) {
+  N = std::min(N, execStatePoolCap());
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(EvalMutex);
+      if (IdleExecs.size() >= N)
+        return;
+    }
+    // Built outside the lock: state construction allocates frames.
+    ExecState State;
+    if (Backend == exec::Backend::Bytecode)
+      State.Byte = std::make_unique<exec::Executor>(Prog.Bytecode, *Pool);
+    else
+      State.Tree = std::make_unique<tir::Evaluator>(Prog.Entry, *Pool);
+    std::lock_guard<std::mutex> Lock(EvalMutex);
+    // Re-checked under the lock: concurrent prewarms/releases may have
+    // filled the pool meanwhile, and pushing blindly would overshoot
+    // the cap for the partition's lifetime (the state just built is
+    // simply dropped then).
+    if (IdleExecs.size() >= N)
+      return;
+    IdleExecs.push_back(std::move(State));
+  }
 }
 
 Status CompiledPartition::execute(

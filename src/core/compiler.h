@@ -38,6 +38,15 @@
 namespace gc {
 namespace core {
 
+/// Resolves GC_PARTITION ("merge" | "split", default "merge"): whether
+/// the partitioner separates independent dataflow components into their
+/// own partitions (the async scheduler's parallelism source).
+bool defaultSplitPartitions();
+/// Resolves GC_SCHED ("serial" | "async", default "serial"): whether
+/// Stream::execute routes multi-partition graphs through the async
+/// dependency-DAG scheduler.
+bool defaultAsyncExec();
+
 /// Knobs of the whole compilation pipeline. The Enable* flags exist for
 /// the paper's ablations; defaults reproduce the full compiler.
 struct CompileOptions {
@@ -63,6 +72,16 @@ struct CompileOptions {
   /// dispatch loop (default) or the tree-walking evaluator kept as the
   /// reference oracle. Defaults from GC_EXEC ("tree" | "bytecode").
   exec::Backend Exec = exec::defaultBackend();
+  /// Partitioning policy: split independent dataflow components into
+  /// separate partitions (enables branch-level overlap under the async
+  /// scheduler) instead of merging them into maximal partitions.
+  /// Defaults from GC_PARTITION ("merge" | "split").
+  bool SplitIndependentPartitions = defaultSplitPartitions();
+  /// Route api::Stream::execute of multi-partition graphs through the
+  /// async dependency-DAG scheduler (submit + wait) so independent
+  /// partitions overlap even for synchronous callers. Defaults from
+  /// GC_SCHED ("serial" | "async").
+  bool AsyncExec = defaultAsyncExec();
 };
 
 /// Compile options preset for the primitives-library baseline of §VII.
@@ -114,6 +133,14 @@ public:
   /// Compilation statistics. Safe before the first execution; the
   /// Folded* fields read as 0 until the fold function has run.
   PartitionStats stats() const;
+  /// Execution states currently idle in the lease pool (diagnostics; the
+  /// peak equals the peak number of overlapping executions, capped by
+  /// GC_EXEC_POOL).
+  size_t idleExecStates() const;
+  /// Pre-builds up to \p N idle execution states (bounded by the pool
+  /// cap) so a burst of overlapping submissions skips the first-use
+  /// construction cost inside the scheduled tasks.
+  void prewarmExecStates(size_t N);
   /// Logical shapes of the graph outputs, in output order.
   std::vector<std::vector<int64_t>> outputShapes() const;
   /// Thread pool executing this partition.
@@ -170,7 +197,7 @@ private:
   exec::Backend Backend = exec::Backend::Bytecode;
   std::once_flag FoldOnce;
   std::atomic<bool> FoldDone{false};
-  std::mutex EvalMutex;
+  mutable std::mutex EvalMutex;
   std::vector<ExecState> IdleExecs;
   std::vector<int64_t> InputIds;  // optimized-graph ids in input order
   std::vector<int64_t> OutputIds; // optimized-graph ids in output order

@@ -52,6 +52,21 @@ void AlignedBuffer::resize(size_t NewBytes, size_t Alignment) {
   Bytes = NewBytes;
 }
 
+void PlanArena::ensure(size_t Bytes, size_t Alignment) {
+  if (Bytes <= Storage.size())
+    return;
+  // Contents need not survive growth: resize() reallocates zero-filled.
+  Storage.resize(Bytes, Alignment);
+}
+
+void *PlanArena::at(size_t Offset) {
+  if (Offset == 0 && Storage.empty())
+    return nullptr; // zero-size plan: nothing was ever ensured
+  if (Offset >= Storage.size())
+    fatalError("plan arena offset out of range (plan/arena mismatch)");
+  return static_cast<char *>(Storage.data()) + Offset;
+}
+
 void *BumpArena::allocate(size_t Bytes, size_t Alignment) {
   size_t Aligned = (Offset + Alignment - 1) / Alignment * Alignment;
   if (Aligned + Bytes > Storage.size())

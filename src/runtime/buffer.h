@@ -1,10 +1,13 @@
 //===- buffer.h - Aligned memory buffers and arenas -------------*- C++ -*-===//
 ///
 /// \file
-/// Cache-line/vector aligned allocation for tensor data, plus a bump arena
-/// used for per-thread template scratch (the C' accumulation buffers of
-/// Fig. 2) and for the single shared scratch region the memory-buffer-reuse
-/// pass (§VI) packs temporary tensors into.
+/// Cache-line/vector aligned allocation for tensor data, plus two arena
+/// flavours: a bump arena used for per-thread template scratch (the C'
+/// accumulation buffers of Fig. 2) and for the single shared scratch
+/// region the memory-buffer-reuse pass (§VI) packs temporary tensors
+/// into, and an offset-addressed plan arena backing the cross-partition
+/// intermediate memory plan (api/session.h) that streams recycle across
+/// executions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -77,6 +80,37 @@ public:
 private:
   AlignedBuffer Storage;
   size_t Offset = 0;
+};
+
+/// Offset-addressed execution arena for the partition memory plan
+/// (api::CompiledGraph): compile time assigns every cross-partition
+/// intermediate a byte offset via lifetime packing; execution leases one
+/// PlanArena and resolves intermediates as base + offset, so repeated
+/// executions reuse one allocation instead of heap-allocating each
+/// intermediate.
+///
+/// ensure() is grow-only: an arena recycled across executions of graphs
+/// with different plans converges to the largest plan's footprint and
+/// never reallocates on the smaller ones. Growth does not preserve
+/// contents (a plan never reads across executions). Zero-byte plans are
+/// valid and allocate nothing.
+class PlanArena {
+public:
+  /// Grows the region to at least \p Bytes (rounded up to \p Alignment).
+  /// No-op when the arena is already large enough; ensure(0) on a fresh
+  /// arena allocates nothing.
+  void ensure(size_t Bytes, size_t Alignment = kDefaultAlignment);
+
+  /// Address of byte \p Offset. \p Offset must lie within the ensured
+  /// capacity; offsets that are multiples of the ensure() alignment keep
+  /// that alignment. at(0) on an empty arena returns nullptr (zero-size
+  /// plan).
+  void *at(size_t Offset);
+
+  size_t capacity() const { return Storage.size(); }
+
+private:
+  AlignedBuffer Storage;
 };
 
 } // namespace runtime

@@ -15,6 +15,14 @@
 /// variable, which cuts fork/join latency on the short parallel nests that
 /// dominate small-shape inference.
 ///
+/// On top of the fork/join layer sits a one-shot task queue
+/// (submitTask()), the substrate of the async partition scheduler
+/// (api/scheduler.h): idle workers drain queued tasks between fork/join
+/// regions. A parallelFor issued from inside a task (or from any pool
+/// worker) runs inline serially — nesting is deadlock-proof by
+/// construction, and concurrent tasks each keep their ThreadId-0 scratch
+/// because per-execution state is leased per task, never shared.
+///
 /// Environment knobs:
 ///   GC_THREADS      worker threads (default: hardware concurrency);
 ///                   GC_NUM_THREADS is honored as a legacy alias
@@ -31,16 +39,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace gc {
 namespace runtime {
 
-/// Persistent fork/join thread pool with static range partitioning.
+/// Persistent fork/join thread pool with dynamically claimed chunks plus
+/// a one-shot task queue for the async partition scheduler.
 class ThreadPool {
 public:
   /// Job callback: (context, iteration index, worker id).
@@ -59,10 +70,16 @@ public:
 
   /// Runs Body(I) for I in [Begin, End) across the pool. Body must be safe
   /// to invoke concurrently for distinct I. Blocks until all iterations
-  /// complete (one barrier per call). ThreadId passed to Body is in
-  /// [0, numThreads()). Safe to call from multiple threads concurrently:
-  /// fork/join regions from different submitters are serialized, so
-  /// concurrent Stream executions interleave at nest granularity.
+  /// complete (one barrier per call). ThreadId passed to Body is the
+  /// contiguous-chunk index in [0, numThreads()) — exclusive to one
+  /// participant at a time, so it is a safe per-call scratch-slot key
+  /// (it identifies the chunk, not the executing OS thread). Safe to
+  /// call from multiple threads concurrently: fork/join regions from
+  /// different submitters are serialized, so concurrent Stream
+  /// executions interleave at nest granularity. Chunks are claimed
+  /// dynamically, so a worker occupied by a long task (or absent for
+  /// any reason) never delays region completion — the remaining
+  /// participants absorb its share.
   ///
   /// The callable is captured by reference (it outlives the barrier
   /// because parallelFor blocks); no job-closure allocation happens here.
@@ -82,6 +99,42 @@ public:
   /// invocation of \p Fn. The templated overload forwards here.
   void parallelForRaw(int64_t Begin, int64_t End, JobFn Fn, void *Ctx);
 
+  /// One-shot task callback for submitTask().
+  using TaskFn = void (*)(void *Ctx);
+
+  /// Enqueues a one-shot task executed by an idle worker thread (FIFO).
+  /// Tasks must not block on the pool: a parallelFor issued from inside a
+  /// task runs inline serially (see onWorkerThread()), so a task can never
+  /// deadlock waiting for workers, and task-to-task dependencies must be
+  /// expressed as continuation submits, not waits. On a single-worker
+  /// pool the calling thread drains the queue before returning (unless
+  /// already inside a task body, where the outermost drain loop picks
+  /// the continuation up — iterative, not recursive).
+  ///
+  /// Fork/join regions take priority over queued tasks: a worker drains
+  /// the current parallelFor range before popping the next task.
+  void submitTask(TaskFn Fn, void *Ctx);
+
+  /// Enqueues \p N tasks with one lock acquisition and a single worker
+  /// wake — workers chain further wakes while the queue stays non-empty,
+  /// so a DAG's root fan-out costs one futex instead of one per task.
+  void submitTaskBatch(const std::pair<TaskFn, void *> *TasksIn, size_t N);
+
+  /// Pops and runs one queued task on the calling thread, returning false
+  /// when the queue is empty. Lets a thread blocked on an async result
+  /// help drain the queue instead of parking (work-stealing wait).
+  bool tryRunOneTask();
+
+  /// Number of tasks currently queued (racy snapshot; tests/diagnostics).
+  size_t pendingTasks() const {
+    return TasksPending.load(std::memory_order_relaxed);
+  }
+
+  /// True on pool worker threads and inside task bodies (any pool). Used
+  /// by parallelFor to run nested regions inline serially instead of
+  /// re-entering the fork/join machinery.
+  static bool onWorkerThread();
+
   /// Total number of fork/join barriers executed so far (used by tests and
   /// the coarse-grain fusion ablation to show barrier reduction).
   uint64_t barrierCount() const { return Barriers.load(); }
@@ -91,9 +144,23 @@ public:
 
 private:
   void workerLoop(int WorkerIndex);
-  void runRange(int ThreadId);
+  /// Claims and runs chunks of the current region until it is exhausted
+  /// (dynamic claiming: identity-free, so participants may absorb an
+  /// absent worker's share). The chunk index doubles as the body's
+  /// ThreadId, reproducing the static iteration->slot mapping.
+  void runRange();
+  /// Runs \p Fn(\p Ctx) with the worker-thread flag set for the duration.
+  static void runTaskBody(TaskFn Fn, void *Ctx);
+  /// Pops and runs one task; with \p ChainWake, wakes another worker
+  /// first when tasks remain (the wake-chain that keeps the herd off a
+  /// batched submit).
+  bool popAndRunTask(bool ChainWake);
+  /// True while the process's pools together spawn more workers than
+  /// the machine has cores (spin and wake fan-out are counterproductive
+  /// then).
+  static bool oversubscribed();
   /// Effective spin iterations for this wait: GC_SPIN_ITERS, or 0 while
-  /// the process's pools together oversubscribe the hardware cores.
+  /// oversubscribed.
   int spinBudget() const;
 
   int NumWorkers = 1;
@@ -112,16 +179,35 @@ private:
   /// Bumped (release) once the job slot is populated; workers spin on it
   /// before parking on WakeCv.
   std::atomic<uint64_t> Generation{0};
-  /// Workers still running the current region; the submitter spins on it
-  /// reaching 0 before parking on DoneCv.
-  std::atomic<int> Pending{0};
   std::atomic<bool> ShuttingDown{false};
 
-  // Current job description (valid while Pending > 0).
+  /// Region chunk claims: (generation << 32) | next-chunk-index. One
+  /// atomic word so a claim always identifies which region it belongs
+  /// to, and the acquire RMW synchronizes with the release store that
+  /// published that region's fields. The submitter "closes" the word
+  /// (chunk >= kClosedChunk) before rewriting the fields for the next
+  /// region, so late claimants bail out without touching them.
+  std::atomic<uint64_t> ClaimWord{0};
+  /// Chunks fully executed in the current region; the submitter waits
+  /// for it to reach NumChunks (whoever finishes the last chunk
+  /// notifies DoneCv).
+  std::atomic<int64_t> ChunksDone{0};
+  /// Participants currently inside runRange; the next submitter waits
+  /// for 0 after closing ClaimWord and before rewriting the job fields.
+  std::atomic<int> ActiveClaimants{0};
+
+  /// One-shot task queue (guarded by Mutex). TasksPending mirrors the
+  /// queue size so spinning workers can poll it lock-free.
+  std::deque<std::pair<TaskFn, void *>> Tasks;
+  std::atomic<size_t> TasksPending{0};
+
+  // Current region description (stable between ClaimWord publications).
   JobFn JobBody = nullptr;
   void *JobCtx = nullptr;
   int64_t JobBegin = 0;
   int64_t JobEnd = 0;
+  int64_t ChunkSize = 0;
+  int64_t NumChunks = 0;
 
   std::atomic<uint64_t> Barriers{0};
 };

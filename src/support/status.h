@@ -47,24 +47,38 @@ constexpr const char *statusCodeName(StatusCode Code) {
 /// An error code plus a human-readable message. Default-constructed status
 /// is success; evaluates to true in boolean context when ok. [[nodiscard]]
 /// so silently dropping an error at a call site is a compile-time warning.
+///
+/// Statuses are plain values: copyable, movable, and safe to pass across
+/// threads (api::Event::wait() returns the submission's Status to any
+/// number of concurrent waiters).
 class [[nodiscard]] Status {
 public:
+  /// \brief Success.
   Status() = default;
+  /// \brief Builds a status from a code and message; prefer the ok() /
+  /// error() factories at call sites.
   Status(StatusCode Code, std::string Message)
       : Code(Code), Message(std::move(Message)) {}
 
+  /// \brief The success value.
   static Status ok() { return Status(); }
+  /// \brief An error with \p Code (must not be Ok) and \p Message.
   static Status error(StatusCode Code, std::string Message) {
     assert(Code != StatusCode::Ok && "error status needs a non-ok code");
     return Status(Code, std::move(Message));
   }
 
+  /// \brief True on success.
   bool isOk() const { return Code == StatusCode::Ok; }
+  /// \brief Boolean shorthand for isOk().
   explicit operator bool() const { return isOk(); }
 
+  /// \brief The error taxonomy bucket (Ok on success).
   StatusCode code() const { return Code; }
+  /// \brief Human-readable detail; empty on success.
   const std::string &message() const { return Message; }
 
+  /// \brief "ok" or "<code name>: <message>", for logs and test output.
   std::string toString() const {
     if (isOk())
       return "ok";
@@ -81,34 +95,45 @@ private:
 /// read either value() or status().
 template <typename T> class Expected {
 public:
+  /// \brief Success: wraps \p Value.
   /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /// \brief Failure: wraps a non-ok \p Err.
   /*implicit*/ Expected(Status Err) : Err(std::move(Err)) {
     assert(!this->Err.isOk() && "Expected error must carry a non-ok status");
   }
 
+  /// \brief True when a value is present (the call succeeded).
   bool hasValue() const { return Value.has_value(); }
+  /// \brief Boolean shorthand for hasValue().
   explicit operator bool() const { return hasValue(); }
 
+  /// \brief The wrapped value; asserts when this holds an error.
   T &value() {
     assert(hasValue() && "value() on an error Expected");
     return *Value;
   }
+  /// \copydoc value()
   const T &value() const {
     assert(hasValue() && "value() on an error Expected");
     return *Value;
   }
+  /// \brief Dereference shorthand for value().
   T &operator*() { return value(); }
+  /// \copydoc operator*()
   const T &operator*() const { return value(); }
+  /// \brief Member access into the wrapped value.
   T *operator->() { return &value(); }
+  /// \copydoc operator->()
   const T *operator->() const { return &value(); }
 
-  /// Moves the value out (the Expected is left in a consumed state).
+  /// \brief Moves the value out (the Expected is left in a consumed
+  /// state).
   T takeValue() {
     assert(hasValue() && "takeValue() on an error Expected");
     return std::move(*Value);
   }
 
-  /// The error status; Status::ok() when a value is present.
+  /// \brief The error status; Status::ok() when a value is present.
   const Status &status() const { return Err; }
 
 private:

@@ -14,7 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <numeric>
+#include <thread>
 
 using namespace gc;
 using namespace gc::runtime;
@@ -94,6 +97,95 @@ TEST(AlignedBuffer, MoveTransfersOwnership) {
   EXPECT_TRUE(A.empty());
 }
 
+TEST(ThreadPool, SubmitTaskRunsEveryTaskOnce) {
+  ThreadPool Pool(4);
+  constexpr int N = 64;
+  std::vector<std::atomic<int>> Hits(N);
+  struct Ctx {
+    std::atomic<int> *Slot;
+  };
+  std::vector<Ctx> Ctxs(N);
+  for (int I = 0; I < N; ++I) {
+    Ctxs[static_cast<size_t>(I)].Slot = &Hits[static_cast<size_t>(I)];
+    Pool.submitTask(
+        [](void *C) { static_cast<Ctx *>(C)->Slot->fetch_add(1); },
+        &Ctxs[static_cast<size_t>(I)]);
+  }
+  // Drain: helping is allowed from any thread.
+  while (Pool.tryRunOneTask()) {
+  }
+  for (int Spin = 0; Spin < 5000; ++Spin) {
+    bool AllDone = true;
+    for (const auto &H : Hits)
+      if (H.load() == 0)
+        AllDone = false;
+    if (AllDone)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (const auto &H : Hits)
+    ASSERT_EQ(H.load(), 1);
+  EXPECT_EQ(Pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsTasksInline) {
+  ThreadPool Pool(1);
+  int Ran = 0;
+  Pool.submitTask([](void *C) { ++*static_cast<int *>(C); }, &Ran);
+  EXPECT_EQ(Ran, 1) << "no spawned workers: task must run inline";
+  EXPECT_FALSE(Pool.tryRunOneTask());
+}
+
+TEST(ThreadPool, TaskBodiesRunAsWorkerContext) {
+  // Inside a task, onWorkerThread() is set and a nested parallelFor runs
+  // inline serially with ThreadId 0 — full coverage, no deadlock.
+  ThreadPool Pool(2);
+  struct Ctx {
+    ThreadPool *Pool;
+    std::atomic<int> Count{0};
+    std::atomic<bool> OnWorker{false};
+    std::atomic<bool> TidZeroOnly{true};
+    std::atomic<bool> Done{false};
+  } C;
+  C.Pool = &Pool;
+  EXPECT_FALSE(ThreadPool::onWorkerThread());
+  Pool.submitTask(
+      [](void *Raw) {
+        auto *C = static_cast<Ctx *>(Raw);
+        C->OnWorker = ThreadPool::onWorkerThread();
+        C->Pool->parallelFor(0, 37, [&](int64_t, int Tid) {
+          if (Tid != 0)
+            C->TidZeroOnly = false;
+          C->Count.fetch_add(1);
+        });
+        C->Done = true;
+      },
+      &C);
+  while (Pool.tryRunOneTask()) {
+  }
+  for (int Spin = 0; Spin < 5000 && !C.Done.load(); ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(C.Done.load());
+  EXPECT_TRUE(C.OnWorker.load());
+  EXPECT_TRUE(C.TidZeroOnly.load());
+  EXPECT_EQ(C.Count.load(), 37);
+}
+
+TEST(ThreadPool, ForkJoinStillCompletesWhileTasksAreQueued) {
+  ThreadPool Pool(2);
+  std::atomic<int> TaskRuns{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.submitTask(
+        [](void *C) { static_cast<std::atomic<int> *>(C)->fetch_add(1); },
+        &TaskRuns);
+  std::atomic<int> Iters{0};
+  Pool.parallelFor(0, 100, [&](int64_t, int) { Iters.fetch_add(1); });
+  EXPECT_EQ(Iters.load(), 100);
+  for (int Spin = 0; Spin < 5000 && TaskRuns.load() < 8; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(TaskRuns.load(), 8);
+}
+
 TEST(BumpArena, SequentialAllocationsDisjoint) {
   BumpArena Arena(4096);
   char *P1 = static_cast<char *>(Arena.allocate(100));
@@ -104,6 +196,42 @@ TEST(BumpArena, SequentialAllocationsDisjoint) {
   Arena.reset();
   char *P3 = static_cast<char *>(Arena.allocate(50));
   EXPECT_EQ(P3, P1) << "reset must recycle from the start";
+}
+
+TEST(PlanArena, ZeroSizePlanAllocatesNothing) {
+  PlanArena Arena;
+  EXPECT_EQ(Arena.capacity(), 0u);
+  Arena.ensure(0);
+  EXPECT_EQ(Arena.capacity(), 0u);
+  EXPECT_EQ(Arena.at(0), nullptr); // zero-size intermediates: valid plan
+}
+
+TEST(PlanArena, OffsetsKeepAlignment) {
+  PlanArena Arena;
+  Arena.ensure(1000);
+  ASSERT_GE(Arena.capacity(), 1000u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(0)) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(64)) % 64, 0u);
+  EXPECT_EQ(static_cast<char *>(Arena.at(128)) -
+                static_cast<char *>(Arena.at(0)),
+            128);
+}
+
+TEST(PlanArena, GrowsAcrossExecutionsAndNeverShrinks) {
+  PlanArena Arena;
+  Arena.ensure(128);
+  const size_t Small = Arena.capacity();
+  ASSERT_GE(Small, 128u);
+  // Second execution with a bigger plan: grow.
+  Arena.ensure(4096);
+  ASSERT_GE(Arena.capacity(), 4096u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(0)) % 64, 0u);
+  // Back to a small plan: capacity is retained (grow-only recycling).
+  const size_t Big = Arena.capacity();
+  Arena.ensure(64);
+  EXPECT_EQ(Arena.capacity(), Big);
+  // Grown region is writable end to end.
+  std::memset(Arena.at(0), 0x5a, Big);
 }
 
 TEST(TensorData, ShapeAndBytes) {

@@ -44,12 +44,15 @@ inline double minMeasureTime() {
 }
 
 /// Measures steady-state seconds/iteration of \p Fn (after \p Warmup
-/// calls), adapting the iteration count to the time budget.
+/// calls), adapting the iteration count to the time budget —
+/// GC_BENCH_MIN_TIME by default, or \p Budget seconds when >= 0 (cases
+/// that take many measurements per run cap their own budget).
 inline double measureSeconds(const std::function<void()> &Fn,
-                             int Warmup = 1) {
+                             int Warmup = 1, double Budget = -1.0) {
   for (int I = 0; I < Warmup; ++I)
     Fn();
-  const double Budget = minMeasureTime();
+  if (Budget < 0)
+    Budget = minMeasureTime();
   int Iters = 0;
   Timer T;
   do {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Dynamic-batch (batch-polymorphic) bench gate for CI.
+
+Runs bench_smoke and checks the dynbatch_* cases, which sweep batch sizes
+through ONE polymorphic compiled graph and report, per batch:
+
+  cold_us     first execution at that batch's bucket (pays the lazy
+              specialization compile)
+  us_per_iter steady-state execution served from the specialization cache
+  exact_us    steady-state execution of a freshly compiled exact-shape
+              graph (the oracle for what the work itself costs)
+  batch/bucket  the concrete batch and the bucket it rounded to
+
+The gate fails when:
+
+  * a warm bucket-cache hit is NOT at least --min-cold-speedup (default
+    5x) faster than the cold per-shape compile+execute — the whole point
+    of the cache is amortizing compiles away; or
+  * a bucket-exact batch (batch == bucket, no padding) is more than
+    --max-regression (default 5%) slower than the exact-shape oracle —
+    the polymorphic indirection must cost nothing once resolved; or
+  * a padded batch exceeds the oracle scaled by bucket/batch (the padded
+    rows are real work) by more than --max-padded-regression (default
+    15%, looser because the padded and exact compiles legitimately pick
+    different loop blockings).
+
+Per-case timings keep the MEDIAN across --repeats runs so one noisy run
+on a shared host cannot fail the gate.
+
+Usage:
+  python3 scripts/compare_dynbatch_bench.py --bench build/bench/bench_smoke \
+      --out bench-dynbatch-compare.json [--min-time 0.2] [--repeats 3] \
+      [--min-cold-speedup 5.0] [--max-regression 0.05] \
+      [--max-padded-regression 0.15]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+# Absolute floor added to every bound: at a few microseconds per
+# iteration, percentage gates alone would flag scheduler jitter.
+ABS_SLACK_US = 2.0
+
+
+def run_bench(bench, min_time, repeats):
+    """Runs the bench `repeats` times; returns {case: record} with the
+    median of each timing field."""
+    samples = {}
+    records = {}
+    for _ in range(repeats):
+        env = dict(os.environ)
+        # The dedicated knob reaches the dynbatch sweep directly; the
+        # other ~25 cases in the binary are measured-and-discarded by
+        # this gate, so push their budget to the floor instead of paying
+        # --min-time for output nobody reads.
+        env.setdefault("GC_BENCH_DYNBATCH_MIN_TIME", str(min_time))
+        env.setdefault("GC_BENCH_MIN_TIME", "0.01")
+        out = subprocess.run([bench], env=env, check=True,
+                             capture_output=True, text=True).stdout
+        for line in out.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            name = rec.get("bench", "")
+            if not name.startswith("dynbatch_"):
+                continue
+            if "error" in rec:
+                raise SystemExit(f"bench case {name} failed: {rec['error']}")
+            records[name] = rec
+            for field in ("cold_us", "us_per_iter", "exact_us"):
+                samples.setdefault(name, {}).setdefault(field,
+                                                        []).append(rec[field])
+    for name, fields in samples.items():
+        for field, vals in fields.items():
+            records[name][field] = statistics.median(vals)
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--min-time", type=float, default=0.2)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--min-cold-speedup", type=float, default=5.0)
+    ap.add_argument("--max-regression", type=float, default=0.05)
+    ap.add_argument("--max-padded-regression", type=float, default=0.15)
+    args = ap.parse_args()
+
+    records = run_bench(args.bench, args.min_time, args.repeats)
+    if not records:
+        raise SystemExit("no dynbatch_* cases in bench output")
+
+    failures = []
+    report = []
+    for name in sorted(records):
+        rec = records[name]
+        warm, cold, exact = rec["us_per_iter"], rec["cold_us"], rec["exact_us"]
+        batch, bucket = rec["batch"], rec["bucket"]
+        padded = bucket != batch
+
+        cold_speedup = cold / warm if warm > 0 else float("inf")
+        if cold_speedup < args.min_cold_speedup and \
+                warm > cold / args.min_cold_speedup + ABS_SLACK_US:
+            failures.append(
+                f"{name}: warm bucket hit ({warm:.2f}us) is only "
+                f"{cold_speedup:.1f}x faster than the cold compile+execute "
+                f"({cold:.2f}us); required {args.min_cold_speedup:.1f}x")
+
+        if exact > 0:
+            if padded:
+                # Padded rows are genuine extra work: scale the oracle.
+                bound = exact * (bucket / batch) * \
+                    (1.0 + args.max_padded_regression) + ABS_SLACK_US
+                kind = (f"padded oracle {exact:.2f}us x {bucket}/{batch}"
+                        f" (+{args.max_padded_regression:.0%})")
+            else:
+                bound = exact * (1.0 + args.max_regression) + ABS_SLACK_US
+                kind = f"exact oracle {exact:.2f}us (+{args.max_regression:.0%})"
+            if warm > bound:
+                failures.append(
+                    f"{name}: warm execution {warm:.2f}us exceeds {kind}"
+                    f" = {bound:.2f}us")
+
+        report.append({
+            "bench": name, "batch": batch, "bucket": bucket,
+            "padded": padded, "cold_us": cold, "warm_us": warm,
+            "exact_us": exact,
+            "cold_speedup": round(cold_speedup, 2),
+            "warm_vs_exact": round(warm / exact, 4) if exact > 0 else None,
+        })
+
+    with open(args.out, "w") as f:
+        json.dump({"cases": report, "failures": failures}, f, indent=2)
+        f.write("\n")
+
+    for entry in report:
+        print(json.dumps(entry))
+    if failures:
+        print("\nDYNBATCH BENCH GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\ndynbatch gate OK: {len(report)} cases "
+          f"(report: {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,17 @@ Expected<std::vector<PartitionSpec>>
 Partitioner::partition(bool SplitIndependent) const {
   const std::vector<int64_t> Topo = G.topologicalOrder();
 
+  // Dynamic-batch graphs partition like static ones: every grouping
+  // decision here is shape-independent (op kinds, permutations, ranks,
+  // constness), so a polymorphic graph and each of its batch
+  // specializations produce identical partition structures — which is
+  // what lets Session screen a dynamic graph once and reuse the verdict
+  // for every bucket. The one shape-sensitive invariant — the fold
+  // (constant) side never touches a dynamic tensor, since its values are
+  // computed once for all batches — holds because Graph::validate()
+  // rejects dynamic constants and fold-side admission below requires
+  // all-constant inputs.
+
   // Fold-side ops (all transitive inputs constant, not producing a graph
   // output) are compilable regardless of kind: the lowering driver routes
   // them to the fold graph, where the reference executor handles any op —

@@ -51,10 +51,14 @@ void StreamState::releaseArena(std::unique_ptr<runtime::PlanArena> Arena) {
 
 namespace {
 
-/// Checks one caller tensor against the graph-boundary metadata.
+/// Checks one caller tensor against the graph-boundary metadata. With
+/// \p Batch (polymorphic graphs), metadata dimensions equal to
+/// LogicalTensor::kDynamicDim accept any positive extent but must agree
+/// on one value across the whole execution, accumulated into *Batch
+/// (pass -1 initially); without it, shapes must match exactly.
 Status checkBoundaryTensor(const runtime::TensorData *T,
                            const LogicalTensor &Meta, const char *What,
-                           size_t Index) {
+                           size_t Index, int64_t *Batch = nullptr) {
   if (!T || !T->valid())
     return Status::error(StatusCode::InvalidArgument,
                          formatString("%s %zu is null", What, Index));
@@ -64,12 +68,40 @@ Status checkBoundaryTensor(const runtime::TensorData *T,
         formatString("%s %zu dtype mismatch: got %s, expected %s", What,
                      Index, dataTypeName(T->dtype()),
                      dataTypeName(Meta.Ty)));
-  if (T->shape() != Meta.Shape)
+  // Built only on the failing branches: this helper runs per boundary
+  // tensor on every execution, and the formatting allocates.
+  auto shapeErr = [&] {
     return Status::error(
         StatusCode::InvalidArgument,
         formatString("%s %zu shape mismatch: got %s, expected %s", What,
                      Index, shapeToString(T->shape()).c_str(),
                      shapeToString(Meta.Shape).c_str()));
+  };
+  if (!Batch)
+    return T->shape() == Meta.Shape ? Status::ok() : shapeErr();
+  if (T->rank() != Meta.rank())
+    return shapeErr();
+  for (size_t D = 0; D < Meta.Shape.size(); ++D) {
+    const int64_t Want = Meta.Shape[D];
+    const int64_t Got = T->shape()[D];
+    if (Want == LogicalTensor::kDynamicDim) {
+      if (Got <= 0)
+        return Status::error(
+            StatusCode::InvalidArgument,
+            formatString("%s %zu has non-positive batch %lld", What,
+                         Index, (long long)Got));
+      if (*Batch < 0)
+        *Batch = Got;
+      else if (Got != *Batch)
+        return Status::error(
+            StatusCode::InvalidArgument,
+            formatString("%s %zu batch mismatch: got %lld, but another "
+                         "dynamic tensor of this execution is batch %lld",
+                         What, Index, (long long)Got, (long long)*Batch));
+    } else if (Got != Want) {
+      return shapeErr();
+    }
+  }
   return Status::ok();
 }
 
@@ -99,6 +131,39 @@ Status Submission::validateBoundary(
         !S.isOk())
       return S;
   return Status::ok();
+}
+
+Expected<int64_t> Submission::resolveDynamicBatch(
+    const CompiledGraph &CG,
+    const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) {
+  if (Inputs.size() != CG.InputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("input arity mismatch: got %zu, expected %zu",
+                     Inputs.size(), CG.InputIds.size()));
+  if (Outputs.size() != CG.OutputIds.size())
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("output arity mismatch: got %zu, expected %zu",
+                     Outputs.size(), CG.OutputIds.size()));
+  int64_t Batch = -1;
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    if (Status S =
+            checkBoundaryTensor(Inputs[I], CG.InputMeta[I], "input", I,
+                                &Batch);
+        !S.isOk())
+      return S;
+  for (size_t I = 0; I < Outputs.size(); ++I)
+    if (Status S = checkBoundaryTensor(Outputs[I], CG.OutputMeta[I],
+                                       "output", I, &Batch);
+        !S.isOk())
+      return S;
+  if (Batch < 0)
+    return Status::error(
+        StatusCode::Internal,
+        "polymorphic graph bound no dynamic tensor to read the batch from");
+  return Batch;
 }
 
 Status Submission::runPartition(

@@ -98,6 +98,15 @@ struct Submission {
       const std::vector<runtime::TensorData *> &Inputs,
       const std::vector<runtime::TensorData *> &Outputs);
 
+  /// Polymorphic-graph boundary validation: static dimensions must match
+  /// the metadata exactly, dynamic (batch) dimensions must agree on one
+  /// concrete extent across every bound input and output. Returns that
+  /// extent — the batch the execution specializes for.
+  static Expected<int64_t> resolveDynamicBatch(
+      const CompiledGraph &CG,
+      const std::vector<runtime::TensorData *> &Inputs,
+      const std::vector<runtime::TensorData *> &Outputs);
+
   /// Runs partition \p I of \p CG on the calling thread with the given
   /// resolved arguments (compiled -> CompiledPartition::execute, fallback
   /// -> reference interpreter). Shared by the serial path and the

@@ -7,12 +7,62 @@
 #include "support/str.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 namespace gc {
 namespace api {
 
 using namespace graph;
+
+namespace detail {
+
+/// Shared compile-side state behind a Session: options, the execution
+/// thread pool, and the compiled-partition cache (positive and negative).
+/// Held by shared_ptr so batch-polymorphic CompiledGraphs can keep
+/// compiling specializations — through the same cache and statistics —
+/// after the Session object itself is gone.
+struct SessionState {
+  core::CompileOptions Opts;
+  std::shared_ptr<runtime::ThreadPool> Pool;
+
+  mutable std::mutex CacheMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<core::CompiledPartition>>
+      Cache;
+  /// Negative cache: subgraph fingerprints the compiler already rejected
+  /// as Unsupported, each stored with the rejected subgraph's boundary
+  /// signature. Later compiles demote straight to fallback without
+  /// re-running the pass pipeline — but only when the signature agrees,
+  /// so a fingerprint collision with an unsupported subgraph cannot
+  /// silently demote a compilable partition forever.
+  std::unordered_map<uint64_t, std::vector<int64_t>> UnsupportedKeys;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+
+  /// The compile pipeline behind Session::compile(); static over a
+  /// shared_ptr because polymorphic CompiledGraphs re-enter it for their
+  /// specializations.
+  static Expected<CompiledGraphPtr>
+  compile(const std::shared_ptr<SessionState> &State, const Graph &G);
+};
+
+std::vector<int64_t> boundarySignature(const Graph &G) {
+  std::vector<int64_t> Sig;
+  auto add = [&](const std::vector<int64_t> &Ids) {
+    Sig.push_back(static_cast<int64_t>(Ids.size()));
+    for (int64_t Id : Ids) {
+      const LogicalTensor &T = G.tensor(Id);
+      Sig.push_back(static_cast<int64_t>(T.Ty));
+      Sig.push_back(T.rank());
+      Sig.insert(Sig.end(), T.Shape.begin(), T.Shape.end());
+    }
+  };
+  add(G.inputs());
+  add(G.outputs());
+  return Sig;
+}
+
+} // namespace detail
 
 namespace {
 
@@ -67,6 +117,84 @@ std::vector<std::vector<int64_t>> CompiledGraph::outputShapes() const {
   for (const LogicalTensor &T : OutputMeta)
     Shapes.push_back(T.Shape);
   return Shapes;
+}
+
+size_t CompiledGraph::numSpecializations() const {
+  std::lock_guard<std::mutex> Lock(SpecMutex);
+  return Specs.size();
+}
+
+std::vector<int64_t> CompiledGraph::specializationBuckets() const {
+  std::lock_guard<std::mutex> Lock(SpecMutex);
+  std::vector<int64_t> Buckets;
+  Buckets.reserve(Specs.size());
+  for (const Specialization &S : Specs)
+    Buckets.push_back(S.Bucket);
+  return Buckets;
+}
+
+std::shared_ptr<CompiledGraph>
+CompiledGraph::cachedSpecializationFor(int64_t Batch) const {
+  if (!Polymorphic || Batch <= 0)
+    return nullptr;
+  const int64_t Bucket = core::batchBucket(Batch, Bucketing);
+  std::lock_guard<std::mutex> Lock(SpecMutex);
+  for (const Specialization &S : Specs)
+    if (S.Bucket == Bucket)
+      return S.CG;
+  return nullptr;
+}
+
+Expected<std::shared_ptr<CompiledGraph>>
+CompiledGraph::specializationForBucket(int64_t Bucket) const {
+  std::unique_lock<std::mutex> Lock(SpecMutex);
+  for (;;) {
+    ++SpecClock;
+    for (Specialization &S : Specs)
+      if (S.Bucket == Bucket) {
+        S.LastUse = SpecClock;
+        SpecHits.fetch_add(1);
+        return S.CG;
+      }
+    // Another thread is compiling this bucket: wait for it and re-check
+    // (on its failure we retry the compile ourselves).
+    const bool InFlight =
+        std::find(InFlightBuckets.begin(), InFlightBuckets.end(),
+                  Bucket) != InFlightBuckets.end();
+    if (!InFlight)
+      break;
+    SpecCv.wait(Lock);
+  }
+  // Compile OUTSIDE the lock — a cold batch size must not stall warm
+  // hits on other buckets — with the bucket marked in flight so
+  // concurrent first executions of it still compile exactly once.
+  InFlightBuckets.push_back(Bucket);
+  SpecMisses.fetch_add(1);
+  Lock.unlock();
+
+  Expected<Graph> SpecGraphOr = core::specializeForBatch(SourceG, Bucket);
+  Expected<CompiledGraphPtr> CompiledOr =
+      SpecGraphOr ? detail::SessionState::compile(Sess, *SpecGraphOr)
+                  : Expected<CompiledGraphPtr>(SpecGraphOr.status());
+
+  Lock.lock();
+  InFlightBuckets.erase(std::find(InFlightBuckets.begin(),
+                                  InFlightBuckets.end(), Bucket));
+  SpecCv.notify_all();
+  if (!CompiledOr)
+    return CompiledOr.status();
+  // LRU eviction under the cap: drop the stalest bucket. The evicted
+  // specialization stays alive for any execution currently holding its
+  // shared_ptr.
+  if (Specs.size() >= SpecCap) {
+    size_t Oldest = 0;
+    for (size_t I = 1; I < Specs.size(); ++I)
+      if (Specs[I].LastUse < Specs[Oldest].LastUse)
+        Oldest = I;
+    Specs.erase(Specs.begin() + static_cast<ptrdiff_t>(Oldest));
+  }
+  Specs.push_back({Bucket, *CompiledOr, SpecClock});
+  return *CompiledOr;
 }
 
 Status CompiledGraph::buildExecutionPlan() {
@@ -224,41 +352,105 @@ Status CompiledGraph::buildExecutionPlan() {
 // Session
 //===----------------------------------------------------------------------===//
 
-Session::Session(core::CompileOptions Opts) : Opts(std::move(Opts)) {
-  if (this->Opts.Threads > 0)
-    Pool = std::make_shared<runtime::ThreadPool>(this->Opts.Threads);
+Session::Session(core::CompileOptions Opts)
+    : State(std::make_shared<detail::SessionState>()) {
+  State->Opts = std::move(Opts);
+  if (State->Opts.Threads > 0)
+    State->Pool =
+        std::make_shared<runtime::ThreadPool>(State->Opts.Threads);
   else
-    Pool = core::globalThreadPool();
+    State->Pool = core::globalThreadPool();
 }
+
+const core::CompileOptions &Session::options() const { return State->Opts; }
+
+runtime::ThreadPool &Session::threadPool() const { return *State->Pool; }
 
 size_t Session::cacheSize() const {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  return Cache.size();
+  std::lock_guard<std::mutex> Lock(State->CacheMutex);
+  return State->Cache.size();
 }
 
+uint64_t Session::cacheHits() const { return State->Hits.load(); }
+
+uint64_t Session::cacheMisses() const { return State->Misses.load(); }
+
 void Session::clearCache() {
-  std::lock_guard<std::mutex> Lock(CacheMutex);
-  Cache.clear();
-  UnsupportedKeys.clear();
+  std::lock_guard<std::mutex> Lock(State->CacheMutex);
+  State->Cache.clear();
+  State->UnsupportedKeys.clear();
+}
+
+void Session::injectUnsupportedKeyForTesting(uint64_t Key,
+                                             const Graph &Boundary) {
+  std::lock_guard<std::mutex> Lock(State->CacheMutex);
+  State->UnsupportedKeys.insert_or_assign(
+      Key, detail::boundarySignature(Boundary));
 }
 
 Stream Session::stream() {
-  auto State = std::make_shared<detail::StreamState>();
-  State->Pool = Pool;
-  State->AsyncExec = Opts.AsyncExec;
-  return Stream(std::move(State));
+  auto StreamSt = std::make_shared<detail::StreamState>();
+  StreamSt->Pool = State->Pool;
+  StreamSt->AsyncExec = State->Opts.AsyncExec;
+  return Stream(std::move(StreamSt));
 }
 
 Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
+  return detail::SessionState::compile(State, G);
+}
+
+Expected<CompiledGraphPtr>
+detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
+                              const Graph &G) {
   // Always re-validate, finalized or not: the mutable op()/tensor()
   // accessors can invalidate a graph without clearing the finalized flag,
   // and validation is trivially cheap next to fingerprinting/compiling.
   if (const Status S = G.validate(); !S.isOk())
     return S;
 
+  // Dynamic-batch graphs become polymorphic shells: partition now (so
+  // structural problems surface at compile() time, not first execution),
+  // specialize and compile lazily per batch bucket at execution time.
+  if (G.hasDynamicDims()) {
+    Partitioner ScreenP(G);
+    Expected<std::vector<PartitionSpec>> ScreenOr =
+        ScreenP.partition(State->Opts.SplitIndependentPartitions);
+    if (!ScreenOr)
+      return ScreenOr.status();
+
+    auto CG = std::make_shared<CompiledGraph>();
+    CG->Polymorphic = true;
+    // clone(WithConstData) deep-copies every constant payload into owned
+    // storage (even payloads the caller attached as views), so the shell
+    // can outlive the caller's graph.
+    CG->SourceG = G.clone(/*WithConstData=*/true);
+    CG->Sess = State;
+    CG->Bucketing = State->Opts.Bucketing;
+    CG->SpecCap =
+        static_cast<size_t>(std::max(1, State->Opts.SpecCacheCap));
+    CG->InputIds = G.inputs();
+    CG->OutputIds = G.outputs();
+    for (size_t I = 0; I < CG->InputIds.size(); ++I) {
+      CG->InputMeta.push_back(G.tensor(CG->InputIds[I]));
+      if (CG->InputMeta.back().hasDynamicBatch())
+        CG->DynamicInputs.push_back(I);
+    }
+    for (size_t I = 0; I < CG->OutputIds.size(); ++I) {
+      CG->OutputMeta.push_back(G.tensor(CG->OutputIds[I]));
+      if (CG->OutputMeta.back().hasDynamicBatch())
+        CG->DynamicOutputs.push_back(I);
+    }
+    if (CG->DynamicInputs.empty())
+      return Status::error(
+          StatusCode::InvalidGraph,
+          "dynamic-batch graph has no dynamic graph input to read the "
+          "concrete batch from");
+    return CG;
+  }
+
   Partitioner P(G);
   Expected<std::vector<PartitionSpec>> SpecsOr =
-      P.partition(Opts.SplitIndependentPartitions);
+      P.partition(State->Opts.SplitIndependentPartitions);
   if (!SpecsOr)
     return SpecsOr.status();
 
@@ -285,25 +477,39 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
     CompiledGraph::Part Part;
     if (Spec.Kind == PartitionKind::Compiled) {
       const uint64_t Key = Spec.Subgraph.fingerprint();
+      // Filled only off the positive-hit path: warm compiles must not pay
+      // a per-partition signature allocation for a value they never read.
+      std::vector<int64_t> Sig;
       bool KnownUnsupported = false;
       {
-        std::lock_guard<std::mutex> Lock(CacheMutex);
-        auto It = Cache.find(Key);
-        if (It != Cache.end() && boundaryMatches(Spec.Subgraph, *It->second)) {
-          Hits.fetch_add(1);
+        std::lock_guard<std::mutex> Lock(State->CacheMutex);
+        auto It = State->Cache.find(Key);
+        if (It != State->Cache.end() &&
+            boundaryMatches(Spec.Subgraph, *It->second)) {
+          State->Hits.fetch_add(1);
           Part.Compiled = It->second;
-        } else if (UnsupportedKeys.count(Key)) {
-          KnownUnsupported = true;
+        } else {
+          // Miss path: the signature is needed here (negative-cache
+          // guard) and by the Unsupported insert below.
+          Sig = boundarySignature(Spec.Subgraph);
+          // The signature guard mirrors boundaryMatches() on the positive
+          // path: a bare fingerprint match with a previously rejected
+          // subgraph is not proof this one is unsupported — without it, a
+          // collision would demote a compilable partition to the
+          // interpreter forever.
+          if (auto UIt = State->UnsupportedKeys.find(Key);
+              UIt != State->UnsupportedKeys.end() && UIt->second == Sig)
+            KnownUnsupported = true;
         }
       }
       if (KnownUnsupported) {
         Spec.Kind = PartitionKind::Fallback;
       } else if (!Part.Compiled) {
-        Misses.fetch_add(1);
+        State->Misses.fetch_add(1);
         Expected<std::shared_ptr<core::CompiledPartition>> CompiledOr =
-            core::compilePartition(Spec.Subgraph, Opts, Pool);
+            core::compilePartition(Spec.Subgraph, State->Opts, State->Pool);
         if (CompiledOr) {
-          std::lock_guard<std::mutex> Lock(CacheMutex);
+          std::lock_guard<std::mutex> Lock(State->CacheMutex);
           // Keep the first entry when two threads raced on the same key so
           // later compiles observe one canonical partition — but only when
           // that entry really is the same subgraph. On a fingerprint
@@ -311,7 +517,7 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
           // serve the freshly compiled one uncached instead of executing
           // the colliding entry's code.
           const auto [It, Inserted] =
-              Cache.try_emplace(Key, CompiledOr.value());
+              State->Cache.try_emplace(Key, CompiledOr.value());
           Part.Compiled = Inserted ||
                                   boundaryMatches(Spec.Subgraph, *It->second)
                               ? It->second
@@ -319,10 +525,11 @@ Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
         } else if (CompiledOr.status().code() == StatusCode::Unsupported) {
           // The partitioner's static screen was too optimistic; run this
           // partition on the interpreter instead of failing the graph, and
-          // remember the verdict so identical subgraphs skip the attempt.
+          // remember the verdict (keyed with the boundary signature) so
+          // identical subgraphs skip the attempt.
           Spec.Kind = PartitionKind::Fallback;
-          std::lock_guard<std::mutex> Lock(CacheMutex);
-          UnsupportedKeys.insert(Key);
+          std::lock_guard<std::mutex> Lock(State->CacheMutex);
+          State->UnsupportedKeys.try_emplace(Key, Sig);
         } else {
           return CompiledOr.status();
         }
@@ -381,6 +588,11 @@ Status Stream::execute(const CompiledGraph &CG,
                        const std::vector<runtime::TensorData *> &Inputs,
                        const std::vector<runtime::TensorData *> &Outputs)
     const {
+  // Batch-polymorphic shells resolve to a static specialization first
+  // (with their own dynamic-aware boundary validation).
+  if (CG.Polymorphic)
+    return executePolymorphic(CG, Inputs, Outputs);
+
   if (Status S = detail::Submission::validateBoundary(CG, Inputs, Outputs);
       !S.isOk())
     return S;
@@ -434,6 +646,65 @@ Status Stream::execute(const CompiledGraph &CG,
   return Result;
 }
 
+Status Stream::executePolymorphic(
+    const CompiledGraph &CG,
+    const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) const {
+  Expected<int64_t> BatchOr =
+      detail::Submission::resolveDynamicBatch(CG, Inputs, Outputs);
+  if (!BatchOr)
+    return BatchOr.status();
+  const int64_t Batch = *BatchOr;
+  const int64_t Bucket = core::batchBucket(Batch, CG.Bucketing);
+  Expected<CompiledGraphPtr> SpecOr = CG.specializationForBucket(Bucket);
+  if (!SpecOr)
+    return SpecOr.status();
+  return executeResolved(CG, **SpecOr, Batch, Bucket, Inputs, Outputs);
+}
+
+Status Stream::executeResolved(
+    const CompiledGraph &CG, const CompiledGraph &Spec, int64_t Batch,
+    int64_t Bucket, const std::vector<runtime::TensorData *> &Inputs,
+    const std::vector<runtime::TensorData *> &Outputs) const {
+  // Bucket-exact batches bind the caller tensors directly.
+  if (Bucket == Batch)
+    return execute(Spec, Inputs, Outputs);
+
+  // Padded execution: dynamic inputs are copied into zero-padded
+  // bucket-sized buffers, dynamic outputs computed into bucket-sized
+  // buffers and row-clipped back. The dim-0 flow rules enforced at
+  // validation make every output row a function of the matching input
+  // rows only, so the clipped rows are bit-identical to an exact-shape
+  // compile; the zero rows beyond the batch never feed them.
+  std::vector<runtime::TensorData> PaddedIn, PaddedOut;
+  PaddedIn.reserve(CG.DynamicInputs.size());
+  PaddedOut.reserve(CG.DynamicOutputs.size());
+  std::vector<runtime::TensorData *> Ins = Inputs, Outs = Outputs;
+  for (size_t Idx : CG.DynamicInputs) {
+    const runtime::TensorData *Src = Inputs[Idx];
+    std::vector<int64_t> Shape = Src->shape();
+    Shape[0] = Bucket;
+    PaddedIn.emplace_back(Src->dtype(), std::move(Shape)); // zero-filled
+    std::memcpy(PaddedIn.back().data(), Src->data(),
+                static_cast<size_t>(Src->numBytes()));
+    Ins[Idx] = &PaddedIn.back();
+  }
+  for (size_t Idx : CG.DynamicOutputs) {
+    std::vector<int64_t> Shape = Outputs[Idx]->shape();
+    Shape[0] = Bucket;
+    PaddedOut.emplace_back(Outputs[Idx]->dtype(), std::move(Shape));
+    Outs[Idx] = &PaddedOut.back();
+  }
+  if (Status S = execute(Spec, Ins, Outs); !S.isOk())
+    return S;
+  for (size_t I = 0; I < CG.DynamicOutputs.size(); ++I) {
+    runtime::TensorData *Dst = Outputs[CG.DynamicOutputs[I]];
+    std::memcpy(Dst->data(), PaddedOut[I].data(),
+                static_cast<size_t>(Dst->numBytes()));
+  }
+  return Status::ok();
+}
+
 Event Stream::submit(const CompiledGraphPtr &CG,
                      const std::vector<runtime::TensorData *> &Inputs,
                      const std::vector<runtime::TensorData *> &Outputs)
@@ -441,6 +712,25 @@ Event Stream::submit(const CompiledGraphPtr &CG,
   if (!CG)
     return Event(detail::Submission::completed(Status::error(
         StatusCode::InvalidArgument, "submit: null compiled graph")));
+  // Polymorphic shells: bucket-exact batches submit the specialization
+  // itself (fully asynchronous); padded batches run synchronously — the
+  // padded buffers live on this stack frame — and return a completed
+  // event.
+  if (CG->Polymorphic) {
+    Expected<int64_t> BatchOr =
+        detail::Submission::resolveDynamicBatch(*CG, Inputs, Outputs);
+    if (!BatchOr)
+      return Event(detail::Submission::completed(BatchOr.status()));
+    const int64_t Bucket = core::batchBucket(*BatchOr, CG->Bucketing);
+    Expected<CompiledGraphPtr> SpecOr =
+        CG->specializationForBucket(Bucket);
+    if (!SpecOr)
+      return Event(detail::Submission::completed(SpecOr.status()));
+    if (Bucket == *BatchOr)
+      return submit(*SpecOr, Inputs, Outputs);
+    return Event(detail::Submission::completed(executeResolved(
+        *CG, **SpecOr, *BatchOr, Bucket, Inputs, Outputs)));
+  }
   // Single-partition graphs have nothing to overlap: run synchronously on
   // the caller, keeping full loop-level parallelism, and return a
   // completed event (execute validates).

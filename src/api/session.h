@@ -47,6 +47,7 @@
 #include "support/status.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,14 @@ class Stream;
 namespace detail {
 struct Submission;
 struct StreamState;
+struct SessionState;
+
+/// Cheap structural signature of a subgraph boundary: input/output arity
+/// plus dtype and shape of every boundary tensor. Collision guard for the
+/// fingerprint-keyed caches — two subgraphs whose 64-bit fingerprints
+/// collide almost surely differ here, and comparing it costs nothing next
+/// to a recompile.
+std::vector<int64_t> boundarySignature(const graph::Graph &G);
 } // namespace detail
 
 /// A fully prepared executable graph: the ordered partition list with one
@@ -73,6 +82,19 @@ struct StreamState;
 /// execute from many streams/threads concurrently; overlapping
 /// submissions of the same CompiledGraph are safe (each execution leases
 /// its own ExecState and arena).
+///
+/// Graphs whose tensors carry LogicalTensor::kDynamicDim compile into a
+/// *batch-polymorphic* CompiledGraph instead: one compile() serves every
+/// batch size. Execution reads the concrete batch from the bound input
+/// buffers, rounds it to a bucket (CompileOptions::Bucketing /
+/// GC_BATCH_BUCKETS) and lazily compiles one static specialization per
+/// bucket into a thread-safe LRU cache (CompileOptions::SpecCacheCap /
+/// GC_SPEC_CACHE). A batch below its bucket executes the padded
+/// specialization on zero-padded inputs and clips the padded rows off the
+/// outputs, which the dynamic-dim validation rules make bit-identical to
+/// an exact-shape compile. Partition-level introspection
+/// (numPartitions() etc.) describes the specializations, not the
+/// polymorphic shell, which reports zero partitions until one exists.
 class CompiledGraph {
 public:
   /// \brief Number of partitions, in topological (serial execution) order.
@@ -122,10 +144,39 @@ public:
 
   /// @}
 
+  /// \name Batch-polymorphic introspection
+  /// @{
+
+  /// \brief True when this graph was compiled from a dynamic-batch source
+  /// and specializes per concrete batch at execution time.
+  bool isPolymorphic() const { return Polymorphic; }
+  /// \brief Specializations currently cached.
+  size_t numSpecializations() const;
+  /// \brief Bucket sizes currently cached, unordered.
+  std::vector<int64_t> specializationBuckets() const;
+  /// \brief The cached specialization whose bucket serves \p Batch, or
+  /// nullptr when none is cached yet (never compiles).
+  std::shared_ptr<CompiledGraph> cachedSpecializationFor(int64_t Batch) const;
+  /// \brief Executions served by an already-cached specialization.
+  uint64_t specializationHits() const { return SpecHits.load(); }
+  /// \brief Executions that had to compile a new specialization.
+  uint64_t specializationMisses() const { return SpecMisses.load(); }
+
+  /// @}
+
 private:
   friend class Session;
   friend class Stream;
   friend struct detail::Submission;
+  friend struct detail::SessionState;
+
+  /// Returns (compiling and caching if needed) the specialization for
+  /// \p Bucket. Thread-safe; a cold bucket is marked in flight and
+  /// compiled OUTSIDE the cache lock, so warm hits on other buckets are
+  /// never stalled while concurrent first executions of one bucket still
+  /// compile it exactly once.
+  Expected<std::shared_ptr<CompiledGraph>>
+  specializationForBucket(int64_t Bucket) const;
 
   struct Part {
     PartitionSpec Spec;
@@ -187,6 +238,42 @@ private:
   /// outputs), so execute() forwards the caller tensors directly instead
   /// of building a per-execution tensor environment.
   bool Direct = false;
+
+  /// \name Batch-polymorphic state (set only when Polymorphic)
+  /// @{
+
+  bool Polymorphic = false;
+  /// The dynamic-batch source graph; owns its constant payloads so
+  /// specializations can compile after the caller's graph is gone.
+  graph::Graph SourceG;
+  /// Compile-side session state (options, pool, partition cache) pinned so
+  /// specializations compile through the same cache — and keep working if
+  /// the Session object itself has been destroyed.
+  std::shared_ptr<detail::SessionState> Sess;
+  core::BatchBucketing Bucketing = core::BatchBucketing::Pow2;
+  size_t SpecCap = 16;
+  /// Graph input / output positions carrying the dynamic batch dimension.
+  std::vector<size_t> DynamicInputs;
+  std::vector<size_t> DynamicOutputs;
+
+  struct Specialization {
+    int64_t Bucket = 0;
+    std::shared_ptr<CompiledGraph> CG;
+    uint64_t LastUse = 0; ///< LRU clock value of the latest lookup
+  };
+  mutable std::mutex SpecMutex;
+  /// Signals removal from InFlightBuckets: waiters re-check the cache.
+  mutable std::condition_variable SpecCv;
+  mutable std::vector<Specialization> Specs; ///< small; linear scan
+  /// Buckets whose specialization is compiling right now, outside the
+  /// lock — so a cold batch size never blocks warm hits on other
+  /// buckets, while concurrent firsts of one bucket still compile once.
+  mutable std::vector<int64_t> InFlightBuckets;
+  mutable uint64_t SpecClock = 0;
+  mutable std::atomic<uint64_t> SpecHits{0};
+  mutable std::atomic<uint64_t> SpecMisses{0};
+
+  /// @}
 };
 
 using CompiledGraphPtr = std::shared_ptr<CompiledGraph>;
@@ -243,6 +330,24 @@ private:
   explicit Stream(std::shared_ptr<detail::StreamState> State)
       : State(std::move(State)) {}
 
+  /// Polymorphic execute(): resolves the concrete batch from the bound
+  /// inputs, fetches/compiles the bucket specialization and runs it via
+  /// executeResolved().
+  Status executePolymorphic(
+      const CompiledGraph &CG,
+      const std::vector<runtime::TensorData *> &Inputs,
+      const std::vector<runtime::TensorData *> &Outputs) const;
+
+  /// Runs an already-resolved polymorphic execution: directly for
+  /// bucket-exact batches, otherwise on zero-padded inputs with
+  /// row-clipped outputs. Shared by executePolymorphic() and the padded
+  /// submit() path (which has already resolved batch and specialization).
+  Status executeResolved(const CompiledGraph &CG, const CompiledGraph &Spec,
+                         int64_t Batch, int64_t Bucket,
+                         const std::vector<runtime::TensorData *> &Inputs,
+                         const std::vector<runtime::TensorData *> &Outputs)
+      const;
+
   std::shared_ptr<detail::StreamState> State;
 };
 
@@ -256,10 +361,20 @@ public:
   /// (0 = GC_THREADS / hardware concurrency).
   explicit Session(core::CompileOptions Opts = {});
 
+  // Internally one shared state block; copying would silently alias the
+  // compile cache and statistics, and a moved-from session would hold a
+  // null state block where every method would crash — keep sessions
+  // single-identity and pinned, exactly as when they held the mutex and
+  // cache directly.
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+  Session(Session &&) = delete;
+  Session &operator=(Session &&) = delete;
+
   /// \brief Compilation options this session applies to every compile().
-  const core::CompileOptions &options() const { return Opts; }
+  const core::CompileOptions &options() const;
   /// \brief The execution thread pool shared by this session's partitions.
-  runtime::ThreadPool &threadPool() const { return *Pool; }
+  runtime::ThreadPool &threadPool() const;
 
   /// \brief Finalizes (verifies) \p G if needed, partitions it, compiles
   /// every compilable partition — identical subgraphs are served from the
@@ -267,6 +382,12 @@ public:
   /// packed intermediate arena). Partitions the compiler rejects as
   /// unsupported are demoted to reference fallback instead of failing the
   /// compile.
+  ///
+  /// A graph carrying LogicalTensor::kDynamicDim returns a
+  /// batch-polymorphic CompiledGraph whose specializations compile lazily
+  /// at execution time, through this session's partition cache and
+  /// statistics (the polymorphic graph pins the compile-side state, so it
+  /// stays executable even if the Session is destroyed first).
   Expected<CompiledGraphPtr> compile(const graph::Graph &G);
 
   /// \brief Creates an execution stream (cheap; one arena free list per
@@ -276,27 +397,23 @@ public:
   /// \brief Number of compiled partitions currently cached.
   size_t cacheSize() const;
   /// \brief Times compile() served a partition from the cache.
-  uint64_t cacheHits() const { return Hits.load(); }
+  uint64_t cacheHits() const;
   /// \brief Times compile() had to run the full pipeline.
-  uint64_t cacheMisses() const { return Misses.load(); }
+  uint64_t cacheMisses() const;
   /// \brief Drops every cached partition and negative-cache entry.
   void clearCache();
+
+  /// \brief Test seam: seeds the negative (unsupported) cache with \p Key
+  /// bound to \p Boundary's signature, simulating a fingerprint collision
+  /// with a previously rejected subgraph. Production code never calls
+  /// this.
+  void injectUnsupportedKeyForTesting(uint64_t Key,
+                                      const graph::Graph &Boundary);
 
 private:
   friend class Stream;
 
-  core::CompileOptions Opts;
-  std::shared_ptr<runtime::ThreadPool> Pool;
-
-  mutable std::mutex CacheMutex;
-  std::unordered_map<uint64_t, std::shared_ptr<core::CompiledPartition>>
-      Cache;
-  /// Negative cache: subgraph fingerprints the compiler already rejected
-  /// as Unsupported; later compiles demote straight to fallback without
-  /// re-running the pass pipeline and lowering.
-  std::unordered_set<uint64_t> UnsupportedKeys;
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> Misses{0};
+  std::shared_ptr<detail::SessionState> State;
 };
 
 } // namespace api

@@ -26,6 +26,43 @@ bool defaultAsyncExec() {
   return getEnvString("GC_SCHED", "serial") == "async";
 }
 
+BatchBucketing defaultBatchBucketing() {
+  return getEnvString("GC_BATCH_BUCKETS", "pow2") == "exact"
+             ? BatchBucketing::Exact
+             : BatchBucketing::Pow2;
+}
+
+int defaultSpecCacheCap() {
+  // Clamped at the use site per the env-knob policy: a nonsensical value
+  // must not disable the cache (cap 0 would recompile every execution)
+  // nor pin unbounded numbers of specializations.
+  return static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(1, getEnvInt("GC_SPEC_CACHE", 16)), 4096));
+}
+
+int64_t batchBucket(int64_t Batch, BatchBucketing Policy) {
+  assert(Batch > 0 && "bucket of a non-positive batch");
+  if (Policy == BatchBucketing::Exact)
+    return Batch;
+  int64_t B = 1;
+  while (B < Batch)
+    B <<= 1;
+  return B;
+}
+
+Expected<graph::Graph> specializeForBatch(const graph::Graph &G,
+                                          int64_t Batch) {
+  if (Batch <= 0)
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("cannot specialize for non-positive batch %lld",
+                     (long long)Batch));
+  graph::Graph Spec = G.specializeBatch(Batch);
+  if (Status S = Spec.finalize(); !S.isOk())
+    return S;
+  return Expected<graph::Graph>(std::move(Spec));
+}
+
 //===----------------------------------------------------------------------===//
 // Fold function execution (constant weight preprocessing, §V)
 //===----------------------------------------------------------------------===//
@@ -189,8 +226,8 @@ namespace {
 /// helps sustained bursts of overlapping submissions of one partition;
 /// each idle state pins its register frames and scratch arenas.
 size_t execStatePoolCap() {
-  static const size_t Cap = static_cast<size_t>(
-      std::max<int64_t>(1, getEnvInt("GC_EXEC_POOL", 8)));
+  static const size_t Cap = static_cast<size_t>(std::min<int64_t>(
+      std::max<int64_t>(1, getEnvInt("GC_EXEC_POOL", 8)), 4096));
   return Cap;
 }
 

@@ -47,6 +47,31 @@ bool defaultSplitPartitions();
 /// dependency-DAG scheduler.
 bool defaultAsyncExec();
 
+/// How a batch-polymorphic CompiledGraph rounds a concrete batch to its
+/// compilation bucket.
+enum class BatchBucketing : uint8_t {
+  Pow2,  ///< next power of two >= batch: few specializations, padded rows
+  Exact, ///< one specialization per distinct batch: no padding, more
+         ///< compiles
+};
+
+/// Resolves GC_BATCH_BUCKETS ("pow2" | "exact", default "pow2").
+BatchBucketing defaultBatchBucketing();
+
+/// Resolves GC_SPEC_CACHE: per-polymorphic-graph specialization cache
+/// capacity (default 16, clamped to >= 1).
+int defaultSpecCacheCap();
+
+/// Rounds a concrete \p Batch (> 0) to its compilation bucket under
+/// \p Policy; the bucket is always >= Batch.
+int64_t batchBucket(int64_t Batch, BatchBucketing Policy);
+
+/// Specialize-on-bind entry point: replaces every dynamic batch dimension
+/// of \p G with \p Batch and validates the result, yielding the static
+/// graph a polymorphic CompiledGraph compiles for one bucket.
+Expected<graph::Graph> specializeForBatch(const graph::Graph &G,
+                                          int64_t Batch);
+
 /// Knobs of the whole compilation pipeline. The Enable* flags exist for
 /// the paper's ablations; defaults reproduce the full compiler.
 struct CompileOptions {
@@ -82,6 +107,12 @@ struct CompileOptions {
   /// partitions overlap even for synchronous callers. Defaults from
   /// GC_SCHED ("serial" | "async").
   bool AsyncExec = defaultAsyncExec();
+  /// Batch-bucket rounding policy for batch-polymorphic graphs. Defaults
+  /// from GC_BATCH_BUCKETS ("pow2" | "exact").
+  BatchBucketing Bucketing = defaultBatchBucketing();
+  /// Specializations kept per polymorphic CompiledGraph (LRU beyond this).
+  /// Defaults from GC_SPEC_CACHE (16, min 1).
+  int SpecCacheCap = defaultSpecCacheCap();
 };
 
 /// Compile options preset for the primitives-library baseline of §VII.

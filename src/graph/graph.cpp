@@ -5,6 +5,7 @@
 #include "support/common.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 
 namespace gc {
@@ -432,13 +433,160 @@ Status Graph::validate() const {
   if (!Err.empty())
     return Status::error(StatusCode::InvalidGraph, Err);
   for (const auto &[Id, T] : Tensors)
-    for (int64_t D : T.Shape)
-      if (D <= 0)
+    for (size_t D = 0; D < T.Shape.size(); ++D) {
+      if (T.Shape[D] == LogicalTensor::kDynamicDim) {
+        // The late-bound batch sentinel is legal only as the leading
+        // dimension of a variable tensor; constants have fixed contents
+        // and therefore fixed shapes.
+        if (D != 0)
+          return Status::error(
+              StatusCode::InvalidGraph,
+              formatString("tensor %lld has a dynamic dimension at "
+                           "position %zu; only the leading (batch) "
+                           "dimension may be dynamic",
+                           (long long)Id, D));
+        if (T.isConstant())
+          return Status::error(
+              StatusCode::InvalidGraph,
+              formatString("constant tensor %lld cannot have a dynamic "
+                           "batch dimension",
+                           (long long)Id));
+        continue;
+      }
+      if (T.Shape[D] <= 0)
         return Status::error(
             StatusCode::InvalidGraph,
             formatString("tensor %lld has non-positive dimension %lld",
-                         (long long)Id, (long long)D));
+                         (long long)Id, (long long)T.Shape[D]));
+    }
+  // Dynamic-batch flow: the sentinel names one shared batch symbol, so an
+  // op either maps batch rows to batch rows (every output dynamic when any
+  // input is) or is fully static. This is what makes padded polymorphic
+  // execution row-exact: rows beyond the real batch never feed rows inside
+  // it.
+  for (const auto &[Id, O] : Ops) {
+    bool DynIn = false;
+    for (int64_t In : O.inputs())
+      if (Tensors.at(In).hasDynamicBatch())
+        DynIn = true;
+    for (int64_t Out : O.outputs()) {
+      const bool DynOut = Tensors.at(Out).hasDynamicBatch();
+      if (DynIn && !DynOut)
+        return Status::error(
+            StatusCode::InvalidGraph,
+            formatString("op%lld consumes a dynamic-batch tensor but "
+                         "produces static tensor %lld: ops must carry the "
+                         "batch dimension through (reductions over the "
+                         "dynamic batch are unsupported)",
+                         (long long)Id, (long long)Out));
+      if (!DynIn && DynOut)
+        return Status::error(
+            StatusCode::InvalidGraph,
+            formatString("op%lld produces dynamic-batch tensor %lld from "
+                         "fully static inputs",
+                         (long long)Id, (long long)Out));
+    }
+    if (!DynIn)
+      continue;
+    // Dyn-in => dyn-out alone does not rule out shape-preserving ops
+    // whose *operating axis* is the batch axis itself (e.g. softmax over
+    // a rank-1 dynamic tensor normalizes across the batch): check the
+    // axis each op kind mixes elements along.
+    auto rejectBatchMix = [OpId = Id](const char *Why) {
+      return Status::error(
+          StatusCode::InvalidGraph,
+          formatString("op%lld %s the dynamic batch dimension, which "
+                       "breaks batch-row independence",
+                       (long long)OpId, Why));
+    };
+    auto resolvedAxis = [](int64_t Axis, int64_t Rank) {
+      return Axis < 0 ? Rank + Axis : Axis;
+    };
+    const int64_t InRank =
+        O.inputs().empty() ? 0 : Tensors.at(O.input(0)).rank();
+    switch (O.kind()) {
+    case OpKind::Softmax:
+      if (resolvedAxis(O.getAttrInt("axis", -1), InRank) == 0)
+        return rejectBatchMix("normalizes along");
+      break;
+    case OpKind::BatchNorm:
+    case OpKind::LayerNorm:
+      // Both normalize the last (channel) dimension.
+      if (InRank == 1)
+        return rejectBatchMix("normalizes along");
+      break;
+    case OpKind::ReduceSum:
+    case OpKind::ReduceMax:
+      for (int64_t Axis : O.getAttrIntVec("axes"))
+        if (resolvedAxis(Axis, InRank) == 0)
+          return rejectBatchMix("reduces over");
+      break;
+    case OpKind::MatMul:
+      // The dynamic dim must be an M/leading-batch dim, never the
+      // contraction dim: A needs rank >= 2, B needs a leading batch dim.
+      if (Tensors.at(O.input(0)).hasDynamicBatch() && InRank < 2)
+        return rejectBatchMix("contracts over");
+      if (O.numInputs() > 1 && Tensors.at(O.input(1)).hasDynamicBatch() &&
+          Tensors.at(O.input(1)).rank() < 3)
+        return rejectBatchMix("contracts over");
+      break;
+    case OpKind::Quantize:
+    case OpKind::Dequantize:
+      // Per-channel parameters along the batch axis would need one scale
+      // per (late-bound) row.
+      if (O.getAttrFloatVec("scales").size() > 1 &&
+          resolvedAxis(O.getAttrInt("axis", -1), InRank) == 0)
+        return rejectBatchMix("applies per-channel parameters along");
+      break;
+    case OpKind::Reshape: {
+      // A dynamic reshape must keep the per-batch-row element count so
+      // the shared batch symbol stays linear ([B,x,y] -> [B,x*y] is
+      // fine, [B,2k] -> [2B,k] is not representable).
+      auto RowElems = [this](int64_t TId) {
+        const LogicalTensor &T = Tensors.at(TId);
+        int64_t N = 1;
+        for (size_t D = 1; D < T.Shape.size(); ++D)
+          N *= T.Shape[D];
+        return N;
+      };
+      if (RowElems(O.input(0)) != RowElems(O.output(0)))
+        return Status::error(
+            StatusCode::InvalidGraph,
+            formatString("op%lld: dynamic reshape must preserve the "
+                         "per-batch-row element count",
+                         (long long)Id));
+      break;
+    }
+    default:
+      break;
+    }
+  }
   return Status::ok();
+}
+
+bool Graph::hasDynamicDims() const {
+  for (const auto &[Id, T] : Tensors)
+    if (T.hasDynamicBatch())
+      return true;
+  return false;
+}
+
+Graph Graph::specializeBatch(int64_t Batch) const {
+  assert(Batch > 0 && "specialization batch must be positive");
+  // Constants are shared, not copied: TensorData's copy shares the owning
+  // buffer, and the compile pipeline makes its own owned copies of
+  // whatever survives (CompiledPartition / fold cache / fallback
+  // materialization) — deep-copying the full weight set once per batch
+  // bucket would only add transient memory spikes.
+  Graph Copy = clone(/*WithConstData=*/false);
+  Copy.ConstData = ConstData;
+  for (auto &[Id, T] : Copy.Tensors)
+    if (T.hasDynamicBatch())
+      T.Shape[0] = Batch;
+  // The copy is a different graph shape-wise; make finalize/compile
+  // re-validate it from scratch.
+  Copy.Finalized = false;
+  return Copy;
 }
 
 Status Graph::finalize() {

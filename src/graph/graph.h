@@ -213,9 +213,24 @@ public:
   std::string verify() const;
 
   /// Full compile-readiness validation: structural verify() plus shape
-  /// sanity (positive dimensions). Used by finalize() and by
-  /// api::Session::compile for graphs that skipped finalize().
+  /// sanity (positive dimensions, or LogicalTensor::kDynamicDim in the
+  /// leading position of variable tensors) and dynamic-batch flow rules
+  /// (the sentinel must propagate along dim 0 through every consuming op,
+  /// which is what makes padded polymorphic execution row-exact). Used by
+  /// finalize() and by api::Session::compile for graphs that skipped
+  /// finalize().
   Status validate() const;
+
+  /// True when any tensor carries the dynamic-batch sentinel; such graphs
+  /// compile into batch-polymorphic CompiledGraphs.
+  bool hasDynamicDims() const;
+
+  /// Deep copy with every LogicalTensor::kDynamicDim leading dimension
+  /// replaced by \p Batch (> 0). Constant payloads are shared with this
+  /// graph. The returned graph is fully static and compiles through the
+  /// normal pipeline; Session uses it to build per-bucket specializations
+  /// of a polymorphic graph.
+  Graph specializeBatch(int64_t Batch) const;
 
   /// Marks graph construction complete: runs validate() and freezes the
   /// graph for partitioning / compilation (mirroring the oneDNN Graph

@@ -90,6 +90,11 @@ enum class TensorProperty : uint8_t {
 
 /// Metadata describing one value in the graph.
 struct LogicalTensor {
+  /// Late-bound dimension sentinel. Only the leading (batch) dimension may
+  /// be dynamic; Session::compile turns such graphs into batch-polymorphic
+  /// CompiledGraphs that specialize per concrete batch at execution time.
+  static constexpr int64_t kDynamicDim = -1;
+
   int64_t Id = -1;
   std::string Name;
   DataType Ty = DataType::F32;
@@ -98,6 +103,11 @@ struct LogicalTensor {
   TensorProperty Property = TensorProperty::Variable;
 
   int64_t rank() const { return static_cast<int64_t>(Shape.size()); }
+
+  /// True when the leading dimension is the late-bound batch sentinel.
+  bool hasDynamicBatch() const {
+    return !Shape.empty() && Shape[0] == kDynamicDim;
+  }
 
   int64_t numElements() const {
     int64_t N = 1;

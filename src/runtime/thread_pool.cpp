@@ -32,19 +32,25 @@ thread_local bool TlOnWorkerThread = false;
 ThreadPool::ThreadPool(int NumThreads) {
   if (NumThreads <= 0) {
     // GC_THREADS is the public knob (bench/CI thread matrix); GC_NUM_THREADS
-    // is kept as a legacy alias.
+    // is kept as a legacy alias. Clamp to [1, 1024]: a negative or absurd
+    // value (getEnvInt rejects garbage but not sign) must degrade to a
+    // sane pool, not underflow worker bookkeeping or spawn millions of
+    // threads.
+    constexpr int64_t kMaxThreads = 1024;
     int64_t FromEnv = getEnvInt("GC_THREADS", 0);
     if (FromEnv <= 0)
       FromEnv = getEnvInt("GC_NUM_THREADS", 0);
     if (FromEnv > 0)
-      NumThreads = static_cast<int>(FromEnv);
+      NumThreads = static_cast<int>(std::min(FromEnv, kMaxThreads));
     else
       NumThreads = static_cast<int>(
           std::max(1u, std::thread::hardware_concurrency()));
   }
   NumWorkers = std::max(1, NumThreads);
-  SpinIters = static_cast<int>(
-      std::max<int64_t>(0, getEnvInt("GC_SPIN_ITERS", 4000)));
+  // Negative spin counts mean "no spin", and an enormous one is a typo,
+  // not a request to burn a core for minutes before parking.
+  SpinIters = static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(0, getEnvInt("GC_SPIN_ITERS", 4000)), 1 << 26));
   SpawnedWorkers.fetch_add(NumWorkers - 1, std::memory_order_relaxed);
   // Worker 0 is the calling thread; spawn the rest.
   Threads.reserve(static_cast<size_t>(NumWorkers - 1));

@@ -2,19 +2,60 @@
 
 #include "support/env.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 namespace gc {
 
-int64_t getEnvInt(const char *Name, int64_t Default) {
+namespace {
+
+/// Strict integer parse of \p Name: leading/trailing whitespace is
+/// tolerated, but partially-parsed values ("4x"), empty digits, and
+/// out-of-range magnitudes (errno == ERANGE) all reject to \p Default —
+/// an env typo must degrade to the documented default, never flow a
+/// half-parsed number into pool sizing. \p WarnOnInvalid gates the
+/// one-time diagnostic: GC_VERBOSE itself parses with it off, breaking
+/// the recursion between warning and querying the verbosity level.
+int64_t parseEnvInt(const char *Name, int64_t Default, bool WarnOnInvalid) {
   const char *Val = std::getenv(Name);
   if (!Val || !*Val)
     return Default;
+
+  errno = 0;
   char *End = nullptr;
-  long long Parsed = std::strtoll(Val, &End, 10);
-  if (End == Val)
-    return Default;
-  return static_cast<int64_t>(Parsed);
+  const long long Parsed = std::strtoll(Val, &End, 10);
+  bool Ok = End != Val && errno != ERANGE;
+  if (Ok) {
+    while (*End != '\0' && std::isspace(static_cast<unsigned char>(*End)))
+      ++End;
+    Ok = *End == '\0';
+  }
+  if (Ok)
+    return static_cast<int64_t>(Parsed);
+
+  if (WarnOnInvalid && verboseAtLeast(1)) {
+    // Warn once per variable: a rejected knob read in a hot path (thread
+    // pool construction, per-compile option resolution) must not spam.
+    static std::mutex WarnMutex;
+    static std::set<std::string> Warned;
+    std::lock_guard<std::mutex> Lock(WarnMutex);
+    if (Warned.insert(Name).second)
+      std::fprintf(stderr,
+                   "[gc] ignoring invalid %s=\"%s\" (not a valid integer); "
+                   "using default %lld\n",
+                   Name, Val, (long long)Default);
+  }
+  return Default;
+}
+
+} // namespace
+
+int64_t getEnvInt(const char *Name, int64_t Default) {
+  return parseEnvInt(Name, Default, /*WarnOnInvalid=*/true);
 }
 
 std::string getEnvString(const char *Name, const std::string &Default) {
@@ -25,7 +66,8 @@ std::string getEnvString(const char *Name, const std::string &Default) {
 }
 
 bool verboseAtLeast(int Level) {
-  static int64_t Cached = getEnvInt("GC_VERBOSE", 0);
+  static int64_t Cached =
+      parseEnvInt("GC_VERBOSE", 0, /*WarnOnInvalid=*/false);
   return Cached >= Level;
 }
 

@@ -15,7 +15,11 @@
 namespace gc {
 
 /// Returns the integer value of environment variable \p Name, or \p Default
-/// when unset or unparsable.
+/// when unset or unparsable. Parsing is strict: trailing garbage
+/// ("GC_THREADS=4x") and out-of-range magnitudes reject to the default (a
+/// one-time warning is printed under GC_VERBOSE>=1) instead of flowing a
+/// half-parsed number into the caller. Sign is NOT validated here — knobs
+/// with a semantic minimum clamp at their use site.
 int64_t getEnvInt(const char *Name, int64_t Default);
 
 /// Returns the value of environment variable \p Name, or \p Default.

@@ -334,6 +334,117 @@ TEST(GraphIr, FingerprintIsCanonicalAndContentSensitive) {
   EXPECT_NE(G1.fingerprint(), G4.fingerprint());
 }
 
+/// Transpose perm [1,0] is not lowerable, but impl="native" forces the
+/// partitioner to hand it to the compiler anyway — the compile fails with
+/// Unsupported, exercising the negative (unsupported) cache.
+Graph buildNativePinnedBadTranspose() {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {8, 6}, "x");
+  G.markInput(X);
+  const int64_t Out =
+      G.addOp(OpKind::Transpose, {X}, DataType::F32, {6, 8},
+              {{"perm", std::vector<int64_t>{1, 0}},
+               {"impl", std::string("native")}});
+  G.markOutput(Out);
+  return G;
+}
+
+TEST(ApiSessionCache, UnsupportedVerdictIsNegativeCached) {
+  api::Session S;
+  Graph G1 = buildNativePinnedBadTranspose();
+  auto C1 = S.compile(G1);
+  ASSERT_TRUE(C1.hasValue()) << C1.status().toString();
+  EXPECT_EQ((*C1)->numFallbackPartitions(), 1u);
+  EXPECT_EQ(S.cacheMisses(), 1u); // one failed pipeline attempt
+
+  // Identical subgraph: demoted straight from the negative cache, no
+  // second pipeline run (no new miss, and no bogus hit either).
+  Graph G2 = buildNativePinnedBadTranspose();
+  auto C2 = S.compile(G2);
+  ASSERT_TRUE(C2.hasValue()) << C2.status().toString();
+  EXPECT_EQ((*C2)->numFallbackPartitions(), 1u);
+  EXPECT_EQ(S.cacheMisses(), 1u);
+  EXPECT_EQ(S.cacheHits(), 0u);
+
+  // The demoted graph still executes correctly via the interpreter.
+  runtime::TensorData In = test::randomTensor(DataType::F32, {8, 6}, 17);
+  runtime::TensorData Got(DataType::F32, {6, 8});
+  ASSERT_TRUE(S.stream().execute(**C2, {&In}, {&Got}).isOk());
+  for (int64_t R = 0; R < 6; ++R)
+    for (int64_t C = 0; C < 8; ++C)
+      EXPECT_EQ(Got.dataAs<float>()[R * 8 + C],
+                In.dataAs<float>()[C * 6 + R]);
+}
+
+TEST(ApiSessionCache, CollidingUnsupportedKeyDoesNotDemoteDifferentBoundary) {
+  // Regression for the negative-cache collision bug: a fingerprint that
+  // collides with a previously-unsupported subgraph must not demote a
+  // compilable partition whose boundary differs — the signature guard has
+  // to catch it. Forge the collision through the test seam (64-bit
+  // fingerprints cannot be forced to collide from the outside).
+  Graph G = buildMlp();
+  const uint64_t Key = G.fingerprint(); // == the sole partition's key
+
+  api::Session S;
+  S.injectUnsupportedKeyForTesting(Key, buildNativePinnedBadTranspose());
+  auto C = S.compile(G);
+  ASSERT_TRUE(C.hasValue()) << C.status().toString();
+  // Signature mismatch -> the verdict is ignored and the partition
+  // compiles normally.
+  EXPECT_EQ((*C)->numFallbackPartitions(), 0u);
+  EXPECT_NE((*C)->compiledPartition(0), nullptr);
+  EXPECT_EQ(S.cacheMisses(), 1u);
+}
+
+TEST(ApiSessionCache, MatchingUnsupportedKeySignatureDemotes) {
+  // Control for the collision guard: when the stored signature DOES match
+  // (a genuine revisit of the same boundary), the negative cache must
+  // still short-circuit the pipeline.
+  Graph G = buildMlp();
+  api::Session S;
+  S.injectUnsupportedKeyForTesting(G.fingerprint(), G);
+  auto C = S.compile(G);
+  ASSERT_TRUE(C.hasValue()) << C.status().toString();
+  EXPECT_EQ((*C)->numFallbackPartitions(), 1u);
+  EXPECT_EQ(S.cacheMisses(), 0u); // pipeline never ran
+
+  // clearCache drops the verdict; the graph compiles normally again.
+  S.clearCache();
+  auto C2 = S.compile(G);
+  ASSERT_TRUE(C2.hasValue()) << C2.status().toString();
+  EXPECT_EQ((*C2)->numFallbackPartitions(), 0u);
+  EXPECT_EQ(S.cacheMisses(), 1u);
+}
+
+TEST(ApiSessionCache, ConcurrentCompilesRaceOnOneKey) {
+  // The try_emplace race: many threads compile the same graph against an
+  // empty cache. Exactly one entry may survive; every compile must count
+  // as a hit or a miss, and every returned CompiledGraph must serve the
+  // one canonical cached partition.
+  api::Session S;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> Threads;
+  std::vector<api::CompiledGraphPtr> Results(kThreads);
+  for (int T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Graph G = buildMlp();
+      auto C = S.compile(G);
+      ASSERT_TRUE(C.hasValue()) << C.status().toString();
+      Results[static_cast<size_t>(T)] = *C;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(S.cacheSize(), 1u);
+  EXPECT_EQ(S.cacheHits() + S.cacheMisses(),
+            static_cast<uint64_t>(kThreads));
+  EXPECT_GE(S.cacheMisses(), 1u);
+  for (int T = 0; T < kThreads; ++T) {
+    ASSERT_NE(Results[static_cast<size_t>(T)], nullptr);
+    EXPECT_EQ(Results[static_cast<size_t>(T)]->compiledPartition(0).get(),
+              Results[0]->compiledPartition(0).get());
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Concurrency
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,141 @@
+//===- test_env.cpp - Environment knob parsing tests -------------------------------===//
+//
+// Strict getEnvInt parsing: trailing garbage, overflow and empty values
+// must reject to the default instead of flowing a half-parsed number into
+// pool sizing, and the thread-pool use site must clamp pathological
+// values to a sane worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/thread_pool.h"
+#include "support/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace gc;
+
+namespace {
+
+/// RAII env var setting (previous value restored on destruction), so one
+/// test's knobs never leak into the next — and a knob the developer set
+/// for the whole binary (e.g. GC_THREADS=1) survives this suite.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = ::getenv(Name)) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    ::setenv(Name, Value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      ::setenv(Name, OldValue.c_str(), /*overwrite=*/1);
+    else
+      ::unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+constexpr char kVar[] = "GC_TEST_ENV_INT";
+
+} // namespace
+
+TEST(EnvParsing, UnsetReturnsDefault) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(getEnvInt(kVar, 123), 123);
+}
+
+TEST(EnvParsing, PlainIntegersParse) {
+  {
+    ScopedEnv E(kVar, "42");
+    EXPECT_EQ(getEnvInt(kVar, 0), 42);
+  }
+  {
+    ScopedEnv E(kVar, "0");
+    EXPECT_EQ(getEnvInt(kVar, 7), 0);
+  }
+  {
+    // Sign passes through; semantic minimums are the use site's job.
+    ScopedEnv E(kVar, "-2");
+    EXPECT_EQ(getEnvInt(kVar, 0), -2);
+  }
+  {
+    ScopedEnv E(kVar, "  8  ");
+    EXPECT_EQ(getEnvInt(kVar, 0), 8);
+  }
+}
+
+TEST(EnvParsing, TrailingGarbageRejects) {
+  // The historical bug: "4x" parsed as 4.
+  ScopedEnv E(kVar, "4x");
+  EXPECT_EQ(getEnvInt(kVar, 123), 123);
+}
+
+TEST(EnvParsing, NonNumericRejects) {
+  {
+    ScopedEnv E(kVar, "auto");
+    EXPECT_EQ(getEnvInt(kVar, 5), 5);
+  }
+  {
+    ScopedEnv E(kVar, "4.5");
+    EXPECT_EQ(getEnvInt(kVar, 5), 5);
+  }
+  {
+    ScopedEnv E(kVar, " ");
+    EXPECT_EQ(getEnvInt(kVar, 5), 5);
+  }
+}
+
+TEST(EnvParsing, OverflowRejects) {
+  {
+    ScopedEnv E(kVar, "99999999999999999999999");
+    EXPECT_EQ(getEnvInt(kVar, 11), 11);
+  }
+  {
+    ScopedEnv E(kVar, "-99999999999999999999999");
+    EXPECT_EQ(getEnvInt(kVar, 11), 11);
+  }
+}
+
+TEST(EnvParsing, GetEnvString) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(getEnvString(kVar, "fallback"), "fallback");
+  ScopedEnv E(kVar, "value");
+  EXPECT_EQ(getEnvString(kVar, "fallback"), "value");
+}
+
+TEST(EnvParsing, ThreadPoolClampsPathologicalKnobs) {
+  {
+    // Valid override honored.
+    ScopedEnv E("GC_THREADS", "3");
+    runtime::ThreadPool Pool(0);
+    EXPECT_EQ(Pool.numThreads(), 3);
+  }
+  {
+    // The historical bug: "4x" silently sized the pool to 4. Now it is
+    // rejected and the pool falls back to its default sizing.
+    ScopedEnv E("GC_THREADS", "4x");
+    runtime::ThreadPool Pool(0);
+    EXPECT_GE(Pool.numThreads(), 1);
+  }
+  {
+    // Negative counts never reach worker bookkeeping.
+    ScopedEnv E("GC_THREADS", "-2");
+    runtime::ThreadPool Pool(0);
+    EXPECT_GE(Pool.numThreads(), 1);
+  }
+  {
+    // Garbage spin counts degrade to the default instead of aborting.
+    ScopedEnv E("GC_SPIN_ITERS", "fast");
+    runtime::ThreadPool Pool(2);
+    EXPECT_EQ(Pool.numThreads(), 2);
+  }
+}

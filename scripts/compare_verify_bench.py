@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Verification-overhead bench guard for the CI perf gate.
+
+Runs bench_smoke under GC_VERIFY=off and GC_VERIFY=all (same build, same
+graphs: the verifiers run at compile time only, so steady-state execution
+must be unaffected), merges the JSON lines into one report and fails when
+any case executes slower under GC_VERIFY=all than the allowed noise
+margin. This pins "static verification is free at execution time" as a
+tested property.
+
+Usage:
+  python3 scripts/compare_verify_bench.py --bench build/bench/bench_smoke \
+      [--out BENCH_VERIFY.json] [--min-time 0.2] [--max-regression 0.05]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_mode(bench, level, min_time, repeats):
+    """Runs the bench `repeats` times; keeps the per-case minimum, the
+    standard noise-robust estimator for short benchmarks."""
+    cases = {}
+    for _ in range(repeats):
+        env = dict(os.environ)
+        env["GC_VERIFY"] = level
+        env.setdefault("GC_BENCH_MIN_TIME", str(min_time))
+        out = subprocess.run([bench], env=env, check=True,
+                             capture_output=True, text=True).stdout
+        for line in out.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "error" in rec:
+                raise SystemExit(f"bench case {rec.get('bench')} failed "
+                                 f"under GC_VERIFY={level}: {rec['error']}")
+            prev = cases.get(rec["bench"])
+            if prev is None or rec["us_per_iter"] < prev["us_per_iter"]:
+                cases[rec["bench"]] = rec
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="path to bench_smoke")
+    ap.add_argument("--out", default=None, help="optional output JSON path")
+    ap.add_argument("--min-time", type=float, default=0.2,
+                    help="GC_BENCH_MIN_TIME per case (seconds)")
+    ap.add_argument("--max-regression", type=float, default=0.05,
+                    help="fail if GC_VERIFY=all executes slower than "
+                         "GC_VERIFY=off by more than this fraction")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="bench runs per mode (per-case minimum is kept)")
+    ap.add_argument("--abs-slack-us", type=float, default=1.0,
+                    help="ignore regressions smaller than this many "
+                         "microseconds: on sub-2us cases one scheduler "
+                         "blip exceeds any ratio threshold")
+    args = ap.parse_args()
+
+    off = run_mode(args.bench, "off", args.min_time, args.repeats)
+    full = run_mode(args.bench, "all", args.min_time, args.repeats)
+    if set(off) != set(full):
+        raise SystemExit("bench case sets differ between GC_VERIFY modes: "
+                         f"{sorted(set(off) ^ set(full))}")
+
+    report = []
+    failures = []
+    for name in sorted(off):
+        base = off[name]["us_per_iter"]
+        checked = full[name]["us_per_iter"]
+        ratio = checked / base if base > 0 else 1.0
+        report.append({"bench": name, "us_off": base, "us_all": checked,
+                       "ratio": round(ratio, 4)})
+        print(f"{name:40s} off={base:10.2f}us all={checked:10.2f}us "
+              f"ratio={ratio:.3f}")
+        if (ratio > 1.0 + args.max_regression
+                and checked - base > args.abs_slack_us):
+            failures.append(f"{name}: GC_VERIFY=all is {ratio:.3f}x "
+                            f"(allowed {1.0 + args.max_regression:.3f}x)")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if failures:
+        print("\nverification overhead leaked into execution:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nGC_VERIFY=all execution within noise of GC_VERIFY=off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

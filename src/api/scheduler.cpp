@@ -288,6 +288,15 @@ void reapOffWorker(std::shared_ptr<Submission> Last) {
 
 } // namespace
 
+namespace {
+/// Launched-but-not-retired submissions; see Submission::inFlight().
+std::atomic<size_t> InFlightCount{0};
+} // namespace
+
+size_t Submission::inFlight() {
+  return InFlightCount.load(std::memory_order_acquire);
+}
+
 void Submission::retire() {
   if (!Failed.load(std::memory_order_acquire))
     copyEpilogue(*CG, Inputs, Outputs);
@@ -308,6 +317,10 @@ void Submission::retire() {
   // cheap no-op (the reaper's drop is not the last).
   if (Keep && runtime::ThreadPool::onWorkerThread())
     reapOffWorker(std::move(Keep));
+  // Last: the release pairs with inFlight()'s acquire, publishing every
+  // write this submission made (output tensors included) to a poller
+  // that observes the count drop.
+  InFlightCount.fetch_sub(1, std::memory_order_release);
 }
 
 void Submission::finishPartition(uint32_t I) {
@@ -394,6 +407,9 @@ Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
   // before the first enqueue: a single-worker pool runs tasks inline, so
   // the whole DAG may finish inside the submitTask calls below.
   Sub->Self = Sub;
+  // Count before the first enqueue: a single-worker pool may retire the
+  // whole submission inside submitTaskBatch.
+  InFlightCount.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::pair<runtime::ThreadPool::TaskFn, void *>> Roots;
   Roots.reserve(N);
   for (size_t I = 0; I < N; ++I)

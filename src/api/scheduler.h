@@ -147,6 +147,14 @@ struct Submission {
   /// the synchronous single-partition shortcut).
   static std::shared_ptr<Submission> completed(Status S);
 
+  /// Number of launched submissions whose retire() has not finished.
+  /// The release-decrement at the end of retire() pairs with the
+  /// acquire-load here, so an observer that reads 0 has a
+  /// happens-before edge to every output write of every retired
+  /// submission — the race-free completion probe for callers that
+  /// dropped all handles (the mid-flight-drop tests poll it).
+  static size_t inFlight();
+
   /// Pool-task trampoline: \p Ctx is a Node. Executes the partition (when
   /// the submission has not failed), then propagates completion.
   static void taskEntry(void *Ctx);

@@ -5,6 +5,7 @@
 #include "api/scheduler.h"
 #include "support/common.h"
 #include "support/str.h"
+#include "verify/verify.h"
 
 #include <algorithm>
 #include <cstring>
@@ -407,6 +408,9 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
   // and validation is trivially cheap next to fingerprinting/compiling.
   if (const Status S = G.validate(); !S.isOk())
     return S;
+  if (verify::verifyLevel() >= verify::VerifyLevel::Graph)
+    if (Status S = verify::verifyGraph(G, "finalize"); !S.isOk())
+      return S;
 
   // Dynamic-batch graphs become polymorphic shells: partition now (so
   // structural problems surface at compile() time, not first execution),
@@ -453,6 +457,13 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
       P.partition(State->Opts.SplitIndependentPartitions);
   if (!SpecsOr)
     return SpecsOr.status();
+  if (verify::verifyLevel() >= verify::VerifyLevel::Passes)
+    for (size_t PI = 0; PI < SpecsOr.value().size(); ++PI)
+      if (Status S = verify::verifyGraph(
+              SpecsOr.value()[PI].Subgraph,
+              formatString("partitioning (partition %zu)", PI).c_str());
+          !S.isOk())
+        return S;
 
   auto CG = std::make_shared<CompiledGraph>();
   CG->InputIds = G.inputs();
@@ -577,6 +588,26 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
                CG->Parts[0].Spec.Subgraph.outputs() == CG->OutputIds;
   if (Status S = CG->buildExecutionPlan(); !S.isOk())
     return S;
+  if (verify::verifyLevel() >= verify::VerifyLevel::All) {
+    // Re-express the finished plan in boundary-id terms and hand it to
+    // the independent alias checker (verify/memplan_verifier.cpp), which
+    // recomputes reachability and lifetimes from scratch.
+    verify::MemoryPlanView View;
+    for (const CompiledGraph::Part &Part : CG->Parts) {
+      verify::MemoryPlanView::Partition VP;
+      VP.Inputs = Part.Spec.Subgraph.inputs();
+      VP.Outputs = Part.Spec.Subgraph.outputs();
+      View.Partitions.push_back(std::move(VP));
+    }
+    View.GraphInputs = CG->InputIds;
+    View.GraphOutputs = CG->OutputIds;
+    for (const CompiledGraph::ScratchSlot &Slot : CG->ScratchSlots)
+      View.Slots.push_back({Slot.TensorId, Slot.Offset, Slot.Bytes});
+    View.ArenaBytes = CG->ArenaBytes;
+    if (Status S = verify::verifyMemoryPlan(View, "execution planning");
+        !S.isOk())
+      return S;
+  }
   return CG;
 }
 

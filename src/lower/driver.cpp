@@ -9,6 +9,8 @@
 #include "support/str.h"
 #include "tir/eval.h"
 #include "tir/printer.h"
+#include "tirpass/tirpass.h"
+#include "verify/verify.h"
 
 #include <cstdio>
 #include <unordered_map>
@@ -191,16 +193,38 @@ Expected<LoweredProgram> lowerGraph(const Graph &G,
   }
 
   // ---- Tensor IR passes ----
-  if (Opts.EnableCoarseGrainFusion)
+  const bool VerifyStages =
+      verify::verifyLevel() >= verify::VerifyLevel::Passes;
+  if (VerifyStages)
+    if (Status S = verify::verifyFunc(Prog.Entry, "region lowering");
+        !S.isOk())
+      return S;
+  if (Opts.EnableCoarseGrainFusion) {
     Prog.CoarseGrainMerges = tirpass::mergeParallelLoops(Prog.Entry);
+    if (VerifyStages)
+      if (Status S = verify::verifyFunc(Prog.Entry, "loop merge"); !S.isOk())
+        return S;
+  }
   // Tensor-size optimization: the template lowering already emits
   // strip-sized thread-local temporaries, so this mostly catches
   // scalar-loop regions; it must run before buffer placement.
   tirpass::shrinkTensors(Prog.Entry);
+  if (VerifyStages)
+    if (Status S = verify::verifyFunc(Prog.Entry, "tensor shrink");
+        !S.isOk())
+      return S;
   Prog.ReuseStats = tirpass::reuseBuffers(Prog.Entry, Opts.EnableBufferReuse);
   tir::assignSlots(Prog.Entry);
+  if (verify::verifyLevel() >= verify::VerifyLevel::All)
+    if (Status S = verify::verifyFunc(Prog.Entry, "slot assignment");
+        !S.isOk())
+      return S;
   // Final lowering step: compile the entry function to flat bytecode.
   Prog.Bytecode = exec::compileProgram(Prog.Entry);
+  if (verify::verifyLevel() >= verify::VerifyLevel::All)
+    if (Status S = verify::verifyProgram(*Prog.Bytecode, "bytecode compile");
+        !S.isOk())
+      return S;
 
   if (verboseAtLeast(1))
     std::fprintf(stderr, "=== lowered entry ===\n%s\n",

@@ -801,8 +801,9 @@ private:
       Swapped = true;
     }
     assert(isStripable(Lhs) && "binary op without a tile-shaped operand");
-    const bool Commutative = Kind == OpKind::Add || Kind == OpKind::Mul ||
-                             Kind == OpKind::Max || Kind == OpKind::Min;
+    [[maybe_unused]] const bool Commutative =
+        Kind == OpKind::Add || Kind == OpKind::Mul || Kind == OpKind::Max ||
+        Kind == OpKind::Min;
 
     const int Strip = materializeFirst(Lhs, Nsi, Out);
     consume(Lhs);

@@ -4,6 +4,7 @@
 
 #include "support/common.h"
 #include "support/env.h"
+#include "verify/verify.h"
 
 #include <cstdio>
 
@@ -26,6 +27,9 @@ Status PassManager::run(graph::Graph &G) {
                            std::string("pass '") + P->name() +
                                "' produced an invalid graph: " + Err);
     }
+    if (verify::verifyLevel() >= verify::VerifyLevel::Passes)
+      if (Status S = verify::verifyGraph(G, P->name()); !S.isOk())
+        return S;
     if (verboseAtLeast(2))
       std::fprintf(stderr, "=== after %s (%s) ===\n%s\n", P->name(),
                    DidChange ? "changed" : "no change",

@@ -210,7 +210,7 @@ bool ThreadPool::popAndRunTask(bool ChainWake) {
 
 bool ThreadPool::tryRunOneTask() { return popAndRunTask(false); }
 
-void ThreadPool::workerLoop(int WorkerIndex) {
+void ThreadPool::workerLoop([[maybe_unused]] int WorkerIndex) {
   TlOnWorkerThread = true;
   uint64_t SeenGeneration = 0;
   for (;;) {

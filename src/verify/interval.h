@@ -1,0 +1,130 @@
+//===- interval.h - Saturating integer intervals ----------------*- C++ -*-===//
+///
+/// \file
+/// Tiny interval-arithmetic domain used by the Tensor IR and bytecode
+/// verifiers to bound loop variables, induction registers and affine
+/// offsets. Bounds saturate at kMin/kMax (the "unbounded" sentinels);
+/// every transfer function over-approximates, so an access is only
+/// reported out-of-bounds when its whole over-approximated range is known
+/// and still escapes the buffer — an unbounded range is "cannot decide",
+/// never a false positive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_VERIFY_INTERVAL_H
+#define GC_VERIFY_INTERVAL_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gc {
+namespace verify {
+
+/// Inclusive integer interval [Lo, Hi] with saturating bounds.
+struct Interval {
+  static constexpr int64_t kMin = INT64_MIN;
+  static constexpr int64_t kMax = INT64_MAX;
+
+  int64_t Lo = kMin;
+  int64_t Hi = kMax;
+
+  static Interval top() { return {kMin, kMax}; }
+  static Interval constant(int64_t V) { return {V, V}; }
+  static Interval range(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+
+  bool isConst() const { return Lo == Hi && Lo != kMin && Lo != kMax; }
+  bool boundedBelow() const { return Lo != kMin; }
+  bool boundedAbove() const { return Hi != kMax; }
+  bool bounded() const { return boundedBelow() && boundedAbove(); }
+  /// Empty = contradictory bounds (e.g. a definitely zero-trip loop body).
+  bool empty() const { return Lo > Hi; }
+
+  Interval join(const Interval &O) const {
+    return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
+  }
+  Interval meet(const Interval &O) const {
+    return {std::max(Lo, O.Lo), std::min(Hi, O.Hi)};
+  }
+};
+
+/// Saturating scalar ops. A saturated operand stays saturated: arithmetic
+/// on an unbounded bound can never tighten it.
+inline int64_t satAdd(int64_t A, int64_t B) {
+  if (A == Interval::kMin || B == Interval::kMin)
+    return Interval::kMin;
+  if (A == Interval::kMax || B == Interval::kMax)
+    return Interval::kMax;
+  const __int128 R = static_cast<__int128>(A) + B;
+  if (R <= Interval::kMin)
+    return Interval::kMin;
+  if (R >= Interval::kMax)
+    return Interval::kMax;
+  return static_cast<int64_t>(R);
+}
+
+inline int64_t satMul(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  const bool Neg = (A < 0) != (B < 0);
+  if (A == Interval::kMin || B == Interval::kMin || A == Interval::kMax ||
+      B == Interval::kMax)
+    return Neg ? Interval::kMin : Interval::kMax;
+  const __int128 R = static_cast<__int128>(A) * B;
+  if (R <= Interval::kMin)
+    return Interval::kMin;
+  if (R >= Interval::kMax)
+    return Interval::kMax;
+  return static_cast<int64_t>(R);
+}
+
+inline Interval intervalAdd(const Interval &A, const Interval &B) {
+  return {satAdd(A.Lo, B.Lo), satAdd(A.Hi, B.Hi)};
+}
+
+inline Interval intervalSub(const Interval &A, const Interval &B) {
+  const int64_t NegHi = B.Lo == Interval::kMin ? Interval::kMax
+                        : B.Lo == Interval::kMax ? Interval::kMin
+                                                 : -B.Lo;
+  const int64_t NegLo = B.Hi == Interval::kMax ? Interval::kMin
+                        : B.Hi == Interval::kMin ? Interval::kMax
+                                                 : -B.Hi;
+  return intervalAdd(A, {NegLo, NegHi});
+}
+
+inline Interval intervalMul(const Interval &A, const Interval &B) {
+  const int64_t C[4] = {satMul(A.Lo, B.Lo), satMul(A.Lo, B.Hi),
+                        satMul(A.Hi, B.Lo), satMul(A.Hi, B.Hi)};
+  return {*std::min_element(C, C + 4), *std::max_element(C, C + 4)};
+}
+
+inline Interval intervalMin(const Interval &A, const Interval &B) {
+  return {std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
+}
+
+inline Interval intervalMax(const Interval &A, const Interval &B) {
+  return {std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+}
+
+/// Division / modulo only model the common positive-divisor cases the
+/// lowering emits (tile counts, blocked-layout index math); anything else
+/// degrades to top.
+inline Interval intervalDiv(const Interval &A, const Interval &B) {
+  if (B.isConst() && B.Lo > 0 && A.bounded())
+    return {A.Lo / B.Lo - (A.Lo % B.Lo < 0 ? 1 : 0),
+            A.Hi / B.Lo - (A.Hi % B.Lo < 0 ? 1 : 0)};
+  return Interval::top();
+}
+
+inline Interval intervalMod(const Interval &A, const Interval &B) {
+  if (B.isConst() && B.Lo > 0) {
+    if (A.boundedBelow() && A.Lo >= 0)
+      return {0, B.Lo - 1}; // non-negative dividend: C++ % stays in range
+    return {-(B.Lo - 1), B.Lo - 1};
+  }
+  return Interval::top();
+}
+
+} // namespace verify
+} // namespace gc
+
+#endif // GC_VERIFY_INTERVAL_H

@@ -1,0 +1,562 @@
+//===- program_verifier.cpp - Bytecode program verification ---------------===//
+///
+/// \file
+/// The compiled-Program verifier. Two layers:
+///
+///  1. A structural pass over every instruction and descriptor: opcode
+///     validity, every register operand inside the register image, jump
+///     targets inside the code block, Load/Store buffer ids inside the
+///     buffer table, Call/Par descriptor indices valid, kernel pointers
+///     non-null, CallDesc buffer/dynamic-scalar counts within the
+///     marshalling limits, and buffer metadata consistent (element size,
+///     arena placement).
+///
+///  2. A structured abstract interpretation over the canonical control
+///     flow the program builder emits (documented at the top of
+///     exec/program.cpp): serial loops are recognized from their
+///     JumpIfGeI guard + LoopNext back edge, parallel nests from their
+///     guard + ParallelFor descriptor. Loop variables are widened to
+///     [begin, end-1], induction registers to their entry value plus
+///     (trips-1) increments, every other register written inside a body
+///     is invalidated for the body walk — which makes a single pass per
+///     body sound without a fixpoint. Within that state, every scalar
+///     load/store offset register and every kernel-call buffer offset is
+///     proven inside its buffer's element extent. Control flow that does
+///     not fit the canonical shapes (stray back edges, jumps escaping a
+///     loop region) is rejected as unstructured — the executor's dispatch
+///     loop has no checks, so only programs the verifier can understand
+///     are accepted. This is the precondition for ever executing
+///     mmap-loaded Programs from a persistent cache.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/verify.h"
+
+#include "exec/program.h"
+#include "support/str.h"
+#include "verify/interval.h"
+
+#include <vector>
+
+namespace gc {
+namespace verify {
+
+namespace {
+
+using exec::CallDesc;
+using exec::Instr;
+using exec::Opcode;
+using exec::ParDesc;
+using exec::Program;
+
+/// Abstract frame: one interval per register (I field only; float values
+/// are never used for addressing).
+using RegState = std::vector<Interval>;
+
+class ProgramVerifier {
+public:
+  ProgramVerifier(const Program &P, const char *Context)
+      : P(P), Context(Context) {}
+
+  Status run() {
+    if (Status S = checkStructure(); !S.isOk())
+      return S;
+    RegState R(P.NumRegs, Interval::top());
+    for (size_t I = 0; I < P.InitRegs.size(); ++I)
+      R[I] = Interval::constant(P.InitRegs[I].I);
+    return walkRegion(0, P.Code.size(), R);
+  }
+
+private:
+  const Program &P;
+  const char *Context;
+
+  Status err(size_t Pc, const std::string &What) const {
+    return Status::error(
+        StatusCode::Internal,
+        formatString("program verifier%s%s: %s: instr %zu: %s",
+                     *Context ? " after " : "", Context, P.Name.c_str(), Pc,
+                     What.c_str()));
+  }
+
+  /// Destination register of \p I, or -1 when the opcode writes none.
+  static int destReg(const Instr &I) {
+    switch (I.Op) {
+    case Opcode::Mov:
+    case Opcode::I2F:
+    case Opcode::F2I:
+    case Opcode::AddI:
+    case Opcode::SubI:
+    case Opcode::MulI:
+    case Opcode::DivI:
+    case Opcode::ModI:
+    case Opcode::MinI:
+    case Opcode::MaxI:
+    case Opcode::AddF:
+    case Opcode::SubF:
+    case Opcode::MulF:
+    case Opcode::DivF:
+    case Opcode::ModF:
+    case Opcode::MinF:
+    case Opcode::MaxF:
+    case Opcode::AddImmI:
+    case Opcode::LoadF32:
+    case Opcode::LoadF64:
+    case Opcode::LoadS32:
+    case Opcode::LoadS8:
+    case Opcode::LoadU8:
+    case Opcode::LoopNext:
+      return I.A;
+    default:
+      return -1;
+    }
+  }
+
+  int64_t bufferElems(uint16_t BufferId) const {
+    const exec::BufferInfo &B = P.Buffers[BufferId];
+    return B.ElemSize > 0 ? B.Bytes / B.ElemSize : 0;
+  }
+
+  Status checkStructure() const {
+    if (P.InitRegs.size() != P.NumRegs)
+      return Status::error(
+          StatusCode::Internal,
+          formatString("program verifier%s%s: %s: init image has %zu "
+                       "registers, program declares %u",
+                       *Context ? " after " : "", Context, P.Name.c_str(),
+                       P.InitRegs.size(), P.NumRegs));
+    for (size_t I = 0; I < P.Buffers.size(); ++I) {
+      const exec::BufferInfo &B = P.Buffers[I];
+      if (B.Bytes < 0 || B.ElemSize <= 0 || B.Bytes % B.ElemSize != 0)
+        return err(0, formatString("buffer %zu has inconsistent size "
+                                   "metadata (%lld bytes, elem size %lld)",
+                                   I, (long long)B.Bytes,
+                                   (long long)B.ElemSize));
+      if (B.Scope == tir::BufferScope::Temp && B.ArenaOffset >= 0 &&
+          B.ArenaOffset + B.Bytes > P.ArenaBytes)
+        return err(0, formatString("buffer %zu arena slot [%lld, %lld) "
+                                   "exceeds the %lld byte arena",
+                                   I, (long long)B.ArenaOffset,
+                                   (long long)(B.ArenaOffset + B.Bytes),
+                                   (long long)P.ArenaBytes));
+    }
+    const auto RegOk = [&](uint16_t R) { return R < P.NumRegs; };
+    for (size_t Pc = 0; Pc < P.Code.size(); ++Pc) {
+      const Instr &I = P.Code[Pc];
+      if (static_cast<uint8_t>(I.Op) >
+          static_cast<uint8_t>(Opcode::ParallelFor))
+        return err(Pc, formatString("invalid opcode %u",
+                                    static_cast<unsigned>(I.Op)));
+      switch (I.Op) {
+      case Opcode::Mov:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        if (!RegOk(I.A) || !RegOk(I.B))
+          return err(Pc, "register operand outside the register image");
+        break;
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::MulI:
+      case Opcode::DivI:
+      case Opcode::ModI:
+      case Opcode::MinI:
+      case Opcode::MaxI:
+      case Opcode::AddF:
+      case Opcode::SubF:
+      case Opcode::MulF:
+      case Opcode::DivF:
+      case Opcode::ModF:
+      case Opcode::MinF:
+      case Opcode::MaxF:
+      case Opcode::LoopNext:
+        if (!RegOk(I.A) || !RegOk(I.B) || !RegOk(I.C))
+          return err(Pc, "register operand outside the register image");
+        break;
+      case Opcode::AddImmI:
+        if (!RegOk(I.A))
+          return err(Pc, "register operand outside the register image");
+        break;
+      case Opcode::LoadF32:
+      case Opcode::LoadF64:
+      case Opcode::LoadS32:
+      case Opcode::LoadS8:
+      case Opcode::LoadU8:
+      case Opcode::StoreF32:
+      case Opcode::StoreF64:
+      case Opcode::StoreS32:
+      case Opcode::StoreS8:
+      case Opcode::StoreU8:
+        if (!RegOk(I.A) || !RegOk(I.C))
+          return err(Pc, "register operand outside the register image");
+        if (I.B >= P.Buffers.size())
+          return err(Pc, formatString("references unknown buffer %u", I.B));
+        break;
+      case Opcode::JumpIfGeI:
+        if (!RegOk(I.A) || !RegOk(I.B))
+          return err(Pc, "register operand outside the register image");
+        break;
+      case Opcode::CallKernel: {
+        if (I.Target < 0 ||
+            static_cast<size_t>(I.Target) >= P.Calls.size())
+          return err(Pc, formatString("call descriptor %d out of range",
+                                      I.Target));
+        const CallDesc &C = P.Calls[static_cast<size_t>(I.Target)];
+        if (!C.Fn)
+          return err(Pc, "kernel call has a null function pointer");
+        if (C.NumBufs > 4 || C.NumDyn > 12)
+          return err(Pc,
+                     formatString("kernel call exceeds marshalling limits "
+                                  "(%u buffers, %u dynamic scalars)",
+                                  C.NumBufs, C.NumDyn));
+        for (uint8_t BI = 0; BI < C.NumBufs; ++BI) {
+          if (C.Bufs[BI].BufferId < 0 ||
+              static_cast<size_t>(C.Bufs[BI].BufferId) >= P.Buffers.size())
+            return err(Pc, formatString("kernel call buffer arg %u "
+                                        "references unknown buffer %d",
+                                        BI, C.Bufs[BI].BufferId));
+          if (C.Bufs[BI].HasOffset && !RegOk(C.Bufs[BI].OffsetReg))
+            return err(Pc, "kernel call offset register outside the "
+                           "register image");
+        }
+        for (uint8_t DI = 0; DI < C.NumDyn; ++DI) {
+          if (C.Dyns[DI].Idx >= 12)
+            return err(Pc, "kernel call dynamic scalar index out of range");
+          if (!RegOk(C.Dyns[DI].Reg))
+            return err(Pc, "kernel call dynamic scalar register outside "
+                           "the register image");
+        }
+        break;
+      }
+      case Opcode::ParallelFor: {
+        if (I.Target < 0 || static_cast<size_t>(I.Target) >= P.Pars.size())
+          return err(Pc, formatString("parallel descriptor %d out of range",
+                                      I.Target));
+        const ParDesc &D = P.Pars[static_cast<size_t>(I.Target)];
+        if (!RegOk(D.VarReg) || !RegOk(D.BeginReg) || !RegOk(D.EndReg) ||
+            !RegOk(D.StepReg))
+          return err(Pc, "parallel descriptor register outside the "
+                         "register image");
+        if (Pc + 1 + D.BodyLen > P.Code.size())
+          return err(Pc, formatString("parallel body of %u instructions "
+                                      "runs past the end of the program",
+                                      D.BodyLen));
+        break;
+      }
+      }
+      if (I.Op == Opcode::JumpIfGeI || I.Op == Opcode::LoopNext) {
+        const int64_t T = static_cast<int64_t>(Pc) + I.Target;
+        if (T < 0 || T > static_cast<int64_t>(P.Code.size()))
+          return err(Pc, formatString("jump target %lld outside the code "
+                                      "block",
+                                      (long long)T));
+      }
+    }
+    return Status::ok();
+  }
+
+  /// Registers written by instructions in [Begin, End).
+  std::vector<uint16_t> writtenRegs(size_t Begin, size_t End) const {
+    std::vector<bool> Seen(P.NumRegs, false);
+    std::vector<uint16_t> Out;
+    for (size_t Pc = Begin; Pc < End; ++Pc)
+      if (int D = destReg(P.Code[Pc]); D >= 0 && !Seen[static_cast<size_t>(D)]) {
+        Seen[static_cast<size_t>(D)] = true;
+        Out.push_back(static_cast<uint16_t>(D));
+      }
+    return Out;
+  }
+
+  Status checkOffset(size_t Pc, uint16_t BufferId, const Interval &Off,
+                     const char *What) const {
+    const int64_t Elems = bufferElems(BufferId);
+    if (Off.bounded() && (Off.Lo < 0 || Off.Hi >= Elems))
+      return err(Pc, formatString("%s offset range [%lld, %lld] is outside "
+                                  "buffer %u's %lld elements",
+                                  What, (long long)Off.Lo, (long long)Off.Hi,
+                                  BufferId, (long long)Elems));
+    return Status::ok();
+  }
+
+  /// Straight-line transfer of one non-control-flow instruction.
+  Status step(size_t Pc, RegState &R) const {
+    const Instr &I = P.Code[Pc];
+    switch (I.Op) {
+    case Opcode::Mov:
+      R[I.A] = R[I.B];
+      return Status::ok();
+    case Opcode::I2F:
+      // Writes only the F view; the I view of A is PRESERVED by the
+      // executor (Value fields are independent) — but being conservative
+      // about Value-struct semantics costs nothing here.
+      R[I.A] = Interval::top();
+      return Status::ok();
+    case Opcode::F2I:
+      R[I.A] = Interval::top();
+      return Status::ok();
+    case Opcode::AddI:
+      R[I.A] = intervalAdd(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::SubI:
+      R[I.A] = intervalSub(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::MulI:
+      R[I.A] = intervalMul(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::DivI:
+      R[I.A] = intervalDiv(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::ModI:
+      R[I.A] = intervalMod(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::MinI:
+      R[I.A] = intervalMin(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::MaxI:
+      R[I.A] = intervalMax(R[I.B], R[I.C]);
+      return Status::ok();
+    case Opcode::AddF:
+    case Opcode::SubF:
+    case Opcode::MulF:
+    case Opcode::DivF:
+    case Opcode::ModF:
+    case Opcode::MinF:
+    case Opcode::MaxF:
+      return Status::ok(); // float-only: the I view is untouched
+    case Opcode::AddImmI:
+      R[I.A] = intervalAdd(R[I.A], Interval::constant(I.Imm));
+      return Status::ok();
+    case Opcode::LoadF32:
+    case Opcode::LoadF64:
+    case Opcode::LoadS32:
+    case Opcode::LoadS8:
+    case Opcode::LoadU8:
+      if (Status S = checkOffset(Pc, I.B, R[I.C], "load"); !S.isOk())
+        return S;
+      R[I.A] = Interval::top();
+      return Status::ok();
+    case Opcode::StoreF32:
+    case Opcode::StoreF64:
+    case Opcode::StoreS32:
+    case Opcode::StoreS8:
+    case Opcode::StoreU8:
+      return checkOffset(Pc, I.B, R[I.C], "store");
+    case Opcode::CallKernel: {
+      const CallDesc &C = P.Calls[static_cast<size_t>(I.Target)];
+      for (uint8_t BI = 0; BI < C.NumBufs; ++BI)
+        if (C.Bufs[BI].HasOffset)
+          if (Status S = checkOffset(
+                  Pc, static_cast<uint16_t>(C.Bufs[BI].BufferId),
+                  R[C.Bufs[BI].OffsetReg], "kernel-call buffer");
+              !S.isOk())
+            return S;
+      return Status::ok();
+    }
+    default:
+      return err(Pc, "internal: control-flow opcode reached straight-line "
+                     "transfer");
+    }
+  }
+
+  /// Walks [Begin, End) updating \p R. Control flow must fit the
+  /// canonical shapes (see file comment).
+  Status walkRegion(size_t Begin, size_t End, RegState &R) {
+    size_t Pc = Begin;
+    while (Pc < End) {
+      const Instr &I = P.Code[Pc];
+      switch (I.Op) {
+      case Opcode::LoopNext:
+        // Every LoopNext must be consumed as the tail of a guarded
+        // serial-loop region; meeting one head-on is a stray back edge.
+        return err(Pc, "unstructured back edge (LoopNext without a "
+                       "matching loop guard)");
+      case Opcode::JumpIfGeI: {
+        if (I.Target <= 0)
+          return err(Pc, "backward or self jump guard is not canonical");
+        const size_t T = Pc + static_cast<size_t>(I.Target);
+        if (T > End)
+          return err(Pc, "jump escapes the enclosing loop region");
+        if (Status S = walkGuardedRegion(Pc, T, R); !S.isOk())
+          return S;
+        Pc = T;
+        continue;
+      }
+      case Opcode::ParallelFor: {
+        if (Status S = walkParallel(Pc, End, R); !S.isOk())
+          return S;
+        Pc += 1 + P.Pars[static_cast<size_t>(I.Target)].BodyLen;
+        continue;
+      }
+      default:
+        if (Status S = step(Pc, R); !S.isOk())
+          return S;
+        ++Pc;
+        continue;
+      }
+    }
+    return Status::ok();
+  }
+
+  /// Handles the region [Guard+1, T) jumped over by the JumpIfGeI at
+  /// \p Guard: a serial loop (ends in LoopNext), a guarded parallel nest
+  /// (contains ParallelFor), or a plain forward branch.
+  Status walkGuardedRegion(size_t Guard, size_t T, RegState &R) {
+    const Instr &G = P.Code[Guard];
+
+    // Serial loop: region tail is the LoopNext advancing the guard's var.
+    if (T - 1 > Guard && P.Code[T - 1].Op == Opcode::LoopNext &&
+        P.Code[T - 1].A == G.A)
+      return walkSerialLoop(Guard, T, R);
+
+    // Guarded parallel nest: entry hoists then ParallelFor whose body
+    // extends exactly to the guard target.
+    for (size_t Q = Guard + 1; Q < T; ++Q) {
+      if (P.Code[Q].Op != Opcode::ParallelFor)
+        continue;
+      const ParDesc &D = P.Pars[static_cast<size_t>(P.Code[Q].Target)];
+      if (Q + 1 + D.BodyLen == T) {
+        // Entry hoists run in the submitting frame (guard taken = skip).
+        RegState Taken = R;
+        if (Status S = walkRegion(Guard + 1, Q, R); !S.isOk())
+          return S;
+        if (Status S = walkParallel(Q, T, R); !S.isOk())
+          return S;
+        for (size_t I = 0; I < R.size(); ++I)
+          R[I] = R[I].join(Taken[I]);
+        return Status::ok();
+      }
+      break;
+    }
+
+    // Plain forward branch: analyze the region, then join with the
+    // branch-taken state at the target.
+    RegState Taken = R;
+    if (Status S = walkRegion(Guard + 1, T, R); !S.isOk())
+      return S;
+    for (size_t I = 0; I < R.size(); ++I)
+      R[I] = R[I].join(Taken[I]);
+    return Status::ok();
+  }
+
+  /// Serial loop [Guard .. T): Guard = JumpIfGeI var,end; entry block;
+  /// TOP: body; induction AddImmI...; LoopNext var,step,end -> TOP.
+  Status walkSerialLoop(size_t Guard, size_t T, RegState &R) {
+    const Instr &G = P.Code[Guard];
+    const Instr &LN = P.Code[T - 1];
+    if (LN.Target >= 0)
+      return err(T - 1, "loop back edge must jump backward");
+    const int64_t TopSigned = static_cast<int64_t>(T - 1) + LN.Target;
+    if (TopSigned <= static_cast<int64_t>(Guard) ||
+        TopSigned >= static_cast<int64_t>(T - 1))
+      return err(T - 1, "loop back edge target outside the loop region");
+    const size_t Top = static_cast<size_t>(TopSigned);
+    if (G.B != LN.C) {
+      // Guard end register and back-edge end register must agree — the
+      // executor would otherwise run the two exits against different
+      // bounds. (Step register has no guard-side counterpart.)
+      return err(T - 1, "loop guard and back edge disagree on the end "
+                        "register");
+    }
+
+    // The loop bound registers must be loop-invariant for the analysis
+    // (the builder holds them in registers no body instruction writes).
+    const std::vector<uint16_t> BodyWrites = writtenRegs(Top, T - 1);
+    const auto WritesReg = [&](uint16_t Reg) {
+      for (uint16_t W : BodyWrites)
+        if (W == Reg && Reg != G.A)
+          return true;
+      return false;
+    };
+    if (WritesReg(G.B) || WritesReg(LN.B))
+      return err(Guard, "loop bound register is mutated inside the body");
+
+    const Interval BeginI = R[G.A]; // var was Mov'd from begin just before
+    const Interval EndI = R[G.B];
+    const Interval StepI = R[LN.B];
+    if (StepI.boundedAbove() && StepI.Hi <= 0)
+      return err(T - 1, formatString("non-positive loop step %lld",
+                                     (long long)StepI.Hi));
+    const Interval VarRange{BeginI.Lo, satAdd(EndI.Hi, -1)};
+
+    // Definitely-zero-trip: the guard always jumps; nothing inside can
+    // execute and the exit state is the entry state.
+    if (BeginI.boundedBelow() && EndI.boundedAbove() && VarRange.empty())
+      return Status::ok();
+
+    // Entry block: runs with var == begin (and var < end, or it would
+    // have been skipped).
+    R[G.A] = BeginI.meet(Interval{Interval::kMin, VarRange.Hi});
+    const size_t EntryEnd = Top;
+    if (Status S = walkRegion(Guard + 1, EntryEnd, R); !S.isOk())
+      return S;
+
+    // Identify this loop's induction advances: the AddImmI run directly
+    // before the LoopNext (AddImmI is only ever emitted there; inner
+    // loops' advances sit before their own LoopNext).
+    size_t IncrBegin = T - 1;
+    while (IncrBegin > Top && P.Code[IncrBegin - 1].Op == Opcode::AddImmI)
+      --IncrBegin;
+
+    // Max increments any induction register sees before its last body
+    // read: trips - 1.
+    int64_t MaxIncr = Interval::kMax;
+    if (StepI.isConst() && StepI.Lo > 0 && BeginI.boundedBelow() &&
+        EndI.boundedAbove()) {
+      const int64_t Span = satAdd(EndI.Hi, -BeginI.Lo);
+      MaxIncr = Span <= 0 ? 0 : (Span - 1) / StepI.Lo;
+    }
+
+    // Widen the body-entry state: everything the body writes becomes
+    // unknown, except the loop var (guard range) and the induction
+    // registers (entry value + up to MaxIncr advances).
+    RegState Body = R;
+    for (uint16_t W : BodyWrites)
+      Body[W] = Interval::top();
+    Body[G.A] = VarRange;
+    for (size_t Pc = IncrBegin; Pc < T - 1; ++Pc) {
+      const Instr &Adv = P.Code[Pc];
+      const Interval Entry = R[Adv.A];
+      const Interval Total =
+          intervalMul(Interval::constant(Adv.Imm),
+                      Interval{0, MaxIncr});
+      Body[Adv.A] = intervalAdd(Entry, Total);
+    }
+    if (Status S = walkRegion(Top, IncrBegin, Body); !S.isOk())
+      return S;
+
+    // Post-loop state: body-written registers (and the loop var) hold
+    // iteration-dependent values.
+    for (uint16_t W : BodyWrites)
+      R[W] = Interval::top();
+    R[G.A] = Interval::top();
+    return Status::ok();
+  }
+
+  /// ParallelFor at \p Pc: workers run the body over a frame copy; the
+  /// submitting frame is unchanged by the body.
+  Status walkParallel(size_t Pc, size_t End, RegState &R) {
+    const ParDesc &D = P.Pars[static_cast<size_t>(P.Code[Pc].Target)];
+    const size_t BodyBegin = Pc + 1;
+    const size_t BodyEnd = BodyBegin + D.BodyLen;
+    if (BodyEnd > End)
+      return err(Pc, "parallel body extends past the enclosing region");
+
+    RegState Worker = R;
+    for (uint16_t W : writtenRegs(BodyBegin, BodyEnd))
+      Worker[W] = Interval::top();
+    const Interval VarRange{R[D.BeginReg].Lo, satAdd(R[D.EndReg].Hi, -1)};
+    if (R[D.BeginReg].boundedBelow() && R[D.EndReg].boundedAbove() &&
+        VarRange.empty())
+      return Status::ok(); // definitely zero-trip (and guarded anyway)
+    Worker[D.VarReg] = VarRange;
+    return walkRegion(BodyBegin, BodyEnd, Worker);
+  }
+};
+
+} // namespace
+
+Status verifyProgram(const Program &P, const char *Context) {
+  return ProgramVerifier(P, Context).run();
+}
+
+} // namespace verify
+} // namespace gc

@@ -65,7 +65,8 @@ Graph buildMidTransposeGraph() {
 }
 
 /// Executes \p G through a Session stream and returns the single output.
-runtime::TensorData runThroughSession(api::Session &S, const Graph &G,
+[[maybe_unused]] runtime::TensorData
+runThroughSession(api::Session &S, const Graph &G,
                                       runtime::TensorData &In) {
   Expected<api::CompiledGraphPtr> CompiledOr = S.compile(G);
   EXPECT_TRUE(CompiledOr.hasValue()) << CompiledOr.status().toString();
@@ -203,8 +204,9 @@ TEST(ApiSession, FoldOpCrossingPartitionBoundaryDoesNotDemoteItsGroup) {
   const api::CompiledGraph &CG = **CompiledOr;
   // Every Compiled-kind partition really compiled (no silent demotion).
   for (size_t I = 0; I < CG.numPartitions(); ++I)
-    if (CG.partitionKind(I) == api::PartitionKind::Compiled)
+    if (CG.partitionKind(I) == api::PartitionKind::Compiled) {
       EXPECT_NE(CG.compiledPartition(I), nullptr) << "partition " << I;
+    }
   EXPECT_GE(CG.numPartitions() - CG.numFallbackPartitions(), 2u);
 
   runtime::TensorData In = test::randomTensor(DataType::F32, {8, 16}, 54);

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/scheduler.h"
 #include "api/session.h"
 #include "graph/reference.h"
 #include "test_utils.h"
@@ -323,12 +324,14 @@ TEST(AsyncEvent, DroppingTheEventDoesNotLoseTheExecution) {
                                                       {20, 24});
   api::Event E = Str.submit(*CG, {&A1, &A2}, {&P1, &P2});
   ASSERT_TRUE(E.wait().isOk());
-  // The dropped run writes the same values; poll until its buffers hold
-  // them (bounded at ~5s, far beyond any plausible completion time).
-  for (int Spin = 0;
-       Spin < 5000 && (maxAbsDiff(O1, P1) > 0 || maxAbsDiff(O2, P2) > 0);
+  // Submission::inFlight() is the race-free completion probe for the
+  // dropped run: its release-decrement publishes the output writes, so
+  // once the count drains the buffers are safe to read (bounded at ~5s,
+  // far beyond any plausible completion time).
+  for (int Spin = 0; Spin < 5000 && api::detail::Submission::inFlight() > 0;
        ++Spin)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(api::detail::Submission::inFlight(), 0u);
   EXPECT_EQ(maxAbsDiff(O1, P1), 0.0);
   EXPECT_EQ(maxAbsDiff(O2, P2), 0.0);
 }
@@ -356,8 +359,14 @@ TEST(AsyncEvent, DroppingEverySessionHandleMidFlightIsSafe) {
     // Session, Stream and CompiledGraph handles all die here while the
     // submission may still be in flight.
   }
-  for (int Spin = 0; Spin < 5000 && O1.dataAs<float>()[0] < 0.0f; ++Spin)
+  // No handle is left to wait on; Submission::inFlight() draining to 0
+  // is the race-free signal that the orphaned run finished writing O1/O2
+  // (and that destroying them below cannot race with it).
+  for (int Spin = 0; Spin < 5000 && api::detail::Submission::inFlight() > 0;
+       ++Spin)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(api::detail::Submission::inFlight(), 0u)
+      << "submission never completed";
   EXPECT_GE(O1.dataAs<float>()[0], 0.0f) << "submission never completed";
 }
 
@@ -479,8 +488,9 @@ TEST(AsyncStress, EightThreadsSubmitTheSameCompiledGraph) {
 
   // The lease pools recycled states instead of growing unboundedly.
   for (size_t I = 0; I < CG->numPartitions(); ++I)
-    if (auto CP = CG->compiledPartition(I))
+    if (auto CP = CG->compiledPartition(I)) {
       EXPECT_LE(CP->idleExecStates(), 8u) << "partition " << I;
+    }
 }
 
 } // namespace

@@ -216,9 +216,10 @@ TEST(PrimitivesBaseline, NoCoarseGrainMergesAndPlainActivations) {
   for (int64_t TId : G.tensorIds()) {
     const LogicalTensor &T = G.tensor(TId);
     if (T.Ty == DataType::F32 && G.producerOf(TId) >= 0 &&
-        !T.isConstant())
+        !T.isConstant()) {
       EXPECT_FALSE(T.Lay.K == Layout::Kind::BlockedA)
           << "primitives mode must not block activations";
+    }
   }
 }
 

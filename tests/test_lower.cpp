@@ -60,8 +60,9 @@ TEST_P(HeuristicSweep, InvariantsHold) {
 
   // Vector-width alignment and int8 VNNI constraint.
   EXPECT_EQ(P.NB % 16, 0) << P.toString();
-  if (C.Int8)
+  if (C.Int8) {
     EXPECT_EQ(P.KB % 4, 0) << P.toString();
+  }
 
   // Grid bounded by block counts and never empty.
   EXPECT_GE(P.MPN, 1);

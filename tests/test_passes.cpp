@@ -333,8 +333,9 @@ TEST(FusionPass, SoftmaxChainSetsNeedsFullRows) {
   runPass(createFusionPass(), G);
   ASSERT_EQ(countKind(G, OpKind::FusedOp), 1);
   for (int64_t Id : G.opIds())
-    if (G.op(Id).kind() == OpKind::FusedOp)
+    if (G.op(Id).kind() == OpKind::FusedOp) {
       EXPECT_EQ(G.op(Id).getAttrInt("needs_full_rows"), 1);
+    }
 }
 
 TEST(FusionPass, DisabledStillWrapsSingletons) {
@@ -371,9 +372,10 @@ TEST(FusionPass, ConvexityBlocksCycles) {
   // must NOT be inside the matmul region.
   for (int64_t Id : G.opIds()) {
     const Op &O = G.op(Id);
-    if (O.kind() == OpKind::FusedOp && O.getAttrInt("tunable"))
+    if (O.kind() == OpKind::FusedOp && O.getAttrInt("tunable")) {
       for (int64_t SubOp : O.subgraph()->opIds())
         EXPECT_NE(O.subgraph()->op(SubOp).kind(), OpKind::Add);
+    }
   }
 }
 

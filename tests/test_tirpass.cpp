@@ -22,7 +22,8 @@ using namespace gc::tirpass;
 namespace {
 
 /// One region: parallel loop writing Out[i] = In[i] * Mul + Addend.
-Stmt makeAffineNest(Func &F, int In, int Out, int64_t N, double Mul,
+Stmt makeAffineNest([[maybe_unused]] Func &F, int In, int Out, int64_t N,
+                    double Mul,
                     double Addend, bool Mergeable, const char *Tag) {
   Var I = makeVar(std::string(Tag) + "_i");
   Expr LoadIn = std::make_shared<LoadNode>(In, std::vector<Expr>{Expr(I)},

@@ -1,0 +1,424 @@
+//===- test_verify.cpp - Static verification layer tests ------------------===//
+//
+// Negative-path suite for src/verify/: every corruption class the
+// verifiers exist to catch must be rejected with the right status code
+// and a message that pinpoints the culprit (op id, statement path,
+// instruction index, slot pair). Positive paths run the verifiers over
+// real compiled workloads to pin down "no false positives" as a tested
+// property, not just an observed one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/session.h"
+#include "exec/program.h"
+#include "graph/graph.h"
+#include "support/str.h"
+#include "tir/function.h"
+#include "tir/stmt.h"
+#include "verify/verify.h"
+#include "workloads/mlp.h"
+
+#include "test_utils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gc;
+using namespace gc::graph;
+using namespace gc::verify;
+
+namespace {
+
+/// Expects \p S to be an error of \p Code whose message mentions every
+/// string in \p Mentions (the "pinpointed" part of the contract).
+void expectRejected(const Status &S, StatusCode Code,
+                    std::initializer_list<const char *> Mentions) {
+  ASSERT_FALSE(S.isOk()) << "corruption was accepted";
+  EXPECT_EQ(S.code(), Code) << S.toString();
+  for (const char *M : Mentions)
+    EXPECT_NE(S.message().find(M), std::string::npos)
+        << "message lacks '" << M << "': " << S.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Graph verifier
+//===----------------------------------------------------------------------===//
+
+Graph smallMatMul() {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {4, 8}, "x");
+  const int64_t W = G.addTensor(DataType::F32, {8, 16}, "w");
+  G.markInput(X);
+  G.markInput(W);
+  const int64_t Mm = G.addOp(OpKind::MatMul, {X, W}, DataType::F32, {4, 16});
+  const int64_t Out = G.addOp(OpKind::ReLU, {Mm}, DataType::F32, {4, 16});
+  G.markOutput(Out);
+  return G;
+}
+
+TEST(VerifyGraph, ValidGraphPasses) {
+  Graph G = smallMatMul();
+  EXPECT_TRUE(verifyGraph(G).isOk());
+}
+
+TEST(VerifyGraph, DanglingInputRejected) {
+  Graph G = smallMatMul();
+  // A tensor nobody produces and nobody marked as input.
+  const int64_t Dangling = G.addTensor(DataType::F32, {8, 16}, "dangling");
+  const int64_t MmOp = G.producerOf(G.op(G.producerOf(G.outputs()[0]))
+                                        .input(0));
+  G.setOpInputs(MmOp, {G.inputs()[0], Dangling});
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"no producer"});
+}
+
+TEST(VerifyGraph, DtypeMismatchRejected) {
+  Graph G = smallMatMul();
+  // ReLU must preserve dtype; flip its output tensor's type in place.
+  G.tensor(G.outputs()[0]).Ty = DataType::S32;
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"relu"});
+}
+
+TEST(VerifyGraph, ShapeMismatchRejected) {
+  Graph G = smallMatMul();
+  G.tensor(G.outputs()[0]).Shape = {4, 17};
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"relu"});
+}
+
+TEST(VerifyGraph, DefBeforeUseCycleRejected) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {4, 4}, "x");
+  G.markInput(X);
+  const int64_t A = G.addOp(OpKind::ReLU, {X}, DataType::F32, {4, 4});
+  const int64_t B = G.addOp(OpKind::Exp, {A}, DataType::F32, {4, 4});
+  G.markOutput(B);
+  // Re-point the ReLU at the Exp's output: A -> B -> A.
+  G.setOpInputs(G.producerOf(A), {B});
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"cycle"});
+}
+
+TEST(VerifyGraph, BadTransposePermRejected) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {4, 8}, "x");
+  G.markInput(X);
+  const int64_t T =
+      G.addOp(OpKind::Transpose, {X}, DataType::F32, {8, 4},
+              {{"perm", std::vector<int64_t>{0, 0}}});
+  G.markOutput(T);
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"perm"});
+}
+
+TEST(VerifyGraph, BadReduceAxisRejected) {
+  Graph G;
+  const int64_t X = G.addTensor(DataType::F32, {4, 8}, "x");
+  G.markInput(X);
+  const int64_t R =
+      G.addOp(OpKind::ReduceSum, {X}, DataType::F32, {4},
+              {{"axes", std::vector<int64_t>{5}}, {"keep_dims", int64_t(0)}});
+  G.markOutput(R);
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph, {"axis"});
+}
+
+TEST(VerifyGraph, ErrorNamesTheOp) {
+  Graph G = smallMatMul();
+  const int64_t MmOut = G.op(G.producerOf(G.outputs()[0])).input(0);
+  const int64_t MmOp = G.producerOf(MmOut);
+  G.tensor(MmOut).Shape = {5, 16}; // MatMul [4,8]x[8,16] must give [4,16]
+  expectRejected(verifyGraph(G), StatusCode::InvalidGraph,
+                 {formatString("op%lld", (long long)MmOp).c_str(),
+                  "matmul"});
+}
+
+//===----------------------------------------------------------------------===//
+// Tensor IR verifier
+//===----------------------------------------------------------------------===//
+
+/// for i in [0, 8): buf[i] = 1.0 — a minimal well-formed function.
+tir::Func smallFunc(int64_t Elems = 8, int64_t Trip = 8) {
+  tir::Func F;
+  F.Name = "tf";
+  const int B = F.addBuffer("buf", DataType::F64, {Elems},
+                            tir::BufferScope::Param, 0);
+  tir::Var I = tir::makeVar("i");
+  F.Body.push_back(tir::makeFor(
+      I, tir::makeInt(0), tir::makeInt(Trip), tir::makeInt(1),
+      {tir::makeStore(B, {tir::Expr(I)}, tir::makeFloat(1.0))}));
+  return F;
+}
+
+TEST(VerifyFunc, ValidFuncPasses) {
+  EXPECT_TRUE(verifyFunc(smallFunc()).isOk());
+}
+
+TEST(VerifyFunc, UseBeforeDefRejected) {
+  tir::Func F = smallFunc();
+  auto &For = static_cast<tir::ForNode &>(*F.Body[0]);
+  auto &St = static_cast<tir::StoreNode &>(*For.Body[0]);
+  St.Indices = {tir::Expr(tir::makeVar("ghost"))};
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"ghost"});
+}
+
+TEST(VerifyFunc, NonPositiveStepRejected) {
+  tir::Func F = smallFunc();
+  static_cast<tir::ForNode &>(*F.Body[0]).Step = tir::makeInt(0);
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"step"});
+}
+
+TEST(VerifyFunc, ConstOobStoreRejected) {
+  tir::Func F = smallFunc();
+  auto &For = static_cast<tir::ForNode &>(*F.Body[0]);
+  static_cast<tir::StoreNode &>(*For.Body[0]).Indices = {tir::makeInt(8)};
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"buf", "8 elements"});
+}
+
+TEST(VerifyFunc, LoopDrivenOobStoreRejected) {
+  // Loop runs to 12 over an 8-element buffer: the affine range analysis
+  // must catch the escape even though no single index is constant.
+  tir::Func F = smallFunc(/*Elems=*/8, /*Trip=*/12);
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"buf"});
+}
+
+TEST(VerifyFunc, CallArityRejected) {
+  tir::Func F;
+  const int B = F.addBuffer("b", DataType::F32, {64},
+                            tir::BufferScope::Param, 0);
+  F.Body.push_back(tir::makeCall(tir::Intrinsic::ReluTile,
+                                 {tir::BufferRef(B, tir::makeInt(0))},
+                                 {tir::makeInt(4), tir::makeInt(4)}));
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"scalar args"});
+}
+
+TEST(VerifyFunc, CallDtypeRejected) {
+  tir::Func F;
+  const int C = F.addBuffer("c", DataType::S32, {64},
+                            tir::BufferScope::Param, 0);
+  const int A = F.addBuffer("a", DataType::F32, {64},
+                            tir::BufferScope::Param, 1);
+  const int B = F.addBuffer("bw", DataType::F32, {64},
+                            tir::BufferScope::Param, 2);
+  std::vector<tir::Expr> Sc;
+  for (int I = 0; I < 10; ++I)
+    Sc.push_back(tir::makeInt(I < 6 ? 4 : 1));
+  F.Body.push_back(tir::makeCall(tir::Intrinsic::BrgemmF32,
+                                 {tir::BufferRef(C, tir::makeInt(0)),
+                                  tir::BufferRef(A, tir::makeInt(0)),
+                                  tir::BufferRef(B, tir::makeInt(0))},
+                                 Sc));
+  expectRejected(verifyFunc(F), StatusCode::Internal,
+                 {"element type", "s32"});
+}
+
+TEST(VerifyFunc, ArenaOverflowRejected) {
+  tir::Func F = smallFunc();
+  F.Buffers[0].Scope = tir::BufferScope::Temp;
+  F.Buffers[0].ArenaOffset = 0;
+  F.ArenaBytes = 16; // 8 f64 elements need 64
+  expectRejected(verifyFunc(F), StatusCode::Internal, {"arena"});
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode program verifier
+//===----------------------------------------------------------------------===//
+
+/// Minimal canonical serial loop: for (r0 = r1; r0 < r2; r0 += r3)
+/// buf[r0] = r1 — exactly the shape the program builder emits.
+exec::Program smallProgram() {
+  using exec::Instr;
+  using exec::Opcode;
+  exec::Program P;
+  P.Name = "tp";
+  P.NumRegs = 4;
+  P.InitRegs.resize(4);
+  P.InitRegs[1].I = 0; // begin
+  P.InitRegs[2].I = 8; // end
+  P.InitRegs[3].I = 1; // step
+  exec::BufferInfo B;
+  B.Bytes = 32; // 8 f32 elements
+  B.ElemSize = 4;
+  B.Scope = tir::BufferScope::Param;
+  P.Buffers.push_back(B);
+  P.Code.push_back(Instr{Opcode::Mov, 0, 1, 0, 0, 0});
+  P.Code.push_back(Instr{Opcode::JumpIfGeI, 0, 2, 0, 3, 0});
+  P.Code.push_back(Instr{Opcode::StoreF32, 1, 0, 0, 0, 0});
+  P.Code.push_back(Instr{Opcode::LoopNext, 0, 3, 2, -1, 0});
+  return P;
+}
+
+TEST(VerifyProgram, ValidProgramPasses) {
+  const Status S = verifyProgram(smallProgram());
+  EXPECT_TRUE(S.isOk()) << S.toString();
+}
+
+TEST(VerifyProgram, BadRegisterIndexRejected) {
+  exec::Program P = smallProgram();
+  P.Code[2].C = 9; // offset register outside the 4-register image
+  expectRejected(verifyProgram(P), StatusCode::Internal,
+                 {"register image", "instr 2"});
+}
+
+TEST(VerifyProgram, InitImageSizeMismatchRejected) {
+  exec::Program P = smallProgram();
+  P.InitRegs.resize(3);
+  expectRejected(verifyProgram(P), StatusCode::Internal, {"init image"});
+}
+
+TEST(VerifyProgram, JumpOutsideCodeRejected) {
+  exec::Program P = smallProgram();
+  P.Code[1].Target = 40;
+  expectRejected(verifyProgram(P), StatusCode::Internal,
+                 {"jump target", "instr 1"});
+}
+
+TEST(VerifyProgram, BadCallDescriptorIndexRejected) {
+  exec::Program P = smallProgram();
+  P.Code[2] = exec::Instr{exec::Opcode::CallKernel, 0, 0, 0, 5, 0};
+  expectRejected(verifyProgram(P), StatusCode::Internal,
+                 {"call descriptor", "instr 2"});
+}
+
+TEST(VerifyProgram, NullKernelPointerRejected) {
+  exec::Program P = smallProgram();
+  P.Calls.emplace_back(); // Fn left null
+  P.Code[2] = exec::Instr{exec::Opcode::CallKernel, 0, 0, 0, 0, 0};
+  expectRejected(verifyProgram(P), StatusCode::Internal, {"null function"});
+}
+
+TEST(VerifyProgram, ConstOobStoreRejected) {
+  exec::Program P = smallProgram();
+  P.InitRegs[2].I = 12; // loop now runs r0 over [0, 12) against 8 elements
+  expectRejected(verifyProgram(P), StatusCode::Internal,
+                 {"store offset", "8 elements"});
+}
+
+TEST(VerifyProgram, StrayBackEdgeRejected) {
+  exec::Program P = smallProgram();
+  P.Code.erase(P.Code.begin() + 1); // drop the guard; LoopNext is orphaned
+  expectRejected(verifyProgram(P), StatusCode::Internal, {"back edge"});
+}
+
+TEST(VerifyProgram, RealCompiledProgramsPass) {
+  // Every Program the compiler produces for a real workload must verify:
+  // run an MLP and an int8 MLP through Session with the verify level
+  // forced to All (which routes every compile through all verifiers).
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::All);
+  for (const bool Int8 : {false, true}) {
+    workloads::MlpSpec Spec;
+    Spec.Batch = 8;
+    Spec.LayerDims = {16, 32, 24};
+    Spec.Int8 = Int8;
+    Graph G = workloads::buildMlp(Spec);
+    api::Session S;
+    auto CG = S.compile(G);
+    ASSERT_TRUE(CG.hasValue()) << CG.status().toString();
+  }
+  setVerifyLevel(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-plan alias checker
+//===----------------------------------------------------------------------===//
+
+/// Chain t1 = P0(t0), t2 = P1(t1), out t3 = P2(t2): two intermediates
+/// whose lifetimes are disjoint (t1 dies when P1 runs... but t1 is read
+/// BY P1 while it writes t2, so t1/t2 may NOT alias; t1 and any slot
+/// produced after P1's consumers may).
+MemoryPlanView chainPlan() {
+  MemoryPlanView V;
+  V.GraphInputs = {0};
+  V.GraphOutputs = {3};
+  V.Partitions.push_back({{0}, {1}});
+  V.Partitions.push_back({{1}, {2}});
+  V.Partitions.push_back({{2}, {3}});
+  V.Slots.push_back({1, 0, 64});
+  V.Slots.push_back({2, 64, 64});
+  V.ArenaBytes = 128;
+  return V;
+}
+
+TEST(VerifyMemPlan, ValidPlanPasses) {
+  const Status S = verifyMemoryPlan(chainPlan());
+  EXPECT_TRUE(S.isOk()) << S.toString();
+}
+
+TEST(VerifyMemPlan, LiveOverlapRejected) {
+  MemoryPlanView V = chainPlan();
+  // t1 is read by P1 while P1 writes t2: same bytes = corruption.
+  V.Slots[1].Offset = 32;
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"overlap", "t1", "t2"});
+}
+
+TEST(VerifyMemPlan, SafeReuseAccepted) {
+  // t1's last reader is P1; a slot produced by P2 (after every use of
+  // t1) may legally reuse t1's bytes.
+  MemoryPlanView V;
+  V.GraphInputs = {0};
+  V.GraphOutputs = {4};
+  V.Partitions.push_back({{0}, {1}});
+  V.Partitions.push_back({{1}, {2}});
+  V.Partitions.push_back({{2}, {3}});
+  V.Partitions.push_back({{3}, {4}});
+  V.Slots.push_back({1, 0, 64});
+  V.Slots.push_back({2, 64, 64});
+  V.Slots.push_back({3, 0, 64}); // reuses t1's bytes — legal
+  V.ArenaBytes = 128;
+  const Status S = verifyMemoryPlan(V);
+  EXPECT_TRUE(S.isOk()) << S.toString();
+}
+
+TEST(VerifyMemPlan, UnsafeReuseAcrossBranchRejected) {
+  // Diamond: P0 -> {P1, P2} -> P3. t1 (made by P1) and t2 (made by P2)
+  // have no ordering between them; sharing bytes is illegal even though
+  // the serial list order would happen to work.
+  MemoryPlanView V;
+  V.GraphInputs = {0};
+  V.GraphOutputs = {5};
+  V.Partitions.push_back({{0}, {1}});      // P0: t1
+  V.Partitions.push_back({{1}, {2}});      // P1: t2
+  V.Partitions.push_back({{1}, {3}});      // P2: t3 (parallel with P1)
+  V.Partitions.push_back({{2, 3}, {5}});   // P3: out
+  V.Slots.push_back({1, 0, 64});
+  V.Slots.push_back({2, 64, 64});
+  V.Slots.push_back({3, 64, 64}); // same bytes as t2, but P1 !< P2
+  V.ArenaBytes = 128;
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"t2", "t3", "overlap"});
+}
+
+TEST(VerifyMemPlan, UnproducedInputRejected) {
+  MemoryPlanView V = chainPlan();
+  V.Partitions[1].Inputs = {7};
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"t7", "neither", "partition 1"});
+}
+
+TEST(VerifyMemPlan, NonTopologicalOrderRejected) {
+  MemoryPlanView V = chainPlan();
+  std::swap(V.Partitions[1], V.Partitions[2]);
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"topologically"});
+}
+
+TEST(VerifyMemPlan, SlotBeyondArenaRejected) {
+  MemoryPlanView V = chainPlan();
+  V.ArenaBytes = 96; // second slot spans [64, 128)
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"t2", "arena"});
+}
+
+TEST(VerifyMemPlan, MissingSlotRejected) {
+  MemoryPlanView V = chainPlan();
+  V.Slots.pop_back();
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"t2", "no arena slot"});
+}
+
+//===----------------------------------------------------------------------===//
+// Level plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyLevelApi, SetReturnsPrevious) {
+  const VerifyLevel Orig = setVerifyLevel(VerifyLevel::Off);
+  EXPECT_EQ(setVerifyLevel(VerifyLevel::All), VerifyLevel::Off);
+  setVerifyLevel(Orig);
+}
+
+} // namespace

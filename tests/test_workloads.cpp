@@ -116,8 +116,9 @@ TEST(Workloads, MhaGraphStructure) {
   for (int64_t Id : G.opIds()) {
     const Op &O = G.op(Id);
     if (O.kind() == OpKind::MatMul &&
-        G.tensor(O.output(0)).Shape.back() == Spec.SeqLen)
+        G.tensor(O.output(0)).Shape.back() == Spec.SeqLen) {
       EXPECT_EQ(O.getAttrInt("transpose_b"), 1);
+    }
   }
 }
 

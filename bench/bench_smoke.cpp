@@ -26,15 +26,21 @@
 
 #include "api/session.h"
 #include "bench_common.h"
+#include "core/artifact.h"
 #include "exec/backend.h"
 #include "kernels/cpu_features.h"
+#include "runtime/artifact_cache.h"
 #include "workloads/mha.h"
 #include "workloads/mlp.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <dirent.h>
 #include <string>
+#include <unistd.h>
+#include <vector>
 
 using namespace gc;
 using namespace gc::bench;
@@ -296,6 +302,228 @@ void runDynBatchCase(const char *Name) {
   }
 }
 
+/// Cold-start probes (scripts/compare_cache_bench.py, BENCH_7): the time
+/// a fresh process needs to reach its first inference result, without and
+/// with a populated persistent artifact cache. "cold_start_us" is a fresh
+/// session compiling from source (disk cache off) plus the first execute
+/// — which runs the constant-fold / weight-packing pass; "warm_start_us"
+/// is a fresh session (empty in-memory cache — exactly what a new process
+/// looks like to the compiler) deserializing the artifact in read mode
+/// plus the first execute, which finds the fold pre-fired from the
+/// payload's shipped fold outputs. Both are medians over several fresh
+/// sessions inside this run; the gate script additionally re-runs the
+/// whole binary and takes medians across runs. "bit_identical" reports
+/// whether the disk-loaded partition reproduces the cold compile's output
+/// bytes exactly — the cache must never change numerics.
+void runColdStartCase(const char *Name, graph::Graph (*Build)()) {
+  char Tmpl[] = "/tmp/gc_bench_artifact_XXXXXX";
+  const char *Dir = mkdtemp(Tmpl);
+  if (!Dir) {
+    std::printf("{\"bench\":\"%s\",\"error\":\"mkdtemp failed\"}\n", Name);
+    return;
+  }
+  const auto CacheOpts = [&](runtime::CacheMode Mode) {
+    core::CompileOptions O;
+    O.Exec = exec::Backend::Bytecode;
+    O.CacheMode = Mode;
+    O.CacheDir = Dir;
+    O.CacheMaxBytes = 0;
+    return O;
+  };
+  const auto Median = [](std::vector<double> V) {
+    std::sort(V.begin(), V.end());
+    return V[V.size() / 2];
+  };
+
+  // Populate the cache directory and capture the reference output.
+  Instance W(Build());
+  size_t Partitions = 0;
+  int Threads = 0;
+  std::vector<runtime::TensorData> RefOut;
+  {
+    api::Session Seed(CacheOpts(runtime::CacheMode::ReadWrite));
+    Expected<api::CompiledGraphPtr> C = Seed.compile(W.G);
+    if (!C || !Seed.stream().execute(**C, W.InPtrs, W.OutPtrs).isOk()) {
+      std::printf("{\"bench\":\"%s\",\"error\":\"seed compile failed\"}\n",
+                  Name);
+      return;
+    }
+    Partitions = (*C)->numPartitions();
+    Threads = Seed.threadPool().numThreads();
+    // Deep copies: TensorData copies share storage, and the warm sessions
+    // below execute into the same W.Outputs buffers.
+    for (const runtime::TensorData &T : W.Outputs)
+      RefOut.push_back(T.clone());
+  }
+
+  constexpr int kRepeats = 5;
+  std::vector<double> ColdUs, WarmUs;
+  bool BitIdentical = true;
+  for (int I = 0; I < kRepeats; ++I) {
+    {
+      api::Session Cold(CacheOpts(runtime::CacheMode::Off));
+      Timer T;
+      Expected<api::CompiledGraphPtr> C = Cold.compile(W.G);
+      const bool Ok =
+          C && Cold.stream().execute(**C, W.InPtrs, W.OutPtrs).isOk();
+      ColdUs.push_back(T.seconds() * 1e6);
+      if (!Ok)
+        BitIdentical = false;
+    }
+    {
+      api::Session Warm(CacheOpts(runtime::CacheMode::Read));
+      Timer T;
+      Expected<api::CompiledGraphPtr> C = Warm.compile(W.G);
+      const bool Ok =
+          C && Warm.stream().execute(**C, W.InPtrs, W.OutPtrs).isOk();
+      WarmUs.push_back(T.seconds() * 1e6);
+      if (!Ok || Warm.diskCacheHits() == 0) {
+        BitIdentical = false;
+        continue;
+      }
+      for (size_t O = 0; O < RefOut.size(); ++O)
+        if (std::memcmp(RefOut[O].data(), W.Outputs[O].data(),
+                        static_cast<size_t>(RefOut[O].numBytes())) != 0)
+          BitIdentical = false;
+    }
+  }
+
+  // Substitution-level probe: exactly the stages a disk hit trades —
+  // "ready to serve at full speed". The cold side runs the partition
+  // compile pipeline (passes + lowering + bytecode emission) plus the
+  // constant fold (weight packing, normally paid by the first execute);
+  // the warm side runs envelope load + codec deserialize +
+  // re-validation, after which the fold is already pre-fired from the
+  // payload's shipped outputs. The inference itself is identical on both
+  // sides and excluded. The session-level numbers above additionally
+  // carry work both paths share (graph validation, partitioning,
+  // fingerprinting) plus one inference, which bounds their ratio; this
+  // ratio is the cache's own win and is what the CI gate scores.
+  double PipelineUs = 0, LoadUs = 0;
+  {
+    api::Partitioner Part(W.G);
+    Expected<std::vector<api::PartitionSpec>> SpecsOr = Part.partition();
+    core::CompileOptions Opts = CacheOpts(runtime::CacheMode::ReadWrite);
+    auto Pool = core::globalThreadPool();
+    if (SpecsOr && !SpecsOr->empty()) {
+      const graph::Graph &Sub = SpecsOr.value()[0].Subgraph;
+      runtime::ArtifactCache::Config Cfg;
+      Cfg.Mode = runtime::CacheMode::ReadWrite;
+      Cfg.Dir = Dir;
+      Cfg.MaxBytes = 0;
+      runtime::ArtifactCache Cache(std::move(Cfg));
+      const uint64_t Key = core::artifactCacheKey(
+          Sub.fingerprint(), Opts, Pool->numThreads());
+      std::vector<double> PipeUs, LdUs;
+      for (int I = 0; I < kRepeats; ++I) {
+        Timer TP;
+        Expected<std::shared_ptr<core::CompiledPartition>> P =
+            core::compilePartition(Sub, Opts, Pool);
+        if (P)
+          P.value()->ensureFolded();
+        PipeUs.push_back(TP.seconds() * 1e6);
+        if (!P)
+          continue;
+        if (I == 0) {
+          const std::vector<uint8_t> Payload =
+              core::ArtifactCodec::serialize(*P.value());
+          (void)Cache.store(Key, Payload.data(), Payload.size());
+        }
+        Timer TL;
+        Expected<runtime::LoadedArtifact> Art = Cache.load(Key);
+        if (Art) {
+          Expected<std::shared_ptr<core::CompiledPartition>> L =
+              core::ArtifactCodec::deserialize(Art->Payload,
+                                               Art->PayloadBytes, Art->Map,
+                                               Pool);
+          if (L) {
+            L.value()->ensureFolded();
+            LdUs.push_back(TL.seconds() * 1e6);
+          }
+        }
+      }
+      if (!PipeUs.empty() && !LdUs.empty()) {
+        PipelineUs = Median(PipeUs);
+        LoadUs = Median(LdUs);
+      }
+    }
+  }
+
+  const double Cold = Median(ColdUs), Warm = Median(WarmUs);
+  std::printf("{\"bench\":\"%s\",\"exec\":\"bytecode\",\"isa\":\"%s\","
+              "\"kernels\":\"%s\",\"threads\":%d,\"partitions\":%zu,"
+              "\"cold_start_us\":%.2f,\"warm_start_us\":%.2f,"
+              "\"session_speedup\":%.2f,\"pipeline_us\":%.2f,"
+              "\"load_us\":%.2f,\"speedup\":%.2f,\"bit_identical\":%d}\n",
+              Name, kernels::isaName().c_str(),
+              kernels::kernelTierName(kernels::activeKernelTier()),
+              Threads, Partitions, Cold, Warm,
+              Warm > 0 ? Cold / Warm : 0.0, PipelineUs, LoadUs,
+              LoadUs > 0 ? PipelineUs / LoadUs : 0.0,
+              BitIdentical ? 1 : 0);
+  std::fflush(stdout);
+
+  // Remove the throwaway cache directory.
+  if (DIR *D = opendir(Dir)) {
+    while (dirent *E = readdir(D)) {
+      const std::string N = E->d_name;
+      if (N != "." && N != "..")
+        ::unlink((std::string(Dir) + "/" + N).c_str());
+    }
+    closedir(D);
+  }
+  ::rmdir(Dir);
+}
+
+graph::Graph buildColdStartMlp() {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 64;
+  Spec.LayerDims = workloads::mlp1Dims();
+  return workloads::buildMlp(Spec);
+}
+
+graph::Graph buildColdStartMha() {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2;
+  return workloads::buildMha(Spec);
+}
+
+/// Compile-bound cold start: many narrow layers, so the pass pipeline /
+/// lowering / bytecode generation dominate and the weight payload stays
+/// small. This is the regime the artifact cache is built for — the
+/// mlp1/mha cases above are weight-heavy and bound by work both paths
+/// share (fingerprinting, partition subgraph construction), so their
+/// speedup ceiling is low regardless of how fast deserialization is.
+graph::Graph buildColdStartMlpDeep() {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 8;
+  Spec.LayerDims.assign(25, 32);
+  return workloads::buildMlp(Spec);
+}
+
+/// Fold-bound cold start: MLP-2's wide layers carry ~9 MB of weights, so
+/// the constant fold (blocked packing of every weight matrix) dominates
+/// the time-to-ready. A disk-warm process skips the fold entirely — the
+/// packed weights ride in the artifact as zero-copy mmap views — which
+/// is where the cache's speedup is largest.
+graph::Graph buildColdStartMlpWide() {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 1;
+  Spec.LayerDims = workloads::mlp2Dims();
+  return workloads::buildMlp(Spec);
+}
+
+/// Same shape in the quantized flavour: the fold additionally computes
+/// the s8 compensation terms, while the payload shrinks to the packed
+/// s8 weights — the widest cold/warm gap of the set.
+graph::Graph buildColdStartMlpWideInt8() {
+  workloads::MlpSpec Spec;
+  Spec.Batch = 1;
+  Spec.LayerDims = workloads::mlp2Dims();
+  Spec.Int8 = true;
+  return workloads::buildMlp(Spec);
+}
+
 } // namespace
 
 int main() {
@@ -362,5 +590,15 @@ int main() {
   // (scripts/compare_dynbatch_bench.py gates warm-vs-cold and
   // warm-vs-exact).
   runDynBatchCase("dynbatch_mlp_f32");
+
+  // Persistent artifact-cache cold-start probes: compile-from-source vs
+  // mmap-deserialize-from-disk in a fresh session
+  // (scripts/compare_cache_bench.py gates the speedup and bit-identical
+  // numerics; BENCH_7.json).
+  runColdStartCase("coldstart_mlp1_f32", buildColdStartMlp);
+  runColdStartCase("coldstart_mha_f32", buildColdStartMha);
+  runColdStartCase("coldstart_mlp_deep_f32", buildColdStartMlpDeep);
+  runColdStartCase("coldstart_mlp_wide_f32", buildColdStartMlpWide);
+  runColdStartCase("coldstart_mlp_wide_int8", buildColdStartMlpWideInt8);
   return 0;
 }

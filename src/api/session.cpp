@@ -3,11 +3,14 @@
 #include "api/session.h"
 
 #include "api/scheduler.h"
+#include "core/artifact.h"
 #include "support/common.h"
+#include "support/env.h"
 #include "support/str.h"
 #include "verify/verify.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <unordered_set>
 
@@ -39,6 +42,13 @@ struct SessionState {
   std::unordered_map<uint64_t, std::vector<int64_t>> UnsupportedKeys;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+
+  /// Persistent on-disk artifact cache (disabled unless the options ask
+  /// for it); consulted on in-memory misses of bytecode-backend compiles.
+  std::unique_ptr<runtime::ArtifactCache> Disk;
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> DiskMisses{0};
+  std::atomic<uint64_t> DiskStores{0};
 
   /// The compile pipeline behind Session::compile(); static over a
   /// shared_ptr because polymorphic CompiledGraphs re-enter it for their
@@ -89,6 +99,34 @@ bool boundaryMatches(const Graph &Sub, const core::CompiledPartition &CP) {
       return false;
   }
   return true;
+}
+
+/// One attempt to serve a partition from the persistent artifact cache:
+/// envelope-validated mmap load, full codec deserialization (bounds checks
+/// + unconditional static verification), then the same boundary screen the
+/// in-memory cache applies against fingerprint collisions. Any failure —
+/// missing entry, corruption, version skew, verifier rejection, boundary
+/// mismatch — returns null and the caller compiles fresh; a corrupt disk
+/// can cost time, never correctness.
+std::shared_ptr<core::CompiledPartition>
+tryDiskLoad(detail::SessionState &State, uint64_t DiskKey, const Graph &Sub) {
+  Expected<runtime::LoadedArtifact> ArtOr = State.Disk->load(DiskKey);
+  if (!ArtOr)
+    return nullptr;
+  const runtime::LoadedArtifact &Art = ArtOr.value();
+  Expected<std::shared_ptr<core::CompiledPartition>> PartOr =
+      core::ArtifactCodec::deserialize(Art.Payload, Art.PayloadBytes, Art.Map,
+                                       State.Pool);
+  if (!PartOr) {
+    if (verboseAtLeast(1))
+      std::fprintf(stderr, "[gc] artifact cache: rejecting entry %016llx: %s\n",
+                   (unsigned long long)DiskKey,
+                   PartOr.status().toString().c_str());
+    return nullptr;
+  }
+  if (!boundaryMatches(Sub, *PartOr.value()))
+    return nullptr;
+  return PartOr.value();
 }
 
 /// size_t face of gc::roundUp for arena byte offsets (tensor byte sizes
@@ -361,6 +399,11 @@ Session::Session(core::CompileOptions Opts)
         std::make_shared<runtime::ThreadPool>(State->Opts.Threads);
   else
     State->Pool = core::globalThreadPool();
+  runtime::ArtifactCache::Config DiskCfg;
+  DiskCfg.Mode = State->Opts.CacheMode;
+  DiskCfg.Dir = State->Opts.CacheDir;
+  DiskCfg.MaxBytes = State->Opts.CacheMaxBytes;
+  State->Disk = std::make_unique<runtime::ArtifactCache>(std::move(DiskCfg));
 }
 
 const core::CompileOptions &Session::options() const { return State->Opts; }
@@ -375,6 +418,16 @@ size_t Session::cacheSize() const {
 uint64_t Session::cacheHits() const { return State->Hits.load(); }
 
 uint64_t Session::cacheMisses() const { return State->Misses.load(); }
+
+uint64_t Session::diskCacheHits() const { return State->DiskHits.load(); }
+
+uint64_t Session::diskCacheMisses() const {
+  return State->DiskMisses.load();
+}
+
+uint64_t Session::diskCacheStores() const {
+  return State->DiskStores.load();
+}
 
 void Session::clearCache() {
   std::lock_guard<std::mutex> Lock(State->CacheMutex);
@@ -517,9 +570,64 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
         Spec.Kind = PartitionKind::Fallback;
       } else if (!Part.Compiled) {
         State->Misses.fetch_add(1);
-        Expected<std::shared_ptr<core::CompiledPartition>> CompiledOr =
-            core::compilePartition(Spec.Subgraph, State->Opts, State->Pool);
-        if (CompiledOr) {
+        // Persistent artifact cache: on an in-memory miss, try the disk
+        // before paying a compile. Only the bytecode backend participates
+        // (artifacts carry bytecode, not the Tensor IR tree).
+        std::shared_ptr<core::CompiledPartition> Compiled;
+        std::shared_ptr<runtime::FileLock> StoreLock;
+        uint64_t DiskKey = 0;
+        const bool DiskOn = State->Disk->enabled() &&
+                            State->Opts.Exec == exec::Backend::Bytecode;
+        if (DiskOn) {
+          DiskKey = core::artifactCacheKey(Key, State->Opts,
+                                           State->Pool->numThreads());
+          Compiled = tryDiskLoad(*State, DiskKey, Spec.Subgraph);
+          if (!Compiled && State->Disk->writable()) {
+            // Cold entry: take the cross-process per-key lock for the
+            // compile-and-store. Re-check under the lock first — a peer
+            // process may have published while we waited, making this an
+            // exactly-once compile per key across the fleet. If locking
+            // itself fails, compile without it (worst case: duplicate
+            // work, last atomic rename wins).
+            if (Expected<std::shared_ptr<runtime::FileLock>> LockOr =
+                    State->Disk->lockEntry(DiskKey))
+              StoreLock = std::move(LockOr.value());
+            if (StoreLock)
+              Compiled = tryDiskLoad(*State, DiskKey, Spec.Subgraph);
+          }
+          if (Compiled) {
+            State->DiskHits.fetch_add(1);
+            StoreLock.reset();
+          } else {
+            State->DiskMisses.fetch_add(1);
+          }
+        }
+        if (!Compiled) {
+          Expected<std::shared_ptr<core::CompiledPartition>> CompiledOr =
+              core::compilePartition(Spec.Subgraph, State->Opts, State->Pool);
+          if (CompiledOr) {
+            Compiled = CompiledOr.value();
+            if (StoreLock) {
+              const std::vector<uint8_t> Payload =
+                  core::ArtifactCodec::serialize(*Compiled);
+              if (State->Disk->store(DiskKey, Payload.data(), Payload.size())
+                      .isOk())
+                State->DiskStores.fetch_add(1);
+            }
+          } else if (CompiledOr.status().code() == StatusCode::Unsupported) {
+            // The partitioner's static screen was too optimistic; run this
+            // partition on the interpreter instead of failing the graph,
+            // and remember the verdict (keyed with the boundary signature)
+            // so identical subgraphs skip the attempt.
+            Spec.Kind = PartitionKind::Fallback;
+            std::lock_guard<std::mutex> Lock(State->CacheMutex);
+            State->UnsupportedKeys.try_emplace(Key, Sig);
+          } else {
+            return CompiledOr.status();
+          }
+          StoreLock.reset();
+        }
+        if (Compiled) {
           std::lock_guard<std::mutex> Lock(State->CacheMutex);
           // Keep the first entry when two threads raced on the same key so
           // later compiles observe one canonical partition — but only when
@@ -527,22 +635,11 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
           // collision the cached partition belongs to a different graph;
           // serve the freshly compiled one uncached instead of executing
           // the colliding entry's code.
-          const auto [It, Inserted] =
-              State->Cache.try_emplace(Key, CompiledOr.value());
+          const auto [It, Inserted] = State->Cache.try_emplace(Key, Compiled);
           Part.Compiled = Inserted ||
                                   boundaryMatches(Spec.Subgraph, *It->second)
                               ? It->second
-                              : CompiledOr.value();
-        } else if (CompiledOr.status().code() == StatusCode::Unsupported) {
-          // The partitioner's static screen was too optimistic; run this
-          // partition on the interpreter instead of failing the graph, and
-          // remember the verdict (keyed with the boundary signature) so
-          // identical subgraphs skip the attempt.
-          Spec.Kind = PartitionKind::Fallback;
-          std::lock_guard<std::mutex> Lock(State->CacheMutex);
-          State->UnsupportedKeys.try_emplace(Key, Sig);
-        } else {
-          return CompiledOr.status();
+                              : Compiled;
         }
       }
     }

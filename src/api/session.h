@@ -403,6 +403,15 @@ public:
   /// \brief Drops every cached partition and negative-cache entry.
   void clearCache();
 
+  /// \brief Times an in-memory miss was served from the persistent
+  /// artifact cache (GC_CACHE); 0 when the disk cache is disabled.
+  uint64_t diskCacheHits() const;
+  /// \brief Times the persistent artifact cache was consulted and could
+  /// not serve (missing, corrupt, or rejected entry).
+  uint64_t diskCacheMisses() const;
+  /// \brief Artifacts this session stored to the persistent cache.
+  uint64_t diskCacheStores() const;
+
   /// \brief Test seam: seeds the negative (unsupported) cache with \p Key
   /// bound to \p Boundary's signature, simulating a fingerprint collision
   /// with a previously rejected subgraph. Production code never calls

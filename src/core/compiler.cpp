@@ -173,6 +173,13 @@ void CompiledPartition::runFoldFunction() {
   runFoldGraph(Prog.FoldGraph, Prog.FoldOutputs, Cache);
 }
 
+void CompiledPartition::ensureFolded() {
+  std::call_once(FoldOnce, [this] {
+    runFoldFunction();
+    FoldDone.store(true, std::memory_order_release);
+  });
+}
+
 void CompiledPartition::resolveBindings() {
   Bindings.clear();
   Bindings.reserve(Prog.Bindings.size());
@@ -285,10 +292,7 @@ Status CompiledPartition::execute(
         StatusCode::InvalidArgument,
         formatString("output arity mismatch: got %zu, expected %zu",
                      Outputs.size(), OutputIds.size()));
-  std::call_once(FoldOnce, [this] {
-    runFoldFunction();
-    FoldDone.store(true, std::memory_order_release);
-  });
+  ensureFolded();
 
   ExecState Eval = acquireExecState();
   Status Result = Status::ok();
@@ -344,7 +348,11 @@ Status CompiledPartition::execute(
 PartitionStats CompiledPartition::stats() const {
   PartitionStats S;
   S.CoarseGrainMerges = Prog.CoarseGrainMerges;
-  S.ParallelNests = tirpass::countParallelNests(Prog.Entry);
+  // Disk-loaded partitions have no Tensor IR body; the count was
+  // serialized with the artifact.
+  S.ParallelNests = LoadedParallelNests >= 0
+                        ? LoadedParallelNests
+                        : tirpass::countParallelNests(Prog.Entry);
   S.ScratchArenaBytes = Prog.Entry.ArenaBytes;
   S.ScratchArenaBytesNoReuse = Prog.Entry.ArenaBytesNoReuse;
   // The fold-dependent fields read 0 until the first execution has run the

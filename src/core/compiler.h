@@ -26,6 +26,7 @@
 #include "exec/executor.h"
 #include "graph/graph.h"
 #include "lower/driver.h"
+#include "runtime/artifact_cache.h"
 #include "runtime/const_cache.h"
 #include "runtime/thread_pool.h"
 #include "support/status.h"
@@ -113,6 +114,18 @@ struct CompileOptions {
   /// Specializations kept per polymorphic CompiledGraph (LRU beyond this).
   /// Defaults from GC_SPEC_CACHE (16, min 1).
   int SpecCacheCap = defaultSpecCacheCap();
+  /// Persistent compiled-artifact cache: whether Session may load
+  /// partition artifacts from disk and/or store fresh compiles. Defaults
+  /// from GC_CACHE ("off" | "read" | "rw"). Only the bytecode backend
+  /// participates (a disk-loaded artifact carries bytecode, not the
+  /// Tensor IR tree the reference evaluator walks).
+  runtime::CacheMode CacheMode = runtime::defaultCacheMode();
+  /// Artifact cache directory. Defaults from GC_CACHE_DIR (see
+  /// runtime/artifact_cache.h for the fallback chain).
+  std::string CacheDir = runtime::defaultCacheDir();
+  /// LRU byte cap of the artifact cache directory (<= 0 = unlimited).
+  /// Defaults from GC_CACHE_MAX_BYTES (256 MiB).
+  int64_t CacheMaxBytes = runtime::defaultCacheMaxBytes();
 };
 
 /// Compile options preset for the primitives-library baseline of §VII.
@@ -153,6 +166,14 @@ public:
   Status execute(const std::vector<runtime::TensorData *> &Inputs,
                  const std::vector<runtime::TensorData *> &Outputs);
 
+  /// Runs the fold function (constant weight packing) now if it has not
+  /// run yet; otherwise a no-op. execute() pays this lazily on its first
+  /// call — services that want the first request served at full speed
+  /// call this at load time instead. Partitions deserialized from the
+  /// artifact cache arrive with the fold pre-fired from the payload's
+  /// shipped outputs, so for them this never packs anything.
+  void ensureFolded();
+
   /// Post-optimization Graph IR (inspection / tests).
   const graph::Graph &optimizedGraph() const { return OptimizedG; }
   /// Lowered entry function (inspection / tests).
@@ -181,6 +202,9 @@ private:
   friend Expected<std::shared_ptr<CompiledPartition>>
   compilePartition(const graph::Graph &G, const CompileOptions &Opts,
                    std::shared_ptr<runtime::ThreadPool> Pool);
+  /// The persistent-cache codec (core/artifact.cpp) serializes and
+  /// rebuilds partitions field by field.
+  friend struct ArtifactCodec;
 
   CompiledPartition() = default;
 
@@ -233,6 +257,15 @@ private:
   std::vector<int64_t> InputIds;  // optimized-graph ids in input order
   std::vector<int64_t> OutputIds; // optimized-graph ids in output order
   std::vector<ResolvedBinding> Bindings; // Prog.Bindings, positions resolved
+
+  /// Disk-loaded partitions carry no Tensor IR body (only bytecode), so
+  /// body-derived statistics are serialized instead of recomputed. -1 =
+  /// compiled in-process, derive from Prog.Entry.
+  int LoadedParallelNests = -1;
+  /// Pins the mmap'd cache entry backing zero-copy constant views
+  /// (OptimizedG/FoldGraph payloads, Entry.Baked) for this partition's
+  /// lifetime. Null for in-process compiles.
+  std::shared_ptr<void> MappedPin;
 };
 
 /// Compiles \p G (copied; the original is untouched) with \p Opts into one

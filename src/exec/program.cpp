@@ -826,6 +826,7 @@ void ProgramBuilder::compileStore(const StoreNode *St) {
 void ProgramBuilder::compileCall(const CallNode *C) {
   CallDesc D;
   D.Fn = kernelAdapter(C->In);
+  D.In = C->In;
   assert(C->Buffers.size() <= 4 && "intrinsics take at most 4 buffers");
   assert(C->Scalars.size() <= 12 && "intrinsics take at most 12 scalars");
   std::vector<Operand> Held;

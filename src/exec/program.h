@@ -101,6 +101,10 @@ using KernelFn = void (*)(void *const *Ptrs, const int64_t *SI,
 /// dispatch, and a call with none uses the arrays in place.
 struct CallDesc {
   KernelFn Fn = nullptr;
+  /// Symbolic identity of Fn. Function pointers do not survive process
+  /// boundaries, so the persistent artifact cache serializes this and
+  /// relinks Fn via kernelAdapter() at load time.
+  tir::Intrinsic In = tir::Intrinsic::BrgemmF32;
   uint8_t NumBufs = 0;
   uint8_t NumDyn = 0; ///< dynamic scalar count (Dyn entries)
   struct Buf {

@@ -3,9 +3,12 @@
 #include "graph/graph.h"
 
 #include "support/common.h"
+#include "support/serial.h"
+#include "support/str.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <deque>
 
 namespace gc {
@@ -150,6 +153,61 @@ int64_t Graph::addOpExplicit(OpKind Kind, const std::vector<int64_t> &Inputs,
   Ops.emplace(Id, std::move(NewOp));
   recordOpLinks(Id);
   return Id;
+}
+
+Status Graph::restoreTensor(LogicalTensor T) {
+  if (T.Id < 0)
+    return Status::error(StatusCode::InvalidArgument,
+                         "restoreTensor: negative tensor id");
+  if (Tensors.count(T.Id))
+    return Status::error(
+        StatusCode::InvalidArgument,
+        formatString("restoreTensor: duplicate tensor id t%lld",
+                     (long long)T.Id));
+  Finalized = false;
+  const int64_t Id = T.Id;
+  Tensors.emplace(Id, std::move(T));
+  return Status::ok();
+}
+
+Status Graph::restoreOp(int64_t OpId, OpKind Kind,
+                        std::vector<int64_t> Inputs,
+                        std::vector<int64_t> Outputs, AttrMap Attrs,
+                        std::unique_ptr<Graph> Sub) {
+  if (OpId < 0)
+    return Status::error(StatusCode::InvalidArgument,
+                         "restoreOp: negative op id");
+  if (Ops.count(OpId))
+    return Status::error(StatusCode::InvalidArgument,
+                         formatString("restoreOp: duplicate op id op%lld",
+                                      (long long)OpId));
+  for (int64_t T : Inputs)
+    if (!Tensors.count(T))
+      return Status::error(
+          StatusCode::InvalidArgument,
+          formatString("restoreOp: op%lld input t%lld does not exist",
+                       (long long)OpId, (long long)T));
+  for (int64_t T : Outputs)
+    if (!Tensors.count(T))
+      return Status::error(
+          StatusCode::InvalidArgument,
+          formatString("restoreOp: op%lld output t%lld does not exist",
+                       (long long)OpId, (long long)T));
+  Finalized = false;
+  Op NewOp(OpId, Kind);
+  NewOp.Inputs = std::move(Inputs);
+  NewOp.Outputs = std::move(Outputs);
+  NewOp.Attrs = std::move(Attrs);
+  if (Sub)
+    NewOp.setSubgraph(std::move(Sub));
+  Ops.emplace(OpId, std::move(NewOp));
+  recordOpLinks(OpId);
+  return Status::ok();
+}
+
+void Graph::restoreIdCounters(int64_t NextTensor, int64_t NextOp) {
+  NextTensorId = std::max(NextTensorId, NextTensor);
+  NextOpId = std::max(NextOpId, NextOp);
 }
 
 void Graph::setConstantData(int64_t TensorId, runtime::TensorData Data) {
@@ -603,8 +661,24 @@ struct Fnv1a {
   uint64_t H = 1469598103934665603ull;
 
   void bytes(const void *Data, size_t Len) {
+    // Constant payloads dominate the fingerprint of weight-carrying
+    // graphs, and fingerprinting runs on every compile whether or not
+    // the artifact cache hits — large spans fold through the 4-lane
+    // bulk digest (support/serial.h) at memory speed, small fields
+    // through a word-wise FNV-1a chain (8 bytes per multiply).
+    if (Len >= 1024) {
+      u64(fnv1aBytesBulk(Data, Len));
+      return;
+    }
     const auto *P = static_cast<const unsigned char *>(Data);
-    for (size_t I = 0; I < Len; ++I) {
+    size_t I = 0;
+    for (; I + 8 <= Len; I += 8) {
+      uint64_t W;
+      std::memcpy(&W, P + I, 8);
+      H ^= W;
+      H *= 1099511628211ull;
+    }
+    for (; I < Len; ++I) {
       H ^= P[I];
       H *= 1099511628211ull;
     }

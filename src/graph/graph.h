@@ -132,11 +132,36 @@ public:
   void setConstantData(int64_t TensorId, runtime::TensorData Data);
 
   //===--------------------------------------------------------------------===//
+  // Deserialization (persistent artifact cache)
+  //===--------------------------------------------------------------------===//
+
+  /// Re-creates a tensor under its original id (bindings, fold outputs and
+  /// constant caches all key by source ids, so deserialization must
+  /// preserve them exactly). Unlike addTensor this validates instead of
+  /// asserting — the input is an untrusted cache entry. Fails on a
+  /// duplicate or negative id.
+  Status restoreTensor(LogicalTensor T);
+
+  /// Re-creates an op under its original id; every input/output id must
+  /// name a previously restored tensor. \p Sub restores a FusedOp
+  /// subgraph (null otherwise).
+  Status restoreOp(int64_t OpId, OpKind Kind, std::vector<int64_t> Inputs,
+                   std::vector<int64_t> Outputs, AttrMap Attrs,
+                   std::unique_ptr<Graph> Sub = nullptr);
+
+  /// Restores the id allocation counters so later mutation of a
+  /// deserialized graph cannot collide with restored ids.
+  void restoreIdCounters(int64_t NextTensor, int64_t NextOp);
+
+  //===--------------------------------------------------------------------===//
   // Access
   //===--------------------------------------------------------------------===//
 
   LogicalTensor &tensor(int64_t Id);
   const LogicalTensor &tensor(int64_t Id) const;
+  /// True when \p Id names a tensor of this graph — tensor() asserts on
+  /// unknown ids, so untrusted ids must be probed with this first.
+  bool hasTensor(int64_t Id) const { return Tensors.count(Id) != 0; }
   Op &op(int64_t Id);
   const Op &op(int64_t Id) const;
 

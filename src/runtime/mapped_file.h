@@ -1,0 +1,71 @@
+//===- mapped_file.h - mmap + file-lock primitives --------------*- C++ -*-===//
+///
+/// \file
+/// POSIX building blocks of the persistent artifact cache: a read-only
+/// memory-mapped file (RAII; the mapping outlives the descriptor) and an
+/// exclusive cross-process file lock (flock). Loaded compiled artifacts
+/// keep a shared_ptr<MappedFile> pin so zero-copy constant views into the
+/// mapping stay valid for the artifact's lifetime — POSIX keeps a mapping
+/// alive even after the file is unlinked, which is what makes concurrent
+/// LRU eviction by another process safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_RUNTIME_MAPPED_FILE_H
+#define GC_RUNTIME_MAPPED_FILE_H
+
+#include "support/status.h"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace gc {
+namespace runtime {
+
+/// A read-only memory-mapped file. Immutable after open; safe to read from
+/// any number of threads.
+class MappedFile {
+public:
+  /// Maps \p Path read-only. Fails with a located Status on open/stat/mmap
+  /// errors or an empty file.
+  static Expected<std::shared_ptr<MappedFile>> open(const std::string &Path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  const void *data() const { return Addr; }
+  size_t size() const { return Len; }
+
+private:
+  MappedFile(void *Addr, size_t Len) : Addr(Addr), Len(Len) {}
+
+  void *Addr = nullptr;
+  size_t Len = 0;
+};
+
+/// An exclusive advisory lock on a dedicated lock file (flock semantics:
+/// re-entrant across processes, auto-released on process death). Used to
+/// make cross-process artifact compilation exactly-once-ish: the first
+/// process to take the lock compiles and stores; the rest load.
+class FileLock {
+public:
+  /// Creates (if needed) and exclusively locks \p Path, blocking until the
+  /// lock is granted.
+  static Expected<std::shared_ptr<FileLock>> acquire(const std::string &Path);
+
+  ~FileLock();
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+private:
+  explicit FileLock(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+};
+
+} // namespace runtime
+} // namespace gc
+
+#endif // GC_RUNTIME_MAPPED_FILE_H

@@ -102,6 +102,10 @@ enum class Intrinsic : uint8_t {
   UnpackAU8,
 };
 
+/// Number of intrinsics; range guard for deserialized kernel ids (the
+/// persistent artifact cache stores calls symbolically and relinks).
+constexpr uint8_t kNumIntrinsics = static_cast<uint8_t>(Intrinsic::UnpackAU8) + 1;
+
 /// Printable intrinsic name.
 const char *intrinsicName(Intrinsic In);
 

@@ -558,5 +558,19 @@ Status verifyProgram(const Program &P, const char *Context) {
   return ProgramVerifier(P, Context).run();
 }
 
+Status verifyLoadedProgram(const Program &P, const char *Context) {
+  // Deliberately ignores verifyLevel(): a Program deserialized from the
+  // persistent artifact cache is untrusted input headed for the unchecked
+  // dispatch loop, so the full bytecode verification runs even when
+  // GC_VERIFY=off. Kernel calls must additionally have been relinked.
+  for (size_t I = 0; I < P.Calls.size(); ++I)
+    if (!P.Calls[I].Fn)
+      return Status::error(
+          StatusCode::InvalidArgument,
+          formatString("%s: call %zu has no relinked kernel pointer",
+                       Context, I));
+  return ProgramVerifier(P, Context).run();
+}
+
 } // namespace verify
 } // namespace gc

@@ -93,6 +93,14 @@ Status verifyFunc(const tir::Func &F, const char *Context = "");
 /// Compiled bytecode Program verification.
 Status verifyProgram(const exec::Program &P, const char *Context = "");
 
+/// Load-time validation entry point for the persistent artifact cache:
+/// full bytecode Program verification plus a relinked-kernel-pointer
+/// check, run UNCONDITIONALLY (GC_VERIFY is a trust dial for this
+/// process's own pipeline; a Program deserialized from disk is untrusted
+/// input and always earns the proof before reaching the unchecked
+/// dispatch loop).
+Status verifyLoadedProgram(const exec::Program &P, const char *Context = "");
+
 /// The memory-plan facts the alias checker consumes, decoupled from
 /// api::CompiledGraph's internals so Session can bridge into it and tests
 /// can corrupt it freely.

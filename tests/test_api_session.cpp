@@ -584,11 +584,19 @@ TEST(ApiSession, StatsAreSafeBeforeFirstExecution) {
       (*CompiledOr)->compiledPartition(0);
   ASSERT_NE(CP, nullptr);
 
-  // Pre-execution: structural stats live, fold-dependent fields zero.
+  // Pre-execution: structural stats live. The fold-dependent fields are
+  // zero after a fresh compile; a disk-cache hit (GC_CACHE=read/rw with
+  // a warm GC_CACHE_DIR) pre-fires the fold at load, so its products
+  // are legitimately visible before the first execution.
   const core::PartitionStats Before = CP->stats();
   EXPECT_GT(Before.ParallelNests, 0);
-  EXPECT_EQ(Before.FoldedTensors, 0u);
-  EXPECT_EQ(Before.FoldedBytes, 0);
+  if (S.diskCacheHits() == 0) {
+    EXPECT_EQ(Before.FoldedTensors, 0u);
+    EXPECT_EQ(Before.FoldedBytes, 0);
+  } else {
+    EXPECT_GT(Before.FoldedTensors, 0u);
+    EXPECT_GT(Before.FoldedBytes, 0);
+  }
   EXPECT_GE(CP->threadPool().numThreads(), 1);
 
   runtime::TensorData In = test::randomTensor(DataType::F32, {16, 32}, 9);

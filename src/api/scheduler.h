@@ -31,6 +31,7 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -50,9 +51,15 @@ struct StreamState {
   /// Route multi-partition execute() through the async scheduler
   /// (CompileOptions::AsyncExec / GC_SCHED=async).
   bool AsyncExec = false;
+  /// The owning session's fault-tolerance counters (shared; never null
+  /// for states minted by Session::stream()).
+  std::shared_ptr<HealthState> Health;
 
   /// Leases an arena of at least \p Bytes (recycled when available).
-  std::unique_ptr<runtime::PlanArena> acquireArena(size_t Bytes);
+  /// Fails with ResourceExhausted when the growth is refused
+  /// (GC_MEM_LIMIT, allocation failure, or injection at "arena.grow");
+  /// the failed arena is dropped, returning its budget charge.
+  Expected<std::unique_ptr<runtime::PlanArena>> acquireArena(size_t Bytes);
   /// Returns a leased arena to the free list (dropped beyond the cap).
   void releaseArena(std::unique_ptr<runtime::PlanArena> Arena);
 
@@ -86,6 +93,12 @@ struct Submission {
   std::atomic<size_t> PartsLeft{0};
   std::atomic<bool> Failed{false};
   std::atomic<bool> DoneFlag{false};
+  /// Deadline from SubmitOptions::TimeoutMs, checked at partition
+  /// boundaries (a partition never aborts mid-kernel).
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+  /// Set by Event::cancel(); observed at partition boundaries.
+  std::atomic<bool> CancelRequested{false};
 
   std::mutex Mutex;
   std::condition_variable Cv;
@@ -136,12 +149,15 @@ struct Submission {
   /// and enqueues every root partition. The caller must have run
   /// validateBoundary() already (both Stream entry points do — exactly
   /// once). Returns the submission, possibly already complete:
-  /// single-worker pools drain the whole DAG during the enqueues.
+  /// single-worker pools drain the whole DAG during the enqueues, and an
+  /// arena-lease failure yields an already-failed submission.
+  /// \p TimeoutMs > 0 arms the deadline (milliseconds from now).
   static std::shared_ptr<Submission>
   launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
          std::shared_ptr<StreamState> SS,
          const std::vector<runtime::TensorData *> &Inputs,
-         const std::vector<runtime::TensorData *> &Outputs);
+         const std::vector<runtime::TensorData *> &Outputs,
+         int64_t TimeoutMs = 0);
 
   /// An already-complete submission carrying \p S (for early failures and
   /// the synchronous single-partition shortcut).
@@ -160,6 +176,17 @@ struct Submission {
   static void taskEntry(void *Ctx);
 
 private:
+  /// Cancellation/deadline gate run before a partition executes: returns
+  /// Cancelled or DeadlineExceeded (bumping the session health counter
+  /// exactly once per submission) when the submission should stop, ok
+  /// otherwise.
+  Status preRunCheck();
+  /// Submits \p N ready tasks to the pool; when submission is refused
+  /// (fault site "pool.submit"), degrades to running them inline on the
+  /// calling thread — the async -> serial axis at task granularity.
+  void enqueueOrRun(const std::pair<runtime::ThreadPool::TaskFn, void *>
+                        *TasksIn,
+                    size_t N);
   /// Decrements successors' dependency counts (enqueueing the ready
   /// ones), then retires the submission when this was the last partition.
   void finishPartition(uint32_t I);

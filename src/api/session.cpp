@@ -4,8 +4,11 @@
 
 #include "api/scheduler.h"
 #include "core/artifact.h"
+#include "graph/reference.h"
+#include "runtime/buffer.h"
 #include "support/common.h"
 #include "support/env.h"
+#include "support/fault.h"
 #include "support/str.h"
 #include "verify/verify.h"
 
@@ -29,6 +32,10 @@ namespace detail {
 struct SessionState {
   core::CompileOptions Opts;
   std::shared_ptr<runtime::ThreadPool> Pool;
+
+  /// Fault-tolerance counters, shared with every Stream (and through
+  /// StreamState with every Submission) this session mints.
+  std::shared_ptr<HealthState> Health = std::make_shared<HealthState>();
 
   mutable std::mutex CacheMutex;
   std::unordered_map<uint64_t, std::shared_ptr<core::CompiledPartition>>
@@ -73,6 +80,22 @@ std::vector<int64_t> boundarySignature(const Graph &G) {
   return Sig;
 }
 
+void HealthState::warnOnce(const char *Axis, const char *Detail) {
+  // The fixed degradation-axis list; one WarnedAxes bit each. Warning
+  // spew scales with the number of axes, never with the failure rate.
+  static const char *const Axes[] = {"bytecode-tree", "async-serial",
+                                     "disk-cache", "bucketed-reference"};
+  uint32_t Bit = 0;
+  for (size_t I = 0; I < sizeof(Axes) / sizeof(Axes[0]); ++I)
+    if (std::strcmp(Axis, Axes[I]) == 0) {
+      Bit = 1u << I;
+      break;
+    }
+  if (Bit == 0 || (WarnedAxes.fetch_or(Bit) & Bit))
+    return;
+  std::fprintf(stderr, "[gc] degraded axis=%s: %s\n", Axis, Detail);
+}
+
 } // namespace detail
 
 namespace {
@@ -111,8 +134,19 @@ bool boundaryMatches(const Graph &Sub, const core::CompiledPartition &CP) {
 std::shared_ptr<core::CompiledPartition>
 tryDiskLoad(detail::SessionState &State, uint64_t DiskKey, const Graph &Sub) {
   Expected<runtime::LoadedArtifact> ArtOr = State.Disk->load(DiskKey);
-  if (!ArtOr)
+  if (!ArtOr) {
+    // A routine miss (NotFound) is the cache working as designed; any
+    // other failure (I/O, injection at "cache.open"/"cache.mmap") means
+    // the cache could not serve and the compile degrades to in-process.
+    if (ArtOr.status().code() != StatusCode::NotFound) {
+      if (isTransient(ArtOr.status().code()))
+        State.Health->TransientFailures.fetch_add(1);
+      State.Health->CacheFallbacks.fetch_add(1);
+      State.Health->warnOnce("disk-cache",
+                             ArtOr.status().toString().c_str());
+    }
     return nullptr;
+  }
   const runtime::LoadedArtifact &Art = ArtOr.value();
   Expected<std::shared_ptr<core::CompiledPartition>> PartOr =
       core::ArtifactCodec::deserialize(Art.Payload, Art.PayloadBytes, Art.Map,
@@ -136,11 +170,29 @@ inline size_t alignUp(size_t X, size_t A) {
       roundUp(static_cast<int64_t>(X), static_cast<int64_t>(A)));
 }
 
+/// Deterministic footprint estimate for one cached batch specialization:
+/// the packed intermediate arena plus every compiled partition's scratch
+/// arena — the compile-time-known bytes an execution of it pins. Charged
+/// against MemBudget (GC_MEM_LIMIT) while the specialization is cached.
+size_t specializationMemEstimate(const CompiledGraph &Spec) {
+  size_t Est = Spec.scratchArenaBytes();
+  for (size_t I = 0; I < Spec.numPartitions(); ++I)
+    if (const auto CP = Spec.compiledPartition(I))
+      Est += static_cast<size_t>(
+          std::max<int64_t>(0, CP->stats().ScratchArenaBytes));
+  return Est;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
 // CompiledGraph
 //===----------------------------------------------------------------------===//
+
+CompiledGraph::~CompiledGraph() {
+  for (const Specialization &S : Specs)
+    runtime::MemBudget::release(S.Charged);
+}
 
 size_t CompiledGraph::numFallbackPartitions() const {
   size_t N = 0;
@@ -204,6 +256,13 @@ CompiledGraph::specializationForBucket(int64_t Bucket) const {
       break;
     SpecCv.wait(Lock);
   }
+  // Fault seam: a refused specialization compile reports before the
+  // bucket is marked in flight, so concurrent waiters retry (or degrade)
+  // instead of waiting on a compile that never starts.
+  if (fault::shouldFail(fault::kSpecCompile))
+    return fault::failStatus(fault::kSpecCompile,
+                             StatusCode::ResourceExhausted,
+                             "batch-specialization compile");
   // Compile OUTSIDE the lock — a cold batch size must not stall warm
   // hits on other buckets — with the bucket marked in flight so
   // concurrent first executions of it still compile exactly once.
@@ -222,17 +281,33 @@ CompiledGraph::specializationForBucket(int64_t Bucket) const {
   SpecCv.notify_all();
   if (!CompiledOr)
     return CompiledOr.status();
+  // Resource governance: a cached specialization pins compiled code and
+  // its scratch arenas; charge the estimate against GC_MEM_LIMIT so
+  // unbounded bucket churn degrades (the caller falls back to the
+  // reference interpreter) instead of exhausting the host.
+  const size_t Charge = specializationMemEstimate(**CompiledOr);
+  if (!runtime::MemBudget::tryCharge(Charge)) {
+    if (Sess && Sess->Health)
+      Sess->Health->MemLimitRejections.fetch_add(1);
+    return Status::error(
+        StatusCode::ResourceExhausted,
+        formatString("specialization cache: GC_MEM_LIMIT reached while "
+                     "caching bucket %lld (%zu bytes estimated)",
+                     (long long)Bucket, Charge));
+  }
   // LRU eviction under the cap: drop the stalest bucket. The evicted
   // specialization stays alive for any execution currently holding its
-  // shared_ptr.
+  // shared_ptr; its budget charge is returned now (the estimate covers
+  // the cache's steady-state footprint, not transient overlap).
   if (Specs.size() >= SpecCap) {
     size_t Oldest = 0;
     for (size_t I = 1; I < Specs.size(); ++I)
       if (Specs[I].LastUse < Specs[Oldest].LastUse)
         Oldest = I;
+    runtime::MemBudget::release(Specs[Oldest].Charged);
     Specs.erase(Specs.begin() + static_cast<ptrdiff_t>(Oldest));
   }
-  Specs.push_back({Bucket, *CompiledOr, SpecClock});
+  Specs.push_back({Bucket, *CompiledOr, SpecClock, Charge});
   return *CompiledOr;
 }
 
@@ -446,7 +521,25 @@ Stream Session::stream() {
   auto StreamSt = std::make_shared<detail::StreamState>();
   StreamSt->Pool = State->Pool;
   StreamSt->AsyncExec = State->Opts.AsyncExec;
+  StreamSt->Health = State->Health;
   return Stream(std::move(StreamSt));
+}
+
+HealthStats Session::healthStats() const {
+  const detail::HealthState &H = *State->Health;
+  HealthStats S;
+  S.TransientFailures = H.TransientFailures.load(std::memory_order_relaxed);
+  S.DegradedToTree = H.DegradedToTree.load(std::memory_order_relaxed);
+  S.DegradedToSerial = H.DegradedToSerial.load(std::memory_order_relaxed);
+  S.DegradedToReference =
+      H.DegradedToReference.load(std::memory_order_relaxed);
+  S.CacheFallbacks = H.CacheFallbacks.load(std::memory_order_relaxed);
+  S.CacheLockTimeouts = H.CacheLockTimeouts.load(std::memory_order_relaxed);
+  S.DeadlinesExceeded = H.DeadlinesExceeded.load(std::memory_order_relaxed);
+  S.Cancellations = H.Cancellations.load(std::memory_order_relaxed);
+  S.MemLimitRejections =
+      H.MemLimitRejections.load(std::memory_order_relaxed);
+  return S;
 }
 
 Expected<CompiledGraphPtr> Session::compile(const Graph &G) {
@@ -587,13 +680,23 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
             // compile-and-store. Re-check under the lock first — a peer
             // process may have published while we waited, making this an
             // exactly-once compile per key across the fleet. If locking
-            // itself fails, compile without it (worst case: duplicate
-            // work, last atomic rename wins).
-            if (Expected<std::shared_ptr<runtime::FileLock>> LockOr =
-                    State->Disk->lockEntry(DiskKey))
+            // itself fails (the bounded GC_CACHE_LOCK_MS wait expired, or
+            // injection at "cache.flock"), compile without it — worst
+            // case duplicate work, last atomic rename wins.
+            Expected<std::shared_ptr<runtime::FileLock>> LockOr =
+                State->Disk->lockEntry(DiskKey);
+            if (LockOr) {
               StoreLock = std::move(LockOr.value());
-            if (StoreLock)
               Compiled = tryDiskLoad(*State, DiskKey, Spec.Subgraph);
+            } else {
+              if (isTransient(LockOr.status().code()))
+                State->Health->TransientFailures.fetch_add(1);
+              State->Health->CacheFallbacks.fetch_add(1);
+              if (LockOr.status().code() == StatusCode::Unavailable)
+                State->Health->CacheLockTimeouts.fetch_add(1);
+              State->Health->warnOnce("disk-cache",
+                                      LockOr.status().toString().c_str());
+            }
           }
           if (Compiled) {
             State->DiskHits.fetch_add(1);
@@ -605,6 +708,23 @@ detail::SessionState::compile(const std::shared_ptr<SessionState> &State,
         if (!Compiled) {
           Expected<std::shared_ptr<core::CompiledPartition>> CompiledOr =
               core::compilePartition(Spec.Subgraph, State->Opts, State->Pool);
+          if (!CompiledOr && isTransient(CompiledOr.status().code()) &&
+              State->Opts.Exec == exec::Backend::Bytecode) {
+            // Graceful degradation, bytecode -> tree: a transient failure
+            // of the bytecode pipeline (injection at "compile.bytecode",
+            // resource pressure) retries once on the tree evaluator
+            // instead of failing the graph. Tree partitions do not
+            // serialize, so the artifact store is skipped.
+            State->Health->TransientFailures.fetch_add(1);
+            State->Health->DegradedToTree.fetch_add(1);
+            State->Health->warnOnce("bytecode-tree",
+                                    CompiledOr.status().toString().c_str());
+            StoreLock.reset();
+            core::CompileOptions TreeOpts = State->Opts;
+            TreeOpts.Exec = exec::Backend::Tree;
+            CompiledOr =
+                core::compilePartition(Spec.Subgraph, TreeOpts, State->Pool);
+          }
           if (CompiledOr) {
             Compiled = CompiledOr.value();
             if (StoreLock) {
@@ -735,16 +855,36 @@ Status Stream::execute(const CompiledGraph &CG,
   if (State->AsyncExec && CG.Parts.size() > 1) {
     // The CompiledGraph is borrowed, not pinned: safe because wait()
     // returns before execute() does.
-    return Event(detail::Submission::launch(CG, nullptr, State, Inputs,
-                                            Outputs))
-        .wait();
+    Status S = Event(detail::Submission::launch(CG, nullptr, State, Inputs,
+                                                Outputs))
+                   .wait();
+    if (S.isOk() || !isTransient(S.code()))
+      return S;
+    // Graceful degradation, async -> serial: a transient scheduler
+    // failure reruns the whole execution on the serial walk below. Safe
+    // to rerun: partitions only write boundary outputs and arena
+    // scratch — never the caller inputs — and every byte they write is
+    // fully rewritten by the retry.
+    if (State->Health) {
+      State->Health->DegradedToSerial.fetch_add(1);
+      State->Health->warnOnce("async-serial", S.toString().c_str());
+    }
   }
 
   // Serial in-order walk over the execution plan: partition arguments
   // resolve by precomputed index, cross-partition intermediates live in
   // an arena leased from the stream and recycled across executions.
-  std::unique_ptr<runtime::PlanArena> Arena =
+  Expected<std::unique_ptr<runtime::PlanArena>> ArenaOr =
       State->acquireArena(CG.ArenaBytes);
+  if (!ArenaOr) {
+    if (State->Health) {
+      State->Health->TransientFailures.fetch_add(1);
+      if (ArenaOr.status().code() == StatusCode::ResourceExhausted)
+        State->Health->MemLimitRejections.fetch_add(1);
+    }
+    return ArenaOr.status();
+  }
+  std::unique_ptr<runtime::PlanArena> Arena = ArenaOr.takeValue();
   std::vector<runtime::TensorData> Views;
   detail::Submission::buildScratchViews(CG, *Arena, Views);
 
@@ -785,8 +925,46 @@ Status Stream::executePolymorphic(
   const int64_t Batch = *BatchOr;
   const int64_t Bucket = core::batchBucket(Batch, CG.Bucketing);
   Expected<CompiledGraphPtr> SpecOr = CG.specializationForBucket(Bucket);
-  if (!SpecOr)
-    return SpecOr.status();
+  if (!SpecOr) {
+    if (!isTransient(SpecOr.status().code()))
+      return SpecOr.status();
+    // Graceful degradation, bucketed specialization -> reference: when
+    // the bucket specialization cannot be produced (injection at
+    // "spec.compile", GC_MEM_LIMIT pressure), interpret an exact-batch
+    // specialization of the source graph. Slow, but bit-identical — the
+    // reference evaluator is the ground truth the compiled paths are
+    // tested against — and the session stays available.
+    if (CG.Sess && CG.Sess->Health) {
+      CG.Sess->Health->TransientFailures.fetch_add(1);
+      CG.Sess->Health->DegradedToReference.fetch_add(1);
+      CG.Sess->Health->warnOnce("bucketed-reference",
+                                SpecOr.status().toString().c_str());
+    }
+    Expected<Graph> ExactOr = core::specializeForBatch(CG.SourceG, Batch);
+    if (!ExactOr)
+      return SpecOr.status();
+    const Graph &Exact = *ExactOr;
+    TensorMap Env;
+    for (int64_t TId : Exact.tensorIds())
+      if (const runtime::TensorData *Data = Exact.constantData(TId))
+        Env[TId] = runtime::TensorData::view(
+            Data->dtype(), Data->shape(), const_cast<void *>(Data->data()));
+    for (size_t I = 0; I < CG.InputIds.size(); ++I) {
+      const LogicalTensor &Meta = Exact.tensor(CG.InputIds[I]);
+      Env[CG.InputIds[I]] =
+          runtime::TensorData::view(Meta.Ty, Meta.Shape, Inputs[I]->data());
+    }
+    evalGraphReference(Exact, Env);
+    for (size_t I = 0; I < CG.OutputIds.size(); ++I) {
+      const runtime::TensorData &Result = Env.at(CG.OutputIds[I]);
+      if (Result.numBytes() != Outputs[I]->numBytes())
+        return Status::error(StatusCode::Internal,
+                             "reference fallback output size mismatch");
+      std::memcpy(Outputs[I]->data(), Result.data(),
+                  static_cast<size_t>(Result.numBytes()));
+    }
+    return Status::ok();
+  }
   return executeResolved(CG, **SpecOr, Batch, Bucket, Inputs, Outputs);
 }
 
@@ -837,9 +1015,25 @@ Event Stream::submit(const CompiledGraphPtr &CG,
                      const std::vector<runtime::TensorData *> &Inputs,
                      const std::vector<runtime::TensorData *> &Outputs)
     const {
+  return submit(CG, Inputs, Outputs, SubmitOptions{});
+}
+
+Event Stream::submit(const CompiledGraphPtr &CG,
+                     const std::vector<runtime::TensorData *> &Inputs,
+                     const std::vector<runtime::TensorData *> &Outputs,
+                     const SubmitOptions &Opts) const {
   if (!CG)
     return Event(detail::Submission::completed(Status::error(
         StatusCode::InvalidArgument, "submit: null compiled graph")));
+  // A non-positive deadline is already missed at submit time: nothing
+  // runs, including the synchronous shortcut paths below.
+  if (Opts.TimeoutMs < 0) {
+    if (State->Health)
+      State->Health->DeadlinesExceeded.fetch_add(1);
+    return Event(detail::Submission::completed(Status::error(
+        StatusCode::DeadlineExceeded,
+        "submit: deadline already expired at submission")));
+  }
   // Polymorphic shells: bucket-exact batches submit the specialization
   // itself (fully asynchronous); padded batches run synchronously — the
   // padded buffers live on this stack frame — and return a completed
@@ -855,21 +1049,22 @@ Event Stream::submit(const CompiledGraphPtr &CG,
     if (!SpecOr)
       return Event(detail::Submission::completed(SpecOr.status()));
     if (Bucket == *BatchOr)
-      return submit(*SpecOr, Inputs, Outputs);
+      return submit(*SpecOr, Inputs, Outputs, Opts);
     return Event(detail::Submission::completed(executeResolved(
         *CG, **SpecOr, *BatchOr, Bucket, Inputs, Outputs)));
   }
   // Single-partition graphs have nothing to overlap: run synchronously on
   // the caller, keeping full loop-level parallelism, and return a
-  // completed event (execute validates).
+  // completed event (execute validates). The deadline is not observed
+  // mid-run — see SubmitOptions::TimeoutMs.
   if (CG->Parts.size() <= 1)
     return Event(detail::Submission::completed(
         execute(*CG, Inputs, Outputs)));
   if (Status S = detail::Submission::validateBoundary(*CG, Inputs, Outputs);
       !S.isOk())
     return Event(detail::Submission::completed(std::move(S)));
-  return Event(
-      detail::Submission::launch(*CG, CG, State, Inputs, Outputs));
+  return Event(detail::Submission::launch(*CG, CG, State, Inputs, Outputs,
+                                          Opts.TimeoutMs));
 }
 
 } // namespace api

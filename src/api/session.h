@@ -72,7 +72,72 @@ struct SessionState;
 /// collide almost surely differ here, and comparing it costs nothing next
 /// to a recompile.
 std::vector<int64_t> boundarySignature(const graph::Graph &G);
+
+/// Live fault-tolerance counters shared by a Session, its Streams and
+/// their in-flight Submissions; snapshot through Session::healthStats().
+/// The counters record what the graceful-degradation policy did, the
+/// WarnedAxes bitmask limits the structured stderr warning to one line
+/// per degradation axis per session.
+struct HealthState {
+  std::atomic<uint64_t> TransientFailures{0};
+  std::atomic<uint64_t> DegradedToTree{0};
+  std::atomic<uint64_t> DegradedToSerial{0};
+  std::atomic<uint64_t> DegradedToReference{0};
+  std::atomic<uint64_t> CacheFallbacks{0};
+  std::atomic<uint64_t> CacheLockTimeouts{0};
+  std::atomic<uint64_t> DeadlinesExceeded{0};
+  std::atomic<uint64_t> Cancellations{0};
+  std::atomic<uint64_t> MemLimitRejections{0};
+  std::atomic<uint32_t> WarnedAxes{0};
+
+  /// Emits "[gc] degraded axis=<Axis>: <Detail>" to stderr, once per
+  /// \p Axis (a member of the fixed axis list in session.cpp) for this
+  /// session's lifetime.
+  void warnOnce(const char *Axis, const char *Detail);
+};
 } // namespace detail
+
+/// Point-in-time snapshot of a session's fault-tolerance counters
+/// (Session::healthStats()): how often transient failures were observed
+/// and which degradation axes absorbed them. All counters are cumulative
+/// since session construction.
+struct HealthStats {
+  /// Transient-classified failures observed anywhere in the stack
+  /// (includes the ones a fallback then absorbed).
+  uint64_t TransientFailures = 0;
+  /// Compiles that fell back from the bytecode pipeline to the tree
+  /// evaluator.
+  uint64_t DegradedToTree = 0;
+  /// Executions that fell back from the async scheduler to the serial
+  /// (or inline) schedule.
+  uint64_t DegradedToSerial = 0;
+  /// Polymorphic executions served by the reference interpreter because
+  /// the bucket specialization could not be produced.
+  uint64_t DegradedToReference = 0;
+  /// Compiles that proceeded in-process because the disk artifact cache
+  /// could not serve (I/O failure or lock timeout).
+  uint64_t CacheFallbacks = 0;
+  /// Subset of CacheFallbacks caused by the bounded GC_CACHE_LOCK_MS
+  /// wait expiring.
+  uint64_t CacheLockTimeouts = 0;
+  /// Submissions that terminated with DeadlineExceeded.
+  uint64_t DeadlinesExceeded = 0;
+  /// Submissions that terminated with Cancelled.
+  uint64_t Cancellations = 0;
+  /// Allocations refused because GC_MEM_LIMIT was reached.
+  uint64_t MemLimitRejections = 0;
+};
+
+/// Per-submission options for Stream::submit().
+struct SubmitOptions {
+  /// Deadline for the whole submission, in milliseconds from submit()
+  /// (0 = none). The deadline is checked at partition boundaries: when it
+  /// passes, partitions not yet started are abandoned, in-flight ones
+  /// drain, and the Event reports DeadlineExceeded. A single-partition
+  /// (synchronous-shortcut) submission runs to completion and reports the
+  /// deadline only if it was already missed at submit time.
+  int64_t TimeoutMs = 0;
+};
 
 /// A fully prepared executable graph: the ordered partition list with one
 /// CompiledPartition per compiled partition (fallback partitions carry
@@ -97,6 +162,9 @@ std::vector<int64_t> boundarySignature(const graph::Graph &G);
 /// polymorphic shell, which reports zero partitions until one exists.
 class CompiledGraph {
 public:
+  /// Releases the MemBudget charges of any cached specializations.
+  ~CompiledGraph();
+
   /// \brief Number of partitions, in topological (serial execution) order.
   size_t numPartitions() const { return Parts.size(); }
   /// \brief Execution kind of partition \p I (compiled vs. fallback).
@@ -260,6 +328,7 @@ private:
     int64_t Bucket = 0;
     std::shared_ptr<CompiledGraph> CG;
     uint64_t LastUse = 0; ///< LRU clock value of the latest lookup
+    size_t Charged = 0;   ///< bytes charged against MemBudget (GC_MEM_LIMIT)
   };
   mutable std::mutex SpecMutex;
   /// Signals removal from InFlightBuckets: waiters re-check the cache.
@@ -324,6 +393,14 @@ public:
   Event submit(const CompiledGraphPtr &CG,
                const std::vector<runtime::TensorData *> &Inputs,
                const std::vector<runtime::TensorData *> &Outputs) const;
+
+  /// \brief submit() with per-submission options (deadline). See
+  /// SubmitOptions; the parameterless overload forwards here with
+  /// defaults.
+  Event submit(const CompiledGraphPtr &CG,
+               const std::vector<runtime::TensorData *> &Inputs,
+               const std::vector<runtime::TensorData *> &Outputs,
+               const SubmitOptions &Opts) const;
 
 private:
   friend class Session;
@@ -411,6 +488,11 @@ public:
   uint64_t diskCacheMisses() const;
   /// \brief Artifacts this session stored to the persistent cache.
   uint64_t diskCacheStores() const;
+
+  /// \brief Snapshot of the fault-tolerance counters: transient failures
+  /// observed and degradations taken (see HealthStats). All zeros on a
+  /// healthy session.
+  HealthStats healthStats() const;
 
   /// \brief Test seam: seeds the negative (unsupported) cache with \p Key
   /// bound to \p Boundary's signature, simulating a fingerprint collision

@@ -8,6 +8,7 @@
 #include "passes/pass.h"
 #include "support/common.h"
 #include "support/env.h"
+#include "support/fault.h"
 #include "support/str.h"
 #include "tirpass/tirpass.h"
 
@@ -210,7 +211,7 @@ void CompiledPartition::resolveBindings() {
   }
 }
 
-CompiledPartition::ExecState CompiledPartition::acquireExecState() {
+Expected<CompiledPartition::ExecState> CompiledPartition::acquireExecState() {
   {
     std::lock_guard<std::mutex> Lock(EvalMutex);
     if (!IdleExecs.empty()) {
@@ -219,6 +220,9 @@ CompiledPartition::ExecState CompiledPartition::acquireExecState() {
       return State;
     }
   }
+  if (fault::shouldFail(fault::kExecState))
+    return fault::failStatus(fault::kExecState, StatusCode::ResourceExhausted,
+                             "execution-state construction");
   ExecState State;
   if (Backend == exec::Backend::Bytecode)
     State.Byte = std::make_unique<exec::Executor>(Prog.Bytecode, *Pool);
@@ -294,7 +298,10 @@ Status CompiledPartition::execute(
                      Outputs.size(), OutputIds.size()));
   ensureFolded();
 
-  ExecState Eval = acquireExecState();
+  Expected<ExecState> EvalOr = acquireExecState();
+  if (!EvalOr)
+    return EvalOr.status();
+  ExecState Eval = EvalOr.takeValue();
   Status Result = Status::ok();
   for (const ResolvedBinding &B : Bindings) {
     switch (B.Kind) {
@@ -339,8 +346,13 @@ Status CompiledPartition::execute(
     if (!Result.isOk())
       break;
   }
-  if (Result.isOk())
-    Eval.run();
+  if (Result.isOk()) {
+    if (fault::shouldFail(fault::kKernelDispatch))
+      Result = fault::failStatus(fault::kKernelDispatch,
+                                 StatusCode::Unavailable, "kernel dispatch");
+    else
+      Eval.run();
+  }
   releaseExecState(std::move(Eval));
   return Result;
 }
@@ -390,6 +402,12 @@ std::shared_ptr<runtime::ThreadPool> globalThreadPool() {
 Expected<std::shared_ptr<CompiledPartition>>
 compilePartition(const Graph &G, const CompileOptions &Opts,
                  std::shared_ptr<runtime::ThreadPool> Pool) {
+  // The bytecode pipeline is the degradable half of the backend choice:
+  // failing it here lets Session::compile retry on the tree evaluator.
+  if (Opts.Exec == exec::Backend::Bytecode &&
+      fault::shouldFail(fault::kCompileBytecode))
+    return fault::failStatus(fault::kCompileBytecode, StatusCode::Unavailable,
+                             "bytecode compile pipeline");
   auto Partition = std::shared_ptr<CompiledPartition>(new CompiledPartition);
   Partition->OptimizedG = G.clone();
   Partition->Backend = Opts.Exec;

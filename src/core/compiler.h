@@ -230,8 +230,11 @@ private:
     }
   };
 
-  /// Takes an idle execution state from the pool (or builds one).
-  ExecState acquireExecState();
+  /// Takes an idle execution state from the pool, building one when the
+  /// pool is empty. Construction allocates register frames and scratch
+  /// arenas, so it is fallible (fault site "exec.state"); pool hits never
+  /// fail.
+  Expected<ExecState> acquireExecState();
   void releaseExecState(ExecState State);
 
   /// A lower::Binding with the execute-argument position resolved at

@@ -3,6 +3,7 @@
 #include "runtime/artifact_cache.h"
 
 #include "support/env.h"
+#include "support/fault.h"
 #include "support/serial.h"
 #include "support/str.h"
 
@@ -147,13 +148,24 @@ std::string ArtifactCache::entryPath(uint64_t Key) const {
                       (unsigned long long)Key);
 }
 
+std::string ArtifactCache::lockPath(uint64_t Key) const {
+  return formatString("%s/%016llx.lock", Cfg.Dir.c_str(),
+                      (unsigned long long)Key);
+}
+
 Expected<LoadedArtifact> ArtifactCache::load(uint64_t Key) const {
   if (!Enabled)
     return Status::error(StatusCode::Unsupported, "artifact cache disabled");
+  if (fault::shouldFail(fault::kCacheOpen))
+    return fault::failStatus(fault::kCacheOpen, StatusCode::Unavailable,
+                             "artifact-cache entry open");
   const std::string Path = entryPath(Key);
   Expected<std::shared_ptr<MappedFile>> MapOr = MappedFile::open(Path);
   if (!MapOr)
     return MapOr.status();
+  if (fault::shouldFail(fault::kCacheMmap))
+    return fault::failStatus(fault::kCacheMmap, StatusCode::Unavailable,
+                             "artifact-cache entry mmap");
   const std::shared_ptr<MappedFile> &Map = *MapOr;
   if (Map->size() < sizeof(ArtifactHeader))
     return corruptError(
@@ -209,6 +221,9 @@ Status ArtifactCache::store(uint64_t Key, const void *Payload,
   if (Bytes == 0)
     return Status::error(StatusCode::InvalidArgument,
                          "artifact cache: refusing to store empty payload");
+  if (fault::shouldFail(fault::kCacheWrite))
+    return fault::failStatus(fault::kCacheWrite, StatusCode::Unavailable,
+                             "artifact-cache store");
   ArtifactHeader H;
   H.Key = Key;
   H.PayloadBytes = Bytes;
@@ -259,8 +274,14 @@ Expected<std::shared_ptr<FileLock>>
 ArtifactCache::lockEntry(uint64_t Key) const {
   if (!Enabled)
     return Status::error(StatusCode::Unsupported, "artifact cache disabled");
-  return FileLock::acquire(formatString("%s/%016llx.lock", Cfg.Dir.c_str(),
-                                        (unsigned long long)Key));
+  if (fault::shouldFail(fault::kCacheLock))
+    return fault::failStatus(fault::kCacheLock, StatusCode::Unavailable,
+                             "artifact-cache compile lock");
+  // Re-read per call (not cached) so tests can vary the bound; lockEntry
+  // runs once per cold compile, where a getenv is noise.
+  const int64_t TimeoutMs =
+      std::max<int64_t>(0, getEnvInt("GC_CACHE_LOCK_MS", 2000));
+  return FileLock::acquireTimed(lockPath(Key), TimeoutMs);
 }
 
 bool ArtifactCache::contains(uint64_t Key) const {

@@ -114,9 +114,14 @@ public:
   /// (without corrupting anything) on I/O errors or when not writable.
   Status store(uint64_t Key, const void *Payload, size_t Bytes) const;
 
-  /// Blocks until this process holds the cross-process compile lock for
-  /// \p Key. Pattern: miss -> lockEntry -> re-load (another process may
-  /// have stored while we waited) -> compile -> store -> release.
+  /// Acquires the cross-process compile lock for \p Key, waiting at most
+  /// GC_CACHE_LOCK_MS milliseconds (default 2000; <= 0 means a single
+  /// non-blocking attempt) before failing with Unavailable. A stuck or
+  /// slow holder therefore delays a compile by a bounded amount; callers
+  /// treat lock failure as "compile in-process without the cache", never
+  /// as a compile failure. Pattern: miss -> lockEntry -> re-load (another
+  /// process may have stored while we waited) -> compile -> store ->
+  /// release.
   Expected<std::shared_ptr<FileLock>> lockEntry(uint64_t Key) const;
 
   /// True when entry \p Key exists (no validation).
@@ -136,6 +141,11 @@ public:
   /// Path of entry \p Key ("<dir>/<key:016x>.gca"); exposed so tests can
   /// corrupt entries byte-precisely.
   std::string entryPath(uint64_t Key) const;
+
+  /// Path of the compile lock for \p Key ("<dir>/<key:016x>.lock");
+  /// exposed so tests can hold the lock and exercise the bounded-wait
+  /// fallback.
+  std::string lockPath(uint64_t Key) const;
 
 private:
   Config Cfg;

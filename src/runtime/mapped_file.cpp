@@ -5,7 +5,9 @@
 #include "support/str.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -29,8 +31,15 @@ Status posixError(const char *What, const std::string &Path) {
 Expected<std::shared_ptr<MappedFile>>
 MappedFile::open(const std::string &Path) {
   const int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (Fd < 0)
+  if (Fd < 0) {
+    // A missing file is the routine cache-miss answer, not a failure of
+    // the cache machinery; callers branch on the distinction.
+    if (errno == ENOENT)
+      return Status::error(StatusCode::NotFound,
+                           formatString("open '%s': no such file",
+                                        Path.c_str()));
     return posixError("open", Path);
+  }
   struct stat St;
   if (::fstat(Fd, &St) != 0) {
     const Status S = posixError("fstat", Path);
@@ -80,6 +89,34 @@ FileLock::acquire(const std::string &Path) {
     }
   }
   return std::shared_ptr<FileLock>(new FileLock(Fd));
+}
+
+Expected<std::shared_ptr<FileLock>>
+FileLock::acquireTimed(const std::string &Path, int64_t TimeoutMs) {
+  const int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return posixError("open lock file", Path);
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    if (::flock(Fd, LOCK_EX | LOCK_NB) == 0)
+      return std::shared_ptr<FileLock>(new FileLock(Fd));
+    if (errno != EWOULDBLOCK && errno != EINTR) {
+      const Status S = posixError("flock", Path);
+      ::close(Fd);
+      return S;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      ::close(Fd);
+      return Status::error(
+          StatusCode::Unavailable,
+          formatString("lock '%s' still held after %lld ms", Path.c_str(),
+                       (long long)TimeoutMs));
+    }
+    // Poll coarsely: lock hold times are compile-scale (milliseconds to
+    // seconds), not lock-instruction-scale.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 FileLock::~FileLock() {

@@ -17,6 +17,7 @@
 #include "support/status.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -28,7 +29,8 @@ namespace runtime {
 class MappedFile {
 public:
   /// Maps \p Path read-only. Fails with a located Status on open/stat/mmap
-  /// errors or an empty file.
+  /// errors or an empty file; a missing file is NotFound (a routine cache
+  /// miss), every other failure Internal.
   static Expected<std::shared_ptr<MappedFile>> open(const std::string &Path);
 
   ~MappedFile();
@@ -54,6 +56,13 @@ public:
   /// Creates (if needed) and exclusively locks \p Path, blocking until the
   /// lock is granted.
   static Expected<std::shared_ptr<FileLock>> acquire(const std::string &Path);
+
+  /// Like acquire(), but gives up after \p TimeoutMs milliseconds of
+  /// polling (LOCK_NB + short sleeps) and returns Unavailable instead of
+  /// blocking forever behind a stuck or slow holder. TimeoutMs == 0 is a
+  /// single non-blocking attempt.
+  static Expected<std::shared_ptr<FileLock>>
+  acquireTimed(const std::string &Path, int64_t TimeoutMs);
 
   ~FileLock();
   FileLock(const FileLock &) = delete;

@@ -4,6 +4,7 @@
 
 #include "support/common.h"
 #include "support/env.h"
+#include "support/fault.h"
 
 #include <algorithm>
 
@@ -156,6 +157,16 @@ bool ThreadPool::onWorkerThread() { return TlOnWorkerThread; }
 void ThreadPool::submitTask(TaskFn Fn, void *Ctx) {
   const std::pair<TaskFn, void *> One(Fn, Ctx);
   submitTaskBatch(&One, 1);
+}
+
+bool ThreadPool::trySubmitTaskBatch(const std::pair<TaskFn, void *> *TasksIn,
+                                    size_t N) {
+  // All-or-nothing: the seam is evaluated once per batch, so a refused
+  // batch never leaves half a fan-out enqueued.
+  if (fault::shouldFail(fault::kPoolSubmit))
+    return false;
+  submitTaskBatch(TasksIn, N);
+  return true;
 }
 
 void ThreadPool::submitTaskBatch(const std::pair<TaskFn, void *> *TasksIn,

@@ -120,6 +120,13 @@ public:
   /// so a DAG's root fan-out costs one futex instead of one per task.
   void submitTaskBatch(const std::pair<TaskFn, void *> *TasksIn, size_t N);
 
+  /// Fallible form of submitTaskBatch(): returns false — enqueueing
+  /// nothing — when submission is refused (today only under fault
+  /// injection at site "pool.submit"; a real refusal would come from a
+  /// future queue bound). The caller owns the fallback, typically running
+  /// the tasks inline (async -> serial degradation).
+  bool trySubmitTaskBatch(const std::pair<TaskFn, void *> *TasksIn, size_t N);
+
   /// Pops and runs one queued task on the calling thread, returning false
   /// when the queue is empty. Lets a thread blocked on an async result
   /// help drain the queue instead of parking (work-stealing wait).

@@ -1,0 +1,207 @@
+//===- fault.cpp - Deterministic fault-injection framework --------------------===//
+
+#include "support/fault.h"
+
+#include "support/env.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gc {
+namespace fault {
+
+namespace detail {
+std::atomic<bool> Armed{false};
+} // namespace detail
+
+const std::vector<const char *> &allSites() {
+  static const std::vector<const char *> Sites = {
+      kArenaGrow, kExecState,   kPoolSubmit,     kCacheOpen,   kCacheMmap,
+      kCacheWrite, kCacheLock,  kKernelDispatch, kSpecCompile,
+      kCompileBytecode};
+  return Sites;
+}
+
+namespace {
+
+/// One armed rule: exactly one of EveryN / Prob is active. Counter and the
+/// RNG stream are per site so multi-site specs stay independently
+/// deterministic.
+struct Rule {
+  uint64_t EveryN = 0; ///< fail every Nth evaluation (0 = probabilistic)
+  double Prob = 0.0;   ///< failure probability when EveryN == 0
+  uint64_t Counter = 0;
+  Rng R{0};
+  SiteStats St;
+};
+
+/// All injection state behind one mutex. Contention only exists while a
+/// spec is armed (tests); the production path never gets past armed().
+struct FaultState {
+  std::mutex M;
+  std::unordered_map<std::string, Rule> Rules;
+};
+
+FaultState &state() {
+  static FaultState S;
+  return S;
+}
+
+/// FNV-1a, for decorrelating per-site RNG streams under one seed.
+uint64_t hashName(const char *Name) {
+  uint64_t H = 1469598103934665603ULL;
+  for (const char *P = Name; *P; ++P)
+    H = (H ^ static_cast<uint64_t>(*P)) * 1099511628211ULL;
+  return H;
+}
+
+bool knownSite(const std::string &Name) {
+  for (const char *S : allSites())
+    if (Name == S)
+      return true;
+  return false;
+}
+
+/// Reads GC_FAULT / GC_FAULT_SEED exactly once, at process start. A parse
+/// error cannot abort here (the host may be a long-lived server), so it
+/// warns and leaves injection disarmed.
+struct EnvInit {
+  EnvInit() {
+    const std::string Spec = getEnvString("GC_FAULT", "");
+    if (Spec.empty())
+      return;
+    const uint64_t Seed =
+        static_cast<uint64_t>(getEnvInt("GC_FAULT_SEED", 0));
+    if (const Status S = configure(Spec, Seed); !S.isOk())
+      std::fprintf(stderr, "[gc] GC_FAULT ignored: %s\n",
+                   S.toString().c_str());
+  }
+};
+EnvInit RunEnvInit;
+
+} // namespace
+
+namespace detail {
+
+bool shouldFailSlow(const char *Site) {
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Rules.find(Site);
+  if (It == S.Rules.end())
+    return false;
+  Rule &R = It->second;
+  ++R.St.Hits;
+  bool Fail = false;
+  if (R.EveryN > 0)
+    Fail = (++R.Counter % R.EveryN) == 0;
+  else
+    Fail = static_cast<double>(R.R.next() >> 11) * 0x1.0p-53 < R.Prob;
+  if (Fail)
+    ++R.St.Injected;
+  return Fail;
+}
+
+} // namespace detail
+
+Status failStatus(const char *Site, StatusCode Code, const char *What) {
+  return Status::error(
+      Code, formatString("injected fault at %s: %s", Site, What));
+}
+
+Status configure(const std::string &Spec, uint64_t Seed) {
+  std::unordered_map<std::string, Rule> Rules;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    const std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    const size_t Colon = Entry.find(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 >= Entry.size())
+      return Status::error(
+          StatusCode::InvalidArgument,
+          formatString("fault spec entry '%s' is not <site>:<rule>",
+                       Entry.c_str()));
+    const std::string Site = Entry.substr(0, Colon);
+    const std::string RuleStr = Entry.substr(Colon + 1);
+    if (Site != "*" && !knownSite(Site))
+      return Status::error(
+          StatusCode::InvalidArgument,
+          formatString("fault spec names unknown site '%s'", Site.c_str()));
+
+    Rule R;
+    char *RuleEnd = nullptr;
+    if (RuleStr[0] == 'p') {
+      const double P = std::strtod(RuleStr.c_str() + 1, &RuleEnd);
+      if (RuleEnd == RuleStr.c_str() + 1 || *RuleEnd != '\0' || P < 0.0 ||
+          P > 1.0)
+        return Status::error(
+            StatusCode::InvalidArgument,
+            formatString("fault rule '%s' is not p<probability in [0,1]>",
+                         RuleStr.c_str()));
+      R.Prob = P;
+    } else {
+      const long long N = std::strtoll(RuleStr.c_str(), &RuleEnd, 10);
+      if (RuleEnd == RuleStr.c_str() || *RuleEnd != '\0' || N < 1)
+        return Status::error(
+            StatusCode::InvalidArgument,
+            formatString("fault rule '%s' is not an every-Nth count >= 1",
+                         RuleStr.c_str()));
+      R.EveryN = static_cast<uint64_t>(N);
+    }
+    // `*` materializes onto every registered site (explicit entries win),
+    // keeping the evaluation path uniform and the per-site counters and
+    // RNG streams independent.
+    if (Site == "*") {
+      for (const char *Name : allSites())
+        Rules.try_emplace(Name, R);
+    } else {
+      Rules.insert_or_assign(Site, R);
+    }
+  }
+
+  for (auto &[Name, R] : Rules)
+    R.R = Rng(Seed ^ hashName(Name.c_str()));
+
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Rules = std::move(Rules);
+  detail::Armed.store(!S.Rules.empty(), std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void reset() {
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Rules.clear();
+  detail::Armed.store(false, std::memory_order_relaxed);
+}
+
+SiteStats stats(const char *Site) {
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Rules.find(Site);
+  return It == S.Rules.end() ? SiteStats{} : It->second.St;
+}
+
+uint64_t totalInjected() {
+  FaultState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  uint64_t Total = 0;
+  for (const auto &[Name, R] : S.Rules)
+    Total += R.St.Injected;
+  return Total;
+}
+
+} // namespace fault
+} // namespace gc

@@ -30,6 +30,23 @@ enum class StatusCode : uint8_t {
   Unsupported,
   /// A pipeline stage produced an inconsistent result.
   Internal,
+  /// A bounded resource (arena budget, exec-state pool, cache capacity)
+  /// was exhausted. Transient: retrying after load drops may succeed.
+  ResourceExhausted,
+  /// The submission's deadline (SubmitOptions::TimeoutMs) passed before
+  /// every partition completed. Terminal for that submission only.
+  DeadlineExceeded,
+  /// The submission was cancelled via Event::cancel(). Terminal for that
+  /// submission only.
+  Cancelled,
+  /// A dependency (disk cache entry, cross-process lock, injected fault
+  /// site) was temporarily unavailable. Transient: an alternate path or a
+  /// retry is expected to succeed.
+  Unavailable,
+  /// The requested entity (e.g. an artifact-cache entry) does not exist.
+  /// Distinct from Unavailable so callers can tell a routine miss from a
+  /// degraded dependency.
+  NotFound,
 };
 
 /// Printable name of a status code.
@@ -40,8 +57,24 @@ constexpr const char *statusCodeName(StatusCode Code) {
   case StatusCode::InvalidGraph: return "invalid_graph";
   case StatusCode::Unsupported: return "unsupported";
   case StatusCode::Internal: return "internal";
+  case StatusCode::ResourceExhausted: return "resource_exhausted";
+  case StatusCode::DeadlineExceeded: return "deadline_exceeded";
+  case StatusCode::Cancelled: return "cancelled";
+  case StatusCode::Unavailable: return "unavailable";
+  case StatusCode::NotFound: return "not_found";
   }
   return "?";
+}
+
+/// Failure classification for the graceful-degradation policy: a
+/// transient code means the operation may succeed along another axis
+/// (slower backend, serial schedule, in-process compile) or on a plain
+/// retry. Argument/graph/Unsupported errors are permanent — no fallback
+/// can fix the input — and DeadlineExceeded/Cancelled are caller verdicts
+/// that must surface, not be papered over.
+constexpr bool isTransient(StatusCode Code) {
+  return Code == StatusCode::ResourceExhausted ||
+         Code == StatusCode::Unavailable;
 }
 
 /// An error code plus a human-readable message. Default-constructed status

@@ -201,14 +201,14 @@ TEST(BumpArena, SequentialAllocationsDisjoint) {
 TEST(PlanArena, ZeroSizePlanAllocatesNothing) {
   PlanArena Arena;
   EXPECT_EQ(Arena.capacity(), 0u);
-  Arena.ensure(0);
+  ASSERT_TRUE(Arena.tryEnsure(0).isOk());
   EXPECT_EQ(Arena.capacity(), 0u);
   EXPECT_EQ(Arena.at(0), nullptr); // zero-size intermediates: valid plan
 }
 
 TEST(PlanArena, OffsetsKeepAlignment) {
   PlanArena Arena;
-  Arena.ensure(1000);
+  ASSERT_TRUE(Arena.tryEnsure(1000).isOk());
   ASSERT_GE(Arena.capacity(), 1000u);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(0)) % 64, 0u);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(64)) % 64, 0u);
@@ -219,16 +219,16 @@ TEST(PlanArena, OffsetsKeepAlignment) {
 
 TEST(PlanArena, GrowsAcrossExecutionsAndNeverShrinks) {
   PlanArena Arena;
-  Arena.ensure(128);
+  ASSERT_TRUE(Arena.tryEnsure(128).isOk());
   const size_t Small = Arena.capacity();
   ASSERT_GE(Small, 128u);
   // Second execution with a bigger plan: grow.
-  Arena.ensure(4096);
+  ASSERT_TRUE(Arena.tryEnsure(4096).isOk());
   ASSERT_GE(Arena.capacity(), 4096u);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(Arena.at(0)) % 64, 0u);
   // Back to a small plan: capacity is retained (grow-only recycling).
   const size_t Big = Arena.capacity();
-  Arena.ensure(64);
+  ASSERT_TRUE(Arena.tryEnsure(64).isOk());
   EXPECT_EQ(Arena.capacity(), Big);
   // Grown region is writable end to end.
   std::memset(Arena.at(0), 0x5a, Big);

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Coalesced-vs-sequential serving comparison for the CI perf gate.
+
+Runs bench_serve (which scores, per workload case, the sequential
+one-request-at-a-time baseline and the serve::Server coalesced path with
+the same closed-loop clients, plus an informational open-loop Poisson
+mode), merges the JSON lines into one report (written to --out, e.g.
+BENCH_9.json for PR 9) and fails when
+
+  * the int8 MLP-1 case — the paper's quantized deployment flavour, the
+    workload where per-row batching amortization has real headroom — has
+    a batch/seq throughput ratio below --min-speedup (default 2.0),
+  * the f32 case falls below the parity floor --min-parity (batching
+    f32 MLP-1 on one core buys little, but it must never cost much), or
+  * any record reports exact != 1: the server's response must be
+    bit-identical to the serial single-request execution.
+
+Each bench invocation scores every mode of a case in-process, so repeats
+are self-interleaved: both sides of every ratio see the same host
+conditions. The per-(case, mode) MEDIAN qps over --repeats runs is
+scored, keeping one noisy run from swinging a ratio.
+
+Usage:
+  python3 scripts/compare_serve_bench.py --bench build/bench/bench_serve \
+      --out BENCH_9.json [--clients 4] [--min-time 0.2] \
+      [--min-speedup 2.0] [--min-parity 0.9] [--repeats 5]
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+
+def run_bench(bench, min_time, repeats, clients):
+    """Runs the bench `repeats` times and keeps per-(case, mode) qps
+    samples plus the last full record for every key."""
+    samples = {}
+    records = {}
+    for _ in range(repeats):
+        env = dict(os.environ)
+        env.setdefault("GC_BENCH_MIN_TIME", str(min_time))
+        if clients > 0:
+            env["GC_SERVE_BENCH_CLIENTS"] = str(clients)
+        out = subprocess.run([bench], env=env, check=True,
+                             capture_output=True, text=True).stdout
+        for line in out.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            key = (rec["bench"], rec["mode"])
+            samples.setdefault(key, []).append(rec["qps"])
+            records[key] = rec
+    for key, vals in samples.items():
+        records[key]["qps"] = statistics.median(vals)
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="path to bench_serve")
+    ap.add_argument("--out", required=True, help="output JSON path")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="closed-loop client threads (0 = bench default)")
+    ap.add_argument("--min-time", type=float, default=0.2,
+                    help="GC_BENCH_MIN_TIME per mode (seconds)")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="fail if the int8 case's batch/seq throughput "
+                         "ratio is below this factor")
+    ap.add_argument("--min-parity", type=float, default=0.9,
+                    help="fail if the f32 case's batch/seq ratio is below "
+                         "this floor (f32 MLP-1 rows barely amortize on "
+                         "one core; the serving layer must still not "
+                         "cost more than this)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="bench runs (per-(case, mode) median qps is kept)")
+    args = ap.parse_args()
+
+    records = run_bench(args.bench, args.min_time, args.repeats,
+                        args.clients)
+
+    report = {
+        "bench": "bench_serve",
+        "compare": "serve::Server coalesced batching vs sequential "
+                   "one-request-at-a-time execution, same clients",
+        "clients": args.clients,
+        "host_cores": os.cpu_count(),
+        "note": "qps is the per-(case, mode) median over interleaved "
+                "repeats. The poisson rows are informational open-loop "
+                "latency (includes queue wait at the offered rate). On "
+                "hosts with fewer cores than clients the seq baseline "
+                "serializes too, so the ratio isolates per-row batching "
+                "amortization rather than parallelism.",
+        "min_speedup": args.min_speedup,
+        "min_parity": args.min_parity,
+        "cases": [],
+        "poisson": [],
+    }
+    failures = []
+    case_names = sorted({name for name, _ in records})
+    for name in case_names:
+        seq = records.get((name, "seq"))
+        batch = records.get((name, "batch"))
+        poisson = records.get((name, "poisson"))
+        if poisson:
+            report["poisson"].append(poisson)
+        if not seq or not batch:
+            failures.append(f"{name}: missing seq/batch records")
+            continue
+        ratio = batch["qps"] / seq["qps"] if seq["qps"] > 0 else 0.0
+        gated = "int8" in name
+        floor = args.min_speedup if gated else args.min_parity
+        report["cases"].append({
+            "bench": name,
+            "seq_qps": round(seq["qps"], 1),
+            "batch_qps": round(batch["qps"], 1),
+            "batch_speedup": round(ratio, 3),
+            "batch_avg_fill": batch["avg_fill"],
+            "seq_p50_us": seq["p50_us"],
+            "batch_p50_us": batch["p50_us"],
+            "batch_p99_us": batch["p99_us"],
+            "exact": min(seq["exact"], batch["exact"]),
+            "gate": "min_speedup" if gated else "min_parity",
+        })
+        for rec in (seq, batch) + ((poisson,) if poisson else ()):
+            if rec["exact"] != 1:
+                failures.append(f"{name}/{rec['mode']}: server response "
+                                "not bit-identical to serial execution")
+        if ratio < floor:
+            failures.append(
+                f"{name}: batch {batch['qps']:.0f} qps vs seq "
+                f"{seq['qps']:.0f} qps ({ratio:.2f}x < required "
+                f"{floor:.2f}x)")
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    for case in report["cases"]:
+        print(f"  {case['bench']:20s} seq {case['seq_qps']:10.0f} qps  "
+              f"batch {case['batch_qps']:10.0f} qps  speedup "
+              f"{case['batch_speedup']:.2f}x  fill "
+              f"{case['batch_avg_fill']:.1f}  exact {case['exact']}")
+    for rec in report["poisson"]:
+        print(f"  {rec['bench']:20s} poisson {rec['qps']:7.0f} qps  "
+              f"p50 {rec['p50_us']:.0f}us  p99 {rec['p99_us']:.0f}us")
+    if failures:
+        print("FAIL: serving gate violations:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,10 @@ public:
   /// \brief Requests cancellation of the submission. Best-effort and
   /// asynchronous: partitions not yet started are abandoned, in-flight
   /// ones drain, and the Event then completes with Status Cancelled.
+  /// A submission none of whose partitions has started (e.g. parked in
+  /// the task queue behind a busy pool) completes with Cancelled
+  /// immediately, before cancel() returns — it does not wait for its
+  /// queued tasks to reach a worker.
   /// Returns false when there is nothing to cancel (default-constructed
   /// event or already-complete submission); a true return does not
   /// guarantee the submission will report Cancelled — it may complete

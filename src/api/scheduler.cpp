@@ -380,11 +380,20 @@ void Submission::taskEntry(void *Ctx) {
   auto *Node = static_cast<Submission::Node *>(Ctx);
   Submission &S = *Node->Sub;
   const uint32_t I = Node->Index;
+  // Claim the partition. Losing the claim means requestCancel() pinned it
+  // as never-going-to-run before this task reached a worker; treat that
+  // exactly like a cancel verdict observed at the partition boundary.
+  const bool PreCancelled =
+      S.Claimed && S.Claimed[I].exchange(true, std::memory_order_acq_rel);
   // After a failure (or a cancel/deadline verdict) the rest of the DAG is
   // cancelled: completion still propagates (successor counts, submission
   // retirement) but no further partition executes.
   if (!S.Failed.load(std::memory_order_acquire)) {
-    Status St = S.preRunCheck();
+    Status St = PreCancelled
+                    ? Status::error(StatusCode::Cancelled,
+                                    "submission cancelled via "
+                                    "Event::cancel()")
+                    : S.preRunCheck();
     if (St.isOk()) {
       const CompiledGraph::PartitionPlan &Plan = S.CG->Plans[I];
       std::vector<runtime::TensorData *> Ins, Outs;
@@ -416,6 +425,42 @@ void Submission::taskEntry(void *Ctx) {
     }
   }
   S.finishPartition(I);
+}
+
+void Submission::requestCancel() {
+  CancelRequested.store(true, std::memory_order_release);
+  if (!Claimed || Nodes.empty())
+    return;
+  // Claim every partition we can: a won claim pins that partition as
+  // never-going-to-run (its task will fire as an accounting no-op). When
+  // EVERY claim is won, no partition has started or ever will, so the
+  // Cancelled verdict can be published right here instead of waiting for
+  // the queued tasks to reach a worker — the prompt-cancel path for a
+  // fully-unstarted submission parked behind a busy pool. Claims past the
+  // first loss still matter: they stop not-yet-started partitions even
+  // when the fast path does not apply.
+  bool AllUnstarted = true;
+  for (size_t I = 0, N = Nodes.size(); I < N; ++I)
+    if (Claimed[I].exchange(true, std::memory_order_acq_rel))
+      AllUnstarted = false;
+  if (!AllUnstarted)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (DoneFlag.load(std::memory_order_relaxed))
+    return;
+  if (Err.isOk()) {
+    Err = Status::error(StatusCode::Cancelled,
+                        "submission cancelled via Event::cancel() before "
+                        "any partition started");
+    if (SS && SS->Health)
+      SS->Health->Cancellations.fetch_add(1, std::memory_order_relaxed);
+  }
+  Failed.store(true, std::memory_order_release);
+  // Completion is visible now; the leased arena and the self-reference
+  // are released by the normal retire() once the queued no-op tasks have
+  // drained (they hold raw pointers into this submission).
+  DoneFlag.store(true, std::memory_order_release);
+  Cv.notify_all();
 }
 
 std::shared_ptr<Submission> Submission::completed(Status S) {
@@ -467,10 +512,12 @@ Submission::launch(const CompiledGraph &CG, CompiledGraphPtr Owned,
 
   Sub->Nodes.resize(N);
   Sub->DepsLeft = std::make_unique<std::atomic<uint32_t>[]>(N);
+  Sub->Claimed = std::make_unique<std::atomic<bool>[]>(N);
   for (size_t I = 0; I < N; ++I) {
     Sub->Nodes[I].Sub = Sub.get();
     Sub->Nodes[I].Index = static_cast<uint32_t>(I);
     Sub->DepsLeft[I].store(CG.Plans[I].NumPreds, std::memory_order_relaxed);
+    Sub->Claimed[I].store(false, std::memory_order_relaxed);
   }
   Sub->PartsLeft.store(N, std::memory_order_relaxed);
   // The self-reference keeps the submission alive until the last task
@@ -546,7 +593,7 @@ Status Event::waitFor(int64_t TimeoutMs) const {
 bool Event::cancel() const {
   if (!Sub || Sub->DoneFlag.load(std::memory_order_acquire))
     return false;
-  Sub->CancelRequested.store(true, std::memory_order_release);
+  Sub->requestCancel();
   return true;
 }
 

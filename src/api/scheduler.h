@@ -90,6 +90,11 @@ struct Submission {
   std::vector<runtime::TensorData> ScratchViews;
   std::vector<Node> Nodes;
   std::unique_ptr<std::atomic<uint32_t>[]> DepsLeft;
+  /// One claim flag per partition, taken exactly once: by taskEntry just
+  /// before the partition would execute, or by requestCancel() to pin the
+  /// partition as never-going-to-run. A claimed-by-cancel partition's task
+  /// still fires for dependency/retirement accounting but skips the body.
+  std::unique_ptr<std::atomic<bool>[]> Claimed;
   std::atomic<size_t> PartsLeft{0};
   std::atomic<bool> Failed{false};
   std::atomic<bool> DoneFlag{false};
@@ -162,6 +167,15 @@ struct Submission {
   /// An already-complete submission carrying \p S (for early failures and
   /// the synchronous single-partition shortcut).
   static std::shared_ptr<Submission> completed(Status S);
+
+  /// Cancellation entry point behind Event::cancel(): sets
+  /// CancelRequested, then tries to claim every partition. When it wins
+  /// every claim — no partition has started (or ever will) — it publishes
+  /// the Cancelled verdict immediately, so a fully-unstarted submission
+  /// completes from the cancelling thread instead of waiting for its
+  /// queued tasks to reach a worker. The queued tasks still fire later as
+  /// cheap no-ops to drive dependency counts and the final retire().
+  void requestCancel();
 
   /// Number of launched submissions whose retire() has not finished.
   /// The release-decrement at the end of retire() pairs with the

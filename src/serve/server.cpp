@@ -1,0 +1,596 @@
+//===- server.cpp - Inference server with dynamic micro-batching ----------===//
+
+#include "serve/server.h"
+
+#include "support/env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gc {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace detail {
+
+/// One graph boundary tensor as the admission validator sees it: dtype,
+/// declared shape, whether dim 0 is the dynamic batch, and the byte size
+/// of one row (for dynamic ports) or of the whole tensor (static ports).
+struct Port {
+  DataType Ty = DataType::F32;
+  std::vector<int64_t> Shape;
+  bool Dynamic = false;
+  int64_t RowBytes = 0;
+};
+
+/// The response state shared between a Ticket and the server: the
+/// caller's tensor bindings plus the completion latch. Kept on a
+/// shared_ptr so tickets stay answerable after the Server is gone.
+struct RequestState {
+  std::vector<runtime::TensorData *> Inputs, Outputs;
+  int64_t Rows = 0;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+  Clock::time_point AdmitTime{};
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Done = false;
+  Status Result;
+};
+
+/// One loaded graph: its compiled form, the boundary port metadata the
+/// admission validator checks against, and the pending-request queue the
+/// dispatch workers coalesce from (guarded by the server's QMutex).
+struct Model {
+  api::CompiledGraphPtr CG;
+  /// True when every input AND output carries the dynamic batch
+  /// dimension, so whole requests can be stacked along dim 0.
+  bool Batchable = false;
+  std::vector<Port> InPorts, OutPorts;
+
+  std::deque<std::shared_ptr<RequestState>> Pending;
+  int64_t PendingRows = 0;
+};
+
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Ticket
+//===----------------------------------------------------------------------===//
+
+bool Ticket::query() const {
+  if (!St)
+    return false;
+  std::lock_guard<std::mutex> Lock(St->Mutex);
+  return St->Done;
+}
+
+Status Ticket::wait() const {
+  if (!St)
+    return Status::error(StatusCode::InvalidArgument,
+                         "wait() on an invalid serve::Ticket");
+  std::unique_lock<std::mutex> Lock(St->Mutex);
+  St->Cv.wait(Lock, [&] { return St->Done; });
+  return St->Result;
+}
+
+Status Ticket::waitFor(int64_t TimeoutMs) const {
+  if (!St)
+    return Status::error(StatusCode::InvalidArgument,
+                         "waitFor() on an invalid serve::Ticket");
+  std::unique_lock<std::mutex> Lock(St->Mutex);
+  if (!St->Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                       [&] { return St->Done; }))
+    return Status::error(StatusCode::DeadlineExceeded,
+                         "serve::Ticket::waitFor timed out; the request is "
+                         "still in flight");
+  return St->Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Server: construction / shutdown
+//===----------------------------------------------------------------------===//
+
+static ServerOptions resolveOptions(ServerOptions O) {
+  auto Clamp = [](int64_t V, int64_t Lo, int64_t Hi) {
+    return std::min(std::max(V, Lo), Hi);
+  };
+  if (O.MaxBatch <= 0)
+    O.MaxBatch = getEnvInt("GC_SERVE_MAX_BATCH", 32);
+  O.MaxBatch = Clamp(O.MaxBatch, 1, 65536);
+  if (O.LingerUs < 0)
+    O.LingerUs = getEnvInt("GC_SERVE_LINGER_US", 200);
+  O.LingerUs = Clamp(O.LingerUs, 0, 10'000'000);
+  if (O.QueueCap <= 0)
+    O.QueueCap = getEnvInt("GC_SERVE_QUEUE_CAP", 1024);
+  O.QueueCap = Clamp(O.QueueCap, 1, int64_t(1) << 20);
+  if (O.Workers <= 0)
+    O.Workers = 2;
+  O.Workers = int(Clamp(O.Workers, 1, 64));
+  return O;
+}
+
+Server::Server(ServerOptions O, core::CompileOptions CompileOpts)
+    : Opts(resolveOptions(O)), Sess(CompileOpts), Str(Sess.stream()),
+      StartTime(Clock::now()),
+      BatchFill(static_cast<size_t>(Opts.MaxBatch), 0) {
+  Workers.reserve(static_cast<size_t>(Opts.Workers));
+  for (int I = 0; I < Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> Lock(QMutex);
+    Stopping = true;
+  }
+  QCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+//===----------------------------------------------------------------------===//
+// load / submit
+//===----------------------------------------------------------------------===//
+
+Expected<ModelId> Server::load(const graph::Graph &G) {
+  auto Compiled = Sess.compile(G);
+  if (!Compiled)
+    return Compiled.status();
+
+  auto M = std::make_unique<detail::Model>();
+  M->CG = Compiled.takeValue();
+
+  // Capture the boundary port metadata from the source graph (the
+  // CompiledGraph keeps its own copy private). Coalescing stacks whole
+  // requests along dim 0, which is only sound when EVERY boundary tensor
+  // carries the dynamic batch dimension — a static side input would need
+  // per-request values the stacked execution cannot represent.
+  auto CapturePorts = [&](const std::vector<int64_t> &Ids,
+                          std::vector<detail::Port> &Ports) {
+    bool AllDynamic = true;
+    for (int64_t Id : Ids) {
+      const graph::LogicalTensor &T = G.tensor(Id);
+      detail::Port P;
+      P.Ty = T.Ty;
+      P.Shape = T.Shape;
+      P.Dynamic = T.hasDynamicBatch();
+      int64_t Elems = 1;
+      for (size_t D = P.Dynamic ? 1 : 0; D < P.Shape.size(); ++D)
+        Elems *= P.Shape[D];
+      P.RowBytes = Elems * int64_t(dataTypeSize(P.Ty));
+      AllDynamic &= P.Dynamic;
+      Ports.push_back(std::move(P));
+    }
+    return AllDynamic;
+  };
+  bool InsDynamic = CapturePorts(G.inputs(), M->InPorts);
+  bool OutsDynamic = CapturePorts(G.outputs(), M->OutPorts);
+  M->Batchable = M->CG->isPolymorphic() && InsDynamic && OutsDynamic;
+
+  std::lock_guard<std::mutex> Lock(QMutex);
+  if (Stopping)
+    return Status::error(StatusCode::Unavailable,
+                         "serve::Server is shutting down");
+  Models.push_back(std::move(M));
+  return Models.size() - 1;
+}
+
+/// Validates one request boundary side against the port metadata.
+/// Returns the request's row count through \p Rows (dynamic ports must
+/// agree; pure-static models report 1).
+static Status validateSide(const char *Side,
+                           const std::vector<detail::Port> &Ports,
+                           const std::vector<runtime::TensorData *> &Ts,
+                           int64_t &Rows) {
+  if (Ts.size() != Ports.size())
+    return Status::error(StatusCode::InvalidArgument,
+                         std::string("serve::submit: expected ") +
+                             std::to_string(Ports.size()) + " " + Side +
+                             "s, got " + std::to_string(Ts.size()));
+  for (size_t I = 0; I < Ports.size(); ++I) {
+    const detail::Port &P = Ports[I];
+    runtime::TensorData *T = Ts[I];
+    if (!T || !T->valid())
+      return Status::error(StatusCode::InvalidArgument,
+                           std::string("serve::submit: ") + Side + " " +
+                               std::to_string(I) + " is null or unallocated");
+    if (T->dtype() != P.Ty)
+      return Status::error(StatusCode::InvalidArgument,
+                           std::string("serve::submit: ") + Side + " " +
+                               std::to_string(I) + " dtype mismatch");
+    const std::vector<int64_t> &S = T->shape();
+    if (S.size() != P.Shape.size())
+      return Status::error(StatusCode::InvalidArgument,
+                           std::string("serve::submit: ") + Side + " " +
+                               std::to_string(I) + " rank mismatch");
+    for (size_t D = 0; D < S.size(); ++D) {
+      if (D == 0 && P.Dynamic) {
+        if (S[0] <= 0)
+          return Status::error(StatusCode::InvalidArgument,
+                               std::string("serve::submit: ") + Side + " " +
+                                   std::to_string(I) +
+                                   " needs a positive batch dimension");
+        if (Rows == 0)
+          Rows = S[0];
+        else if (Rows != S[0])
+          return Status::error(
+              StatusCode::InvalidArgument,
+              std::string("serve::submit: ") + Side + " " +
+                  std::to_string(I) +
+                  " disagrees on the request batch: saw " +
+                  std::to_string(S[0]) + " after " + std::to_string(Rows));
+        continue;
+      }
+      if (S[D] != P.Shape[D])
+        return Status::error(StatusCode::InvalidArgument,
+                             std::string("serve::submit: ") + Side + " " +
+                                 std::to_string(I) + " dimension " +
+                                 std::to_string(D) + " mismatch");
+    }
+  }
+  return Status::ok();
+}
+
+Expected<Ticket>
+Server::submit(ModelId MId,
+               const std::vector<runtime::TensorData *> &Inputs,
+               const std::vector<runtime::TensorData *> &Outputs,
+               const RequestOptions &ReqOpts) {
+  detail::Model *M = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(QMutex);
+    if (MId >= Models.size())
+      return Status::error(StatusCode::NotFound,
+                           "serve::submit: unknown model id " +
+                               std::to_string(MId));
+    M = Models[MId].get();
+  }
+
+  // Validation reads only immutable model metadata — outside the lock.
+  int64_t Rows = 0;
+  if (Status S = validateSide("input", M->InPorts, Inputs, Rows); !S.isOk())
+    return S;
+  if (Status S = validateSide("output", M->OutPorts, Outputs, Rows);
+      !S.isOk())
+    return S;
+  if (Rows == 0)
+    Rows = 1; // fully static model: one request == one execution
+
+  if (ReqOpts.TimeoutUs < 0) {
+    RejectedDeadline.fetch_add(1, std::memory_order_relaxed);
+    return Status::error(StatusCode::DeadlineExceeded,
+                         "serve::submit: request deadline already expired "
+                         "at admission");
+  }
+
+  auto R = std::make_shared<detail::RequestState>();
+  R->Inputs = Inputs;
+  R->Outputs = Outputs;
+  R->Rows = Rows;
+  R->AdmitTime = Clock::now();
+  if (ReqOpts.TimeoutUs > 0) {
+    R->HasDeadline = true;
+    R->Deadline = R->AdmitTime + std::chrono::microseconds(ReqOpts.TimeoutUs);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(QMutex);
+    if (Stopping)
+      return Status::error(StatusCode::Unavailable,
+                           "serve::Server is shutting down");
+    if (QueuedRequests >= static_cast<size_t>(Opts.QueueCap)) {
+      RejectedQueueFull.fetch_add(1, std::memory_order_relaxed);
+      return Status::error(
+          StatusCode::ResourceExhausted,
+          "serve::submit: admission queue full (" +
+              std::to_string(Opts.QueueCap) +
+              " requests; raise GC_SERVE_QUEUE_CAP or retry after the "
+              "backlog drains)");
+    }
+    M->Pending.push_back(R);
+    M->PendingRows += Rows;
+    ++QueuedRequests;
+  }
+  Admitted.fetch_add(1, std::memory_order_relaxed);
+  QCv.notify_one();
+  return Ticket(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop() {
+  std::unique_lock<std::mutex> Lock(QMutex);
+  for (;;) {
+    // Find a model worth flushing; otherwise compute the earliest linger
+    // expiry to sleep until.
+    detail::Model *Ready = nullptr;
+    Trigger Why = Trigger::Size;
+    bool HaveWakeup = false;
+    Clock::time_point Wakeup{};
+    Clock::time_point Now = Clock::now();
+    for (auto &MPtr : Models) {
+      detail::Model &M = *MPtr;
+      if (M.Pending.empty())
+        continue;
+      if (Stopping) {
+        Ready = &M;
+        Why = Trigger::Drain;
+        break;
+      }
+      if (!M.Batchable || M.PendingRows >= Opts.MaxBatch) {
+        Ready = &M;
+        Why = Trigger::Size;
+        break;
+      }
+      Clock::time_point Expiry =
+          M.Pending.front()->AdmitTime + std::chrono::microseconds(Opts.LingerUs);
+      if (Now >= Expiry) {
+        Ready = &M;
+        Why = Trigger::Linger;
+        break;
+      }
+      if (!HaveWakeup || Expiry < Wakeup) {
+        HaveWakeup = true;
+        Wakeup = Expiry;
+      }
+    }
+
+    if (!Ready) {
+      if (Stopping && QueuedRequests == 0)
+        return;
+      if (HaveWakeup)
+        QCv.wait_until(Lock, Wakeup);
+      else
+        QCv.wait(Lock);
+      continue;
+    }
+
+    // Pop whole requests greedily while they fit the batch cap; the first
+    // one is always taken even when it alone exceeds the cap.
+    std::vector<std::shared_ptr<detail::RequestState>> Batch;
+    int64_t Taken = 0;
+    while (!Ready->Pending.empty()) {
+      auto &Front = Ready->Pending.front();
+      if (!Batch.empty() &&
+          (!Ready->Batchable || Taken + Front->Rows > Opts.MaxBatch))
+        break;
+      Taken += Front->Rows;
+      Batch.push_back(std::move(Front));
+      Ready->Pending.pop_front();
+      Ready->PendingRows -= Batch.back()->Rows;
+      --QueuedRequests;
+      if (!Ready->Batchable)
+        break;
+    }
+
+    Lock.unlock();
+    processBatch(*Ready, std::move(Batch), Why);
+    Lock.lock();
+  }
+}
+
+void Server::processBatch(
+    detail::Model &M,
+    std::vector<std::shared_ptr<detail::RequestState>> Batch, Trigger Why) {
+  switch (Why) {
+  case Trigger::Size:
+    SizeFlushes.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Trigger::Linger:
+    LingerFlushes.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case Trigger::Drain:
+    DrainFlushes.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+
+  // A deadline that expired while the request lingered in the queue
+  // retires it here, before it can cost its batchmates anything.
+  Clock::time_point Now = Clock::now();
+  std::vector<std::shared_ptr<detail::RequestState>> Live;
+  Live.reserve(Batch.size());
+  for (auto &R : Batch) {
+    if (R->HasDeadline && Now >= R->Deadline)
+      retireRequest(*R,
+                    Status::error(StatusCode::DeadlineExceeded,
+                                  "serve: request deadline expired while "
+                                  "queued for batching"),
+                    Now);
+    else
+      Live.push_back(std::move(R));
+  }
+  if (Live.empty())
+    return;
+
+  // The batch deadline is the MAX over member deadlines, and only when
+  // every member has one — so a single tight deadline can never abort
+  // work its batchmates still want.
+  api::SubmitOptions SO;
+  bool AllDeadlines = true;
+  Clock::time_point MaxDeadline{};
+  for (auto &R : Live) {
+    if (!R->HasDeadline) {
+      AllDeadlines = false;
+      break;
+    }
+    MaxDeadline = std::max(MaxDeadline, R->Deadline);
+  }
+  if (AllDeadlines) {
+    auto RemainUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                        MaxDeadline - Now)
+                        .count();
+    SO.TimeoutMs = std::max<int64_t>(1, (RemainUs + 999) / 1000);
+  }
+
+  int64_t LiveRows = 0;
+  for (auto &R : Live)
+    LiveRows += R->Rows;
+
+  Status ExecStatus = Status::ok();
+  bool Scattered = false;
+  std::vector<runtime::TensorData> BOut;
+
+  if (Live.size() == 1) {
+    // Solo batch (including every non-batchable model): the request's
+    // own tensors pass straight through — no gather/scatter copies.
+    api::Event E = Str.submit(M.CG, Live[0]->Inputs, Live[0]->Outputs, SO);
+    ExecStatus = E.wait();
+    Scattered = true;
+  } else {
+    // Gather: stack each request's rows along dim 0 of fresh batch
+    // tensors. Every port of a batchable model is dynamic, so one
+    // memcpy of Rows*RowBytes per port moves a whole request.
+    std::vector<runtime::TensorData> BIn;
+    std::vector<runtime::TensorData *> BInP, BOutP;
+    BIn.reserve(M.InPorts.size());
+    BOut.reserve(M.OutPorts.size());
+    for (size_t I = 0; I < M.InPorts.size(); ++I) {
+      std::vector<int64_t> Shape = M.InPorts[I].Shape;
+      Shape[0] = LiveRows;
+      BIn.emplace_back(M.InPorts[I].Ty, std::move(Shape));
+      char *Dst = BIn.back().dataAs<char>();
+      for (auto &R : Live) {
+        int64_t Bytes = R->Rows * M.InPorts[I].RowBytes;
+        std::memcpy(Dst, R->Inputs[I]->data(), size_t(Bytes));
+        Dst += Bytes;
+      }
+      BInP.push_back(&BIn.back());
+    }
+    for (size_t I = 0; I < M.OutPorts.size(); ++I) {
+      std::vector<int64_t> Shape = M.OutPorts[I].Shape;
+      Shape[0] = LiveRows;
+      BOut.emplace_back(M.OutPorts[I].Ty, std::move(Shape));
+      BOutP.push_back(&BOut.back());
+    }
+
+    api::Event E = Str.submit(M.CG, BInP, BOutP, SO);
+    ExecStatus = E.wait();
+  }
+
+  Clock::time_point End = Clock::now();
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    size_t Fill = size_t(std::min<int64_t>(LiveRows, Opts.MaxBatch)) - 1;
+    ++BatchFill[Fill];
+  }
+  Batches.fetch_add(1, std::memory_order_relaxed);
+  BatchedRows.fetch_add(uint64_t(LiveRows), std::memory_order_relaxed);
+
+  // Retire every member with its PER-REQUEST status. A member whose own
+  // deadline passed during execution gets DeadlineExceeded even when the
+  // batch succeeded (its rows are not copied back); a batch failure
+  // refines to DeadlineExceeded for expired members and propagates
+  // verbatim to the rest.
+  for (auto &R : Live) {
+    bool Expired = R->HasDeadline && End >= R->Deadline;
+    if (!ExecStatus.isOk()) {
+      retireRequest(*R,
+                    Expired ? Status::error(
+                                  StatusCode::DeadlineExceeded,
+                                  "serve: request deadline expired during "
+                                  "batch execution")
+                            : ExecStatus,
+                    End);
+      continue;
+    }
+    if (Expired) {
+      retireRequest(*R,
+                    Status::error(StatusCode::DeadlineExceeded,
+                                  "serve: request deadline expired during "
+                                  "batch execution"),
+                    End);
+      continue;
+    }
+    if (!Scattered) {
+      // Scatter this request's output rows back into its tensors.
+      int64_t RowOffset = 0;
+      for (auto &Prev : Live) {
+        if (Prev.get() == R.get())
+          break;
+        RowOffset += Prev->Rows;
+      }
+      for (size_t I = 0; I < M.OutPorts.size(); ++I) {
+        const char *Src = BOut[I].dataAs<char>() +
+                          RowOffset * M.OutPorts[I].RowBytes;
+        std::memcpy(R->Outputs[I]->data(), Src,
+                    size_t(R->Rows * M.OutPorts[I].RowBytes));
+      }
+    }
+    retireRequest(*R, Status::ok(), End);
+  }
+}
+
+void Server::retireRequest(detail::RequestState &R, Status S,
+                           Clock::time_point End) {
+  double LatencyUs =
+      double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 End - R.AdmitTime)
+                 .count()) /
+      1000.0;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Latency.record(LatencyUs);
+  }
+  if (S.isOk()) {
+    NumCompleted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    NumFailed.fetch_add(1, std::memory_order_relaxed);
+    if (S.code() == StatusCode::DeadlineExceeded)
+      NumDeadline.fetch_add(1, std::memory_order_relaxed);
+    else if (S.code() == StatusCode::Cancelled)
+      NumCancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Result = std::move(S);
+    R.Done = true;
+  }
+  R.Cv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.Admitted = Admitted.load(std::memory_order_relaxed);
+  S.RejectedQueueFull = RejectedQueueFull.load(std::memory_order_relaxed);
+  S.RejectedDeadline = RejectedDeadline.load(std::memory_order_relaxed);
+  S.Completed = NumCompleted.load(std::memory_order_relaxed);
+  S.Failed = NumFailed.load(std::memory_order_relaxed);
+  S.DeadlineExceeded = NumDeadline.load(std::memory_order_relaxed);
+  S.Cancelled = NumCancelled.load(std::memory_order_relaxed);
+  S.Batches = Batches.load(std::memory_order_relaxed);
+  S.BatchedRows = BatchedRows.load(std::memory_order_relaxed);
+  S.SizeFlushes = SizeFlushes.load(std::memory_order_relaxed);
+  S.LingerFlushes = LingerFlushes.load(std::memory_order_relaxed);
+  S.DrainFlushes = DrainFlushes.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(QMutex);
+    S.QueueDepth = QueuedRequests;
+  }
+  S.ElapsedS = std::chrono::duration<double>(Clock::now() - StartTime).count();
+  S.Qps = S.ElapsedS > 0 ? double(S.Completed) / S.ElapsedS : 0;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    S.BatchFill = BatchFill;
+    S.LatencyCount = Latency.count();
+    if (S.LatencyCount > 0) {
+      S.P50Us = Latency.quantile(0.50);
+      S.P95Us = Latency.quantile(0.95);
+      S.P99Us = Latency.quantile(0.99);
+      S.MeanUs = Latency.mean();
+    }
+  }
+  return S;
+}
+
+} // namespace serve
+} // namespace gc

@@ -1,0 +1,263 @@
+//===- server.h - Inference server with dynamic micro-batching --*- C++ -*-===//
+///
+/// \file
+/// The serving front-end over the Session/Stream/Event engine: a Server
+/// owns a Session and its batch-polymorphic CompiledGraphs, accepts many
+/// concurrent in-flight Requests (per-request input tensors plus an
+/// optional deadline), coalesces compatible requests from a bounded
+/// admission queue into one bucketed batch — flushed when the pending
+/// rows reach the batch cap OR when the oldest request has lingered past
+/// the linger budget, whichever fires first — executes the batch through
+/// Stream::submit() and scatters the per-request output rows back.
+/// Failure statuses (DeadlineExceeded, Cancelled, transient degradations)
+/// propagate per REQUEST, never per batch: one late request does not
+/// poison its batchmates.
+///
+///   serve::Server Srv;                         // knobs from env/options
+///   auto M = Srv.load(G);                      // dynamic-batch graph
+///   serve::Ticket T =
+///       *Srv.submit(*M, {&In}, {&Out},
+///                   serve::RequestOptions{/*TimeoutUs=*/5000});
+///   if (Status S = T.wait(); !S.isOk()) ...;   // Out holds this
+///                                              // request's rows
+///
+/// Environment knobs (ServerOptions twins; resolved at construction):
+///   GC_SERVE_MAX_BATCH   rows coalesced into one batch   (default 32)
+///   GC_SERVE_LINGER_US   max µs the oldest request waits (default 200)
+///   GC_SERVE_QUEUE_CAP   admission queue capacity        (default 1024)
+///
+/// Thread safety: load(), submit(), stats() and Ticket methods may be
+/// called from any number of threads. Destroying the Server drains: new
+/// admissions are refused (Unavailable), every already-admitted request
+/// is answered, dispatch workers join. Tickets outlive the Server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SERVE_SERVER_H
+#define GC_SERVE_SERVER_H
+
+#include "api/session.h"
+#include "support/quantile.h"
+#include "support/status.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gc {
+namespace serve {
+
+class Server;
+
+namespace detail {
+struct RequestState;
+struct Model;
+} // namespace detail
+
+/// Per-request options for Server::submit().
+struct RequestOptions {
+  /// Deadline in microseconds from admission. 0 = none. A positive value
+  /// arms a deadline checked at flush time (expired requests retire
+  /// DeadlineExceeded without poisoning batchmates), forwarded to
+  /// Stream::submit() for the batch, and re-checked when the response is
+  /// scattered. A NEGATIVE value is an already-expired deadline — the
+  /// request is rejected at admission with DeadlineExceeded (lets retry
+  /// layers pass a computed remaining budget straight through).
+  int64_t TimeoutUs = 0;
+};
+
+/// Construction-time server configuration. Zero/negative sentinels defer
+/// to the GC_SERVE_* environment knobs (see file header) and their
+/// defaults.
+struct ServerOptions {
+  /// Max rows coalesced into one batch (<= 0: GC_SERVE_MAX_BATCH).
+  /// A single request wider than the cap still executes, alone.
+  int64_t MaxBatch = 0;
+  /// Max microseconds the oldest pending request waits for batchmates
+  /// before the batch flushes anyway (< 0: GC_SERVE_LINGER_US; 0 means
+  /// flush immediately — no coalescing beyond what is already queued).
+  int64_t LingerUs = -1;
+  /// Admission queue capacity in requests; a full queue rejects
+  /// admission with ResourceExhausted (<= 0: GC_SERVE_QUEUE_CAP).
+  int64_t QueueCap = 0;
+  /// Dispatch worker threads draining the admission queue (<= 0: 2).
+  /// Each worker flushes and executes one batch at a time, so >1 lets
+  /// batch executions overlap.
+  int Workers = 0;
+};
+
+/// Point-in-time server statistics snapshot (Server::stats()). Counter
+/// invariant (pinned by tests): LatencyCount == Completed + Failed, and
+/// Admitted == Completed + Failed + QueueDepth + in-flight.
+struct ServerStats {
+  /// Requests accepted into the admission queue.
+  uint64_t Admitted = 0;
+  /// Admissions refused: queue full (ResourceExhausted).
+  uint64_t RejectedQueueFull = 0;
+  /// Admissions refused: deadline already expired (DeadlineExceeded).
+  uint64_t RejectedDeadline = 0;
+  /// Requests answered Ok.
+  uint64_t Completed = 0;
+  /// Requests answered with an error status (deadline, cancellation,
+  /// execution failure).
+  uint64_t Failed = 0;
+  /// Subset of Failed: per-request DeadlineExceeded verdicts.
+  uint64_t DeadlineExceeded = 0;
+  /// Subset of Failed: requests cancelled (server shutdown).
+  uint64_t Cancelled = 0;
+  /// Batches executed.
+  uint64_t Batches = 0;
+  /// Rows executed across all batches.
+  uint64_t BatchedRows = 0;
+  /// Flush-trigger breakdown: pending rows reached MaxBatch / oldest
+  /// request lingered past LingerUs / shutdown drain.
+  uint64_t SizeFlushes = 0;
+  uint64_t LingerFlushes = 0;
+  uint64_t DrainFlushes = 0;
+  /// Requests currently waiting in the admission queue (snapshot).
+  uint64_t QueueDepth = 0;
+  /// Batch-fill histogram: BatchFill[I] counts batches that executed
+  /// I+1 rows (the last bucket also absorbs over-cap solo requests).
+  std::vector<uint64_t> BatchFill;
+  /// Seconds since server construction.
+  double ElapsedS = 0;
+  /// Completed / ElapsedS.
+  double Qps = 0;
+  /// Request latencies recorded (== Completed + Failed); admission
+  /// rejections never enter the latency sketch.
+  uint64_t LatencyCount = 0;
+  /// Admission-to-retirement latency percentiles, microseconds, from the
+  /// streaming quantile sketch (1% relative error).
+  double P50Us = 0;
+  double P95Us = 0;
+  double P99Us = 0;
+  /// Mean latency in microseconds.
+  double MeanUs = 0;
+};
+
+/// Completion handle for one submitted request. Cheap shared handle;
+/// valid after the Server is destroyed (the response state outlives it).
+class Ticket {
+public:
+  /// \brief An invalid ticket (nothing submitted).
+  Ticket() = default;
+
+  /// \brief False for default-constructed tickets.
+  bool valid() const { return St != nullptr; }
+  /// \brief True once the request has been answered; never blocks.
+  bool query() const;
+  /// \brief Blocks until the request is answered and returns its Status.
+  /// Ok means the request's rows are in the caller's output tensors.
+  /// Safe to call repeatedly and from several threads.
+  Status wait() const;
+  /// \brief Like wait() but gives up after \p TimeoutMs milliseconds,
+  /// returning DeadlineExceeded WITHOUT affecting the request (a later
+  /// wait() still collects the real verdict).
+  Status waitFor(int64_t TimeoutMs) const;
+
+private:
+  friend class Server;
+  explicit Ticket(std::shared_ptr<detail::RequestState> S)
+      : St(std::move(S)) {}
+  std::shared_ptr<detail::RequestState> St;
+};
+
+/// Identifies one loaded graph on a Server.
+using ModelId = size_t;
+
+/// The inference server. See the file header for the execution model.
+class Server {
+public:
+  /// \brief Creates a server: resolves the GC_SERVE_* knobs against
+  /// \p Opts, builds the owned Session from \p CompileOpts and starts
+  /// the dispatch workers.
+  explicit Server(ServerOptions Opts = {},
+                  core::CompileOptions CompileOpts = {});
+
+  /// Drains and stops: refuses new admissions, answers every admitted
+  /// request (queued ones flush immediately), joins the workers.
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// \brief Compiles \p G through the owned Session and registers it for
+  /// serving. A graph whose every input/output carries the dynamic batch
+  /// dimension (LogicalTensor::kDynamicDim) is served with cross-request
+  /// coalescing; any other graph is served one request per execution.
+  Expected<ModelId> load(const graph::Graph &G);
+
+  /// \brief Admits one request against model \p M. \p Inputs /
+  /// \p Outputs follow the source graph's declaration order; dynamic
+  /// tensors carry this request's rows in dim 0 (all agreeing), static
+  /// tensors match the graph shape exactly. The caller keeps the tensor
+  /// storage alive and unmodified until the ticket completes.
+  ///
+  /// Errors at admission (nothing is queued): InvalidArgument for
+  /// malformed boundaries, DeadlineExceeded for an already-expired
+  /// deadline, ResourceExhausted when the admission queue is at
+  /// GC_SERVE_QUEUE_CAP, Unavailable when the server is shutting down.
+  Expected<Ticket> submit(ModelId M,
+                          const std::vector<runtime::TensorData *> &Inputs,
+                          const std::vector<runtime::TensorData *> &Outputs,
+                          const RequestOptions &ReqOpts = {});
+
+  /// \brief Statistics snapshot (cheap; counters are cumulative).
+  ServerStats stats() const;
+
+  /// \brief The resolved options (env knobs applied).
+  const ServerOptions &options() const { return Opts; }
+  /// \brief The owned session (e.g. for healthStats()).
+  api::Session &session() { return Sess; }
+
+private:
+  enum class Trigger { Size, Linger, Drain };
+
+  void workerLoop();
+  /// Executes one flushed batch: drops expired requests, gathers rows,
+  /// submits with the batch deadline, scatters rows back and retires
+  /// every request with its per-request status.
+  void processBatch(detail::Model &M,
+                    std::vector<std::shared_ptr<detail::RequestState>> Batch,
+                    Trigger Why);
+  /// Answers one request: records its latency and outcome counters, then
+  /// completes the ticket.
+  void retireRequest(detail::RequestState &R, Status S,
+                     std::chrono::steady_clock::time_point End);
+
+  ServerOptions Opts; // resolved (no sentinels)
+  api::Session Sess;
+  api::Stream Str;
+  std::chrono::steady_clock::time_point StartTime;
+
+  /// Admission state: models' pending queues + global depth, guarded by
+  /// QMutex; QCv wakes dispatch workers on enqueue/shutdown.
+  mutable std::mutex QMutex;
+  std::condition_variable QCv;
+  std::vector<std::unique_ptr<detail::Model>> Models;
+  size_t QueuedRequests = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+
+  /// Outcome counters (atomics: bumped on hot paths, read by stats()).
+  std::atomic<uint64_t> Admitted{0}, RejectedQueueFull{0},
+      RejectedDeadline{0}, NumCompleted{0}, NumFailed{0}, NumDeadline{0},
+      NumCancelled{0}, Batches{0}, BatchedRows{0}, SizeFlushes{0},
+      LingerFlushes{0}, DrainFlushes{0};
+
+  /// Latency sketch + batch-fill histogram, guarded by StatsMutex.
+  mutable std::mutex StatsMutex;
+  QuantileSketch Latency{0.01};
+  std::vector<uint64_t> BatchFill;
+};
+
+} // namespace serve
+} // namespace gc
+
+#endif // GC_SERVE_SERVER_H

@@ -1,0 +1,80 @@
+//===- quantile.cpp - Streaming quantile sketch -------------------------------===//
+
+#include "support/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc {
+
+QuantileSketch::QuantileSketch(double RelativeError) {
+  const double E = std::min(0.5, std::max(1e-4, RelativeError));
+  Gamma = (1.0 + E) / (1.0 - E);
+  InvLogGamma = 1.0 / std::log(Gamma);
+}
+
+int QuantileSketch::bucketIndex(double Value) const {
+  return static_cast<int>(std::ceil(std::log(Value) * InvLogGamma));
+}
+
+void QuantileSketch::record(double Value) {
+  if (Value < 0)
+    Value = 0;
+  ++Count;
+  Sum += Value;
+  Max = std::max(Max, Value);
+  if (Value < kZeroResolution) {
+    ++ZeroCount;
+    return;
+  }
+  const int Idx = bucketIndex(Value);
+  if (Buckets.empty()) {
+    IndexOffset = Idx;
+    Buckets.assign(1, 0);
+  } else if (Idx < IndexOffset) {
+    Buckets.insert(Buckets.begin(),
+                   static_cast<size_t>(IndexOffset - Idx), 0);
+    IndexOffset = Idx;
+  } else if (Idx >= IndexOffset + static_cast<int>(Buckets.size())) {
+    Buckets.resize(static_cast<size_t>(Idx - IndexOffset) + 1, 0);
+  }
+  ++Buckets[static_cast<size_t>(Idx - IndexOffset)];
+}
+
+double QuantileSketch::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  // p100 is the one quantile with an exact streaming answer.
+  if (Q >= 1.0)
+    return Max;
+  // Rank of the requested quantile, 0-based, nearest-rank style.
+  const uint64_t Rank = static_cast<uint64_t>(
+      Q * static_cast<double>(Count - 1) + 0.5);
+  if (Rank < ZeroCount)
+    return 0;
+  uint64_t Seen = ZeroCount;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen > Rank) {
+      // Midpoint of the bucket (gamma^(i-1), gamma^i]: gamma^i * 2/(1+gamma)
+      // is the relative-error-centered representative value.
+      const double Hi =
+          std::pow(Gamma, static_cast<double>(IndexOffset +
+                                              static_cast<int>(I)));
+      return Hi * 2.0 / (1.0 + Gamma);
+    }
+  }
+  return Max;
+}
+
+void QuantileSketch::clear() {
+  Buckets.clear();
+  IndexOffset = 0;
+  ZeroCount = 0;
+  Count = 0;
+  Sum = 0;
+  Max = 0;
+}
+
+} // namespace gc

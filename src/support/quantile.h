@@ -1,0 +1,72 @@
+//===- quantile.h - Streaming quantile sketch -------------------*- C++ -*-===//
+///
+/// \file
+/// A DDSketch-style streaming quantile estimator over non-negative values:
+/// each recorded value lands in a logarithmic bucket whose width is a fixed
+/// relative error, so quantile() answers p50/p95/p99 queries within that
+/// relative accuracy using O(log(max/min)) memory, no matter how many
+/// values were recorded. The serving layer records one request latency per
+/// retired request and reads the percentiles out of ServerStats.
+///
+/// Not thread-safe by itself: the owner serializes record()/quantile()
+/// (serve::Server records under its stats mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_SUPPORT_QUANTILE_H
+#define GC_SUPPORT_QUANTILE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace gc {
+
+/// Streaming quantile sketch with bounded relative error.
+class QuantileSketch {
+public:
+  /// \brief Creates a sketch answering quantiles within \p RelativeError
+  /// (clamped to [1e-4, 0.5]; default 1%).
+  explicit QuantileSketch(double RelativeError = 0.01);
+
+  /// \brief Records one value. Negative values clamp to 0; zero and
+  /// sub-resolution values share the zero bucket.
+  void record(double Value);
+
+  /// \brief The \p Q quantile (Q in [0,1]; clamped) of everything recorded
+  /// so far, within the configured relative error. Returns 0 when empty.
+  /// Q=0 approximates the minimum, Q=1 the maximum.
+  double quantile(double Q) const;
+
+  /// \brief Number of values recorded.
+  uint64_t count() const { return Count; }
+
+  /// \brief Largest value recorded (exact, not bucketed); 0 when empty.
+  double max() const { return Max; }
+
+  /// \brief Arithmetic mean of everything recorded; 0 when empty.
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+  /// \brief Drops every recorded value.
+  void clear();
+
+private:
+  /// Bucket index of \p Value (>= kZeroResolution): ceil(log_gamma(V)),
+  /// shifted by IndexOffset into the Buckets vector on demand.
+  int bucketIndex(double Value) const;
+
+  double Gamma = 1.02;    ///< bucket boundary ratio: (1+e)/(1-e)
+  double InvLogGamma = 0; ///< 1 / ln(Gamma)
+  /// Values below this resolve to the zero bucket (keeps indices small).
+  static constexpr double kZeroResolution = 1e-9;
+
+  std::vector<uint64_t> Buckets; ///< grown lazily around the data range
+  int IndexOffset = 0;           ///< logical index of Buckets[0]
+  uint64_t ZeroCount = 0;
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Max = 0;
+};
+
+} // namespace gc
+
+#endif // GC_SUPPORT_QUANTILE_H

@@ -493,4 +493,69 @@ TEST(AsyncStress, EightThreadsSubmitTheSameCompiledGraph) {
     }
 }
 
+//===----------------------------------------------------------------------===//
+// Cancellation of a fully-unstarted submission
+//===----------------------------------------------------------------------===//
+
+// A submission whose root tasks are parked in the queue behind busy
+// workers must report Cancelled from cancel() itself, not only when a
+// worker finally pops the tasks and observes the flag at a partition
+// boundary.
+TEST(CancelUnstarted, CompletesPromptlyWhileWorkersAreBusy) {
+  core::CompileOptions Opts;
+  Opts.Threads = 4;
+  Opts.SplitIndependentPartitions = true;
+  api::Session S(Opts);
+  auto CompiledOr = S.compile(buildTwoBranchGraph());
+  ASSERT_TRUE(CompiledOr.hasValue()) << CompiledOr.status().toString();
+  const api::CompiledGraphPtr CG = *CompiledOr;
+  ASSERT_GE(CG->numPartitions(), 2u);
+
+  // Occupy every worker (and stuff the queue) with tasks that spin until
+  // released, so the submission below cannot start a single partition.
+  static std::atomic<bool> Release{false};
+  static std::atomic<int> Blocked{0};
+  Release.store(false);
+  Blocked.store(0);
+  const int NumBlockers = S.threadPool().numThreads() + 2;
+  for (int I = 0; I < NumBlockers; ++I)
+    S.threadPool().submitTask(
+        [](void *) {
+          Blocked.fetch_add(1);
+          while (!Release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        },
+        nullptr);
+  // Wait until the spawned workers are actually inside blocker bodies
+  // (the pool has numThreads()-1 spawned workers; the caller is the
+  // Nth participant and is running this test).
+  const int SpawnedWorkers = S.threadPool().numThreads() - 1;
+  while (Blocked.load() < SpawnedWorkers)
+    std::this_thread::yield();
+
+  runtime::TensorData InA = test::randomTensor(DataType::F32, {16, 24}, 61);
+  runtime::TensorData InB = test::randomTensor(DataType::F32, {20, 16}, 62);
+  runtime::TensorData OutA(DataType::F32, {16, 20});
+  runtime::TensorData OutB(DataType::F32, {20, 24});
+  api::Stream Str = S.stream();
+  api::Event E = Str.submit(CG, {&InA, &InB}, {&OutA, &OutB});
+  ASSERT_FALSE(E.query()) << "submission ran despite a blocked pool";
+
+  // cancel() on the fully-unstarted submission completes it immediately:
+  // no polling loop, no releasing the workers first.
+  EXPECT_TRUE(E.cancel());
+  EXPECT_TRUE(E.query())
+      << "unstarted submission not complete right after cancel()";
+  Release.store(true, std::memory_order_release);
+  const Status St = E.wait();
+  EXPECT_EQ(St.code(), StatusCode::Cancelled) << St.toString();
+  EXPECT_GE(S.healthStats().Cancellations, 1u);
+
+  // The parked no-op tasks must still drain and retire the submission
+  // (arena + self-reference released) — not just mark it done.
+  for (int I = 0; I < 2000 && api::detail::Submission::inFlight() > 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(api::detail::Submission::inFlight(), 0u);
+}
+
 } // namespace

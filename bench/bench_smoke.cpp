@@ -54,7 +54,9 @@ namespace {
 void runCase(api::Session &S, const char *Name, graph::Graph G) {
   Instance W(std::move(G));
   const uint64_t HitsBefore = S.cacheHits();
+  Timer CompileTimer;
   Expected<api::CompiledGraphPtr> CompiledOr = S.compile(W.G);
+  const double CompileUs = CompileTimer.seconds() * 1e6;
   if (!CompiledOr) {
     std::printf("{\"bench\":\"%s\",\"error\":\"%s\"}\n", Name,
                 CompiledOr.status().toString().c_str());
@@ -68,13 +70,14 @@ void runCase(api::Session &S, const char *Name, graph::Graph G) {
               "\"isa\":\"%s\","
               "\"kernels\":\"%s\",\"threads\":%d,"
               "\"partitions\":%zu,\"fallback_partitions\":%zu,"
+              "\"compile_us\":%.2f,"
               "\"us_per_iter\":%.2f,\"cache_hit\":%d}\n",
               Name, exec::backendName(S.options().Exec),
               S.options().AsyncExec ? "async" : "serial",
               kernels::isaName().c_str(),
               kernels::kernelTierName(kernels::activeKernelTier()),
               S.threadPool().numThreads(), CG.numPartitions(),
-              CG.numFallbackPartitions(), Secs * 1e6,
+              CG.numFallbackPartitions(), CompileUs, Secs * 1e6,
               S.cacheHits() > HitsBefore ? 1 : 0);
   std::fflush(stdout);
 }
@@ -218,15 +221,15 @@ void runDynBatchCase(const char *Name) {
   // GC_BENCH_DYNBATCH_MIN_TIME override wins over the cap — it is what
   // compare_dynbatch_bench.py --min-time passes through, so raising that
   // knob really does stabilize this gate on a noisy host.
-  const char *DynBudget = std::getenv("GC_BENCH_DYNBATCH_MIN_TIME");
+  const std::string DynBudget = getEnvString("GC_BENCH_DYNBATCH_MIN_TIME", "");
   double Budget = std::min(minMeasureTime(), 0.05);
-  if (DynBudget && *DynBudget) {
+  if (!DynBudget.empty()) {
     // Parse defensively (unlike the legacy GC_BENCH_MIN_TIME stod): a
     // typo degrades to the capped default instead of terminating the
     // whole bench binary.
     char *End = nullptr;
-    const double Parsed = std::strtod(DynBudget, &End);
-    if (End != DynBudget && Parsed >= 0)
+    const double Parsed = std::strtod(DynBudget.c_str(), &End);
+    if (End != DynBudget.c_str() && Parsed >= 0)
       Budget = Parsed;
   }
   auto measureUs = [Budget](const std::function<void()> &Fn) {

@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Verification-overhead bench guard for the CI perf gate.
 
-Runs bench_smoke under GC_VERIFY=off and GC_VERIFY=all (same build, same
-graphs: the verifiers run at compile time only, so steady-state execution
-must be unaffected), merges the JSON lines into one report and fails when
-any case executes slower under GC_VERIFY=all than the allowed noise
-margin. This pins "static verification is free at execution time" as a
-tested property.
+Runs bench_smoke under GC_VERIFY=off, GC_VERIFY=all (interval tier) and
+GC_VERIFY=relational (same build, same graphs: the verifiers run at
+compile time only, so steady-state execution must be unaffected), merges
+the JSON lines into one report and fails when:
+
+  * any case executes slower under GC_VERIFY=all or GC_VERIFY=relational
+    than GC_VERIFY=off beyond the allowed noise margin ("static
+    verification is free at execution time" as a tested property), or
+  * any case COMPILES slower under GC_VERIFY=relational than under
+    GC_VERIFY=all by more than --max-compile-ratio (default 2x): the
+    symbolic engine may cost more than plain interval propagation, but
+    it must stay in the same ballpark, not blow up combinatorially.
 
 Usage:
   python3 scripts/compare_verify_bench.py --bench build/bench/bench_smoke \
@@ -21,8 +27,9 @@ import sys
 
 
 def run_mode(bench, level, min_time, repeats):
-    """Runs the bench `repeats` times; keeps the per-case minimum, the
-    standard noise-robust estimator for short benchmarks."""
+    """Runs the bench `repeats` times; keeps the per-case minimum of
+    us_per_iter and compile_us, the standard noise-robust estimator for
+    short benchmarks."""
     cases = {}
     for _ in range(repeats):
         env = dict(os.environ)
@@ -38,9 +45,17 @@ def run_mode(bench, level, min_time, repeats):
             if "error" in rec:
                 raise SystemExit(f"bench case {rec.get('bench')} failed "
                                  f"under GC_VERIFY={level}: {rec['error']}")
+            if "us_per_iter" not in rec:
+                continue  # coldstart cases report cold/warm times instead
             prev = cases.get(rec["bench"])
-            if prev is None or rec["us_per_iter"] < prev["us_per_iter"]:
+            if prev is None:
                 cases[rec["bench"]] = rec
+                continue
+            if rec["us_per_iter"] < prev["us_per_iter"]:
+                prev["us_per_iter"] = rec["us_per_iter"]
+            if ("compile_us" in rec and "compile_us" in prev
+                    and rec["compile_us"] < prev["compile_us"]):
+                prev["compile_us"] = rec["compile_us"]
     return cases
 
 
@@ -51,7 +66,7 @@ def main():
     ap.add_argument("--min-time", type=float, default=0.2,
                     help="GC_BENCH_MIN_TIME per case (seconds)")
     ap.add_argument("--max-regression", type=float, default=0.05,
-                    help="fail if GC_VERIFY=all executes slower than "
+                    help="fail if a verifying mode executes slower than "
                          "GC_VERIFY=off by more than this fraction")
     ap.add_argument("--repeats", type=int, default=3,
                     help="bench runs per mode (per-case minimum is kept)")
@@ -59,28 +74,57 @@ def main():
                     help="ignore regressions smaller than this many "
                          "microseconds: on sub-2us cases one scheduler "
                          "blip exceeds any ratio threshold")
+    ap.add_argument("--max-compile-ratio", type=float, default=2.0,
+                    help="fail if GC_VERIFY=relational compiles slower "
+                         "than GC_VERIFY=all by more than this factor")
+    ap.add_argument("--compile-slack-us", type=float, default=500.0,
+                    help="ignore compile-time deltas smaller than this "
+                         "many microseconds (cache-hit compiles are "
+                         "sub-ms and pure scheduler noise)")
     args = ap.parse_args()
 
     off = run_mode(args.bench, "off", args.min_time, args.repeats)
     full = run_mode(args.bench, "all", args.min_time, args.repeats)
-    if set(off) != set(full):
+    rel = run_mode(args.bench, "relational", args.min_time, args.repeats)
+    if set(off) != set(full) or set(off) != set(rel):
         raise SystemExit("bench case sets differ between GC_VERIFY modes: "
-                         f"{sorted(set(off) ^ set(full))}")
+                         f"{sorted(set(off) ^ set(full) | set(off) ^ set(rel))}")
 
     report = []
     failures = []
     for name in sorted(off):
         base = off[name]["us_per_iter"]
-        checked = full[name]["us_per_iter"]
-        ratio = checked / base if base > 0 else 1.0
-        report.append({"bench": name, "us_off": base, "us_all": checked,
-                       "ratio": round(ratio, 4)})
-        print(f"{name:40s} off={base:10.2f}us all={checked:10.2f}us "
-              f"ratio={ratio:.3f}")
-        if (ratio > 1.0 + args.max_regression
-                and checked - base > args.abs_slack_us):
-            failures.append(f"{name}: GC_VERIFY=all is {ratio:.3f}x "
-                            f"(allowed {1.0 + args.max_regression:.3f}x)")
+        entry = {"bench": name, "us_off": base}
+        print(f"{name:40s} off={base:10.2f}us", end="")
+        for label, mode in (("all", full), ("relational", rel)):
+            checked = mode[name]["us_per_iter"]
+            ratio = checked / base if base > 0 else 1.0
+            entry[f"us_{label}"] = checked
+            entry[f"ratio_{label}"] = round(ratio, 4)
+            print(f" {label}={checked:10.2f}us ratio={ratio:.3f}", end="")
+            if (ratio > 1.0 + args.max_regression
+                    and checked - base > args.abs_slack_us):
+                failures.append(f"{name}: GC_VERIFY={label} executes at "
+                                f"{ratio:.3f}x (allowed "
+                                f"{1.0 + args.max_regression:.3f}x)")
+        print()
+
+        # Compile-time gate: relational vs interval (all) tier.
+        call = full[name].get("compile_us")
+        crel = rel[name].get("compile_us")
+        if call is not None and crel is not None:
+            cratio = crel / call if call > 0 else 1.0
+            entry["compile_us_all"] = call
+            entry["compile_us_relational"] = crel
+            entry["compile_ratio"] = round(cratio, 4)
+            print(f"{'':40s} compile all={call:10.2f}us "
+                  f"relational={crel:10.2f}us ratio={cratio:.3f}")
+            if (cratio > args.max_compile_ratio
+                    and crel - call > args.compile_slack_us):
+                failures.append(f"{name}: GC_VERIFY=relational compiles at "
+                                f"{cratio:.3f}x GC_VERIFY=all (allowed "
+                                f"{args.max_compile_ratio:.2f}x)")
+        report.append(entry)
 
     if args.out:
         with open(args.out, "w") as f:
@@ -88,11 +132,13 @@ def main():
         print(f"wrote {args.out}")
 
     if failures:
-        print("\nverification overhead leaked into execution:")
+        print("\nverification overhead out of budget:")
         for f in failures:
             print("  " + f)
         return 1
-    print("\nGC_VERIFY=all execution within noise of GC_VERIFY=off")
+    print("\nGC_VERIFY=all and GC_VERIFY=relational execution within noise "
+          "of GC_VERIFY=off; relational compile overhead within "
+          f"{args.max_compile_ratio:.2f}x of the interval tier")
     return 0
 
 

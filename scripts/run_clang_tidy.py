@@ -15,17 +15,140 @@ Exits 0 when clang-tidy is not installed UNLESS --require is given: the
 container used for local development does not ship clang, so the check
 is enforced only where the tool exists (the CI lint job passes
 --require).
+
+Two project-specific checks run before clang-tidy and need no compiler,
+so they are enforced everywhere (including containers without clang):
+
+  * raw-getenv: std::getenv anywhere in src/ or bench/ outside
+    src/support/env.* — everything must go through getEnvString /
+    getEnvInt so the verify/cache/sched level caches see one consistent
+    snapshot and tests can reset it via the support seams.
+  * dropped-status: a statement that calls a Status-returning function
+    and ignores the result. Status is this codebase's only error
+    channel; silently dropping one turns a rejected artifact into a
+    latent crash. Explicit `(void)call(...)` discards are allowed —
+    they document intent at the call site.
 """
 
 import argparse
 import json
 import multiprocessing
 import os
+import re
 import shutil
 import subprocess
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# ---------------------------------------------------------------------------
+# Project checks (text-based; no compiler needed)
+# ---------------------------------------------------------------------------
+
+_STRIP_RE = re.compile(
+    r'"(?:\\.|[^"\\])*"'      # string literals
+    r"|'(?:\\.|[^'\\])*'"     # char literals
+    r"|//[^\n]*"              # line comments
+    r"|/\*.*?\*/",            # block comments
+    re.S)
+
+
+def strip_code(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    def repl(m):
+        s = m.group(0)
+        if s.startswith(("//", "/*")):
+            return "\n" * s.count("\n")
+        return '""'
+    return _STRIP_RE.sub(repl, text)
+
+
+def project_sources():
+    files = []
+    for root in ("src", "bench"):
+        for dirpath, _, names in os.walk(os.path.join(REPO, root)):
+            files.extend(os.path.join(dirpath, n) for n in names
+                         if n.endswith((".h", ".cpp")))
+    return sorted(files)
+
+
+def check_raw_getenv(stripped):
+    """getenv must stay inside support/env.* (the cached accessors)."""
+    bad = []
+    for rel, lines in stripped.items():
+        if rel.startswith("src/support/env"):
+            continue
+        for i, line in enumerate(lines, 1):
+            if re.search(r"\bgetenv\s*\(", line):
+                bad.append(f"{rel}:{i}: raw getenv(); route through "
+                           "support/env.h getEnvString/getEnvInt")
+    return bad
+
+
+def status_function_names(stripped):
+    """Names declared anywhere in src/ headers as returning Status."""
+    names = set()
+    decl = re.compile(r"\bStatus\s+(\w+)\s*\(")
+    for rel, lines in stripped.items():
+        if not rel.endswith(".h"):
+            continue
+        for line in lines:
+            for m in decl.finditer(line):
+                names.add(m.group(1))
+    # Status's own named constructors are value builders, not operations.
+    return names - {"ok", "error"}
+
+
+def check_dropped_status(stripped, names):
+    """Flags statements that call a Status-returning function and drop
+    the result. Heuristic: a free-function-style call opens the
+    statement (start of line, optional namespace qualifier, no receiver
+    — member syntax collides with std::atomic::store and friends), is
+    not returned/assigned/tested, and is not an explicit (void)
+    discard."""
+    if not names:
+        return []
+    call = re.compile(
+        r"^\s*(?:[A-Za-z_]\w*::)*(" +
+        "|".join(sorted(names)) + r")\s*\(")
+    bad = []
+    for rel, lines in stripped.items():
+        prev_end = "}"
+        for i, line in enumerate(lines, 1):
+            m = call.match(line)
+            # Only a real statement start counts: the previous non-blank
+            # line must have closed a statement or opened a block, else
+            # this is a wrapped continuation of a larger expression.
+            if m and prev_end in ";{}":
+                head = line[:m.start(1)]
+                if ("(void)" not in head.replace(" ", "")
+                        and "=" not in head):
+                    bad.append(f"{rel}:{i}: result of Status-returning "
+                               f"{m.group(1)}() is dropped; handle it or "
+                               "discard explicitly with (void)")
+            if line.strip():
+                prev_end = line.strip()[-1]
+    return bad
+
+
+def run_project_checks():
+    stripped = {}
+    for path in project_sources():
+        rel = os.path.relpath(path, REPO).replace(os.sep, "/")
+        with open(path) as f:
+            stripped[rel] = strip_code(f.read()).splitlines()
+    problems = check_raw_getenv(stripped)
+    problems += check_dropped_status(stripped,
+                                     status_function_names(stripped))
+    if problems:
+        print(f"{len(problems)} project-check finding(s):")
+        for p in sorted(problems):
+            print("  " + p)
+    else:
+        print(f"project checks clean over {len(stripped)} files "
+              "(raw-getenv, dropped-status)")
+    return problems
 
 
 def tidy_binary():
@@ -74,10 +197,14 @@ def main():
                     help="fail (instead of skip) when clang-tidy is absent")
     opts = ap.parse_args()
 
+    project_problems = run_project_checks()
+
     tidy = tidy_binary()
     if tidy is None:
         if opts.require:
             raise SystemExit("clang-tidy not found and --require given")
+        if project_problems:
+            return 1
         print("clang-tidy not installed; skipping lint (use --require in CI)")
         return 0
 
@@ -103,6 +230,9 @@ def main():
         return 1
     if opts.strict and noisy:
         print(f"\n--strict: {len(noisy)} file(s) with diagnostics")
+        return 1
+    if project_problems:
+        print(f"\n{len(project_problems)} project-check finding(s) (above)")
         return 1
     print("\nlint clean")
     return 0

@@ -106,6 +106,24 @@ enum class Intrinsic : uint8_t {
 /// persistent artifact cache stores calls symbolically and relinks).
 constexpr uint8_t kNumIntrinsics = static_cast<uint8_t>(Intrinsic::UnpackAU8) + 1;
 
+/// Bit I set = buffer argument I is written by the kernel (written args
+/// are also treated as read: brgemm accumulates into C, ReduceRows can
+/// accumulate into Out). Every other buffer argument is read-only. The
+/// static race analysis classifies footprints with this mask; it must
+/// match the kernel implementations in src/kernels/.
+constexpr uint8_t intrinsicWriteMask(Intrinsic In) {
+  switch (In) {
+  case Intrinsic::BrgemmF32:
+  case Intrinsic::BrgemmU8S8:
+    return 0b100; // C = arg 2
+  case Intrinsic::ReduceSumRowsTile:
+  case Intrinsic::ReduceMaxRowsTile:
+    return 0b010; // Out = arg 1
+  default:
+    return 0b001; // D / X = arg 0
+  }
+}
+
 /// Printable intrinsic name.
 const char *intrinsicName(Intrinsic In);
 

@@ -19,6 +19,7 @@
 #include "verify/verify.h"
 
 #include "support/str.h"
+#include "verify/relational.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -46,7 +47,11 @@ Status verifyMemoryPlan(const MemoryPlanView &Plan, const char *Context) {
                                         Plan.GraphOutputs.end());
 
   // Producers: first partition listing the id as an output (duplicate
-  // graph-output listings alias the first writer by design).
+  // graph-output listings alias the first writer by design). Two DISTINCT
+  // partitions claiming the same intermediate is a write-write conflict:
+  // under the async scheduler both may run concurrently and the arena
+  // slot has a single byte range, so the plan is rejected rather than
+  // silently keeping the first writer.
   std::unordered_map<int64_t, uint32_t> ProducerOf;
   for (size_t I = 0; I < N; ++I)
     for (int64_t Out : Plan.Partitions[I].Outputs) {
@@ -55,7 +60,13 @@ Status verifyMemoryPlan(const MemoryPlanView &Plan, const char *Context) {
                        formatString("partition %zu writes graph input "
                                     "t%lld",
                                     I, (long long)Out));
-      ProducerOf.try_emplace(Out, static_cast<uint32_t>(I));
+      const auto Ins = ProducerOf.try_emplace(Out, static_cast<uint32_t>(I));
+      if (!Ins.second && Ins.first->second != static_cast<uint32_t>(I) &&
+          !GraphOuts.count(Out))
+        return planErr(Context,
+                       formatString("intermediate t%lld is written by both "
+                                    "partition %u and partition %zu",
+                                    (long long)Out, Ins.first->second, I));
     }
 
   // Closure + dependency edges. The slot consumers are collected here so
@@ -161,6 +172,29 @@ Status verifyMemoryPlan(const MemoryPlanView &Plan, const char *Context) {
     return true;
   };
 
+  // At the relational tier, pairs whose safety rests on byte-range
+  // disjointness (no dies-before ordering either way) are re-proven with
+  // the symbolic engine over an UNKNOWN arena base: the base symbol
+  // cancels in the affine difference, so the proof shows the packing is
+  // translation-invariant rather than a coincidence of concrete offsets.
+  const bool Symbolic = verifyLevel() >= VerifyLevel::Relational;
+  constexpr int64_t kBaseHi = int64_t{1} << 47;
+  SymCtx Ctx(/*Relational=*/true);
+  const int32_t Base =
+      Symbolic ? Ctx.addSym("arena", Interval{0, kBaseHi}, nullptr, nullptr)
+               : -1;
+  const auto SlotFootprint = [&](const MemoryPlanView::Slot &S) {
+    Footprint F;
+    F.Buffer = 0;
+    F.Write = true;
+    F.Sh = Footprint::Shape::Flat;
+    F.Off = Ctx.add(Ctx.leaf(Base),
+                    SymVal::constant(static_cast<int64_t>(S.Offset)));
+    F.Len = SymVal::constant(static_cast<int64_t>(S.Bytes));
+    F.Site = formatString("slot t%lld", (long long)S.TensorId);
+    return F;
+  };
+
   for (size_t A = 0; A < Plan.Slots.size(); ++A) {
     for (size_t B = A + 1; B < Plan.Slots.size(); ++B) {
       const MemoryPlanView::Slot &SA = Plan.Slots[A];
@@ -179,6 +213,18 @@ Status verifyMemoryPlan(const MemoryPlanView &Plan, const char *Context) {
                          (unsigned long long)(SA.Offset + SA.Bytes),
                          (long long)SB.TensorId, (unsigned long long)SB.Offset,
                          (unsigned long long)(SB.Offset + SB.Bytes)));
+      if (Symbolic && Disjoint && !DiesBefore(A, B) && !DiesBefore(B, A)) {
+        const int64_t ArenaElems =
+            kBaseHi + static_cast<int64_t>(Plan.ArenaBytes);
+        if (!footprintsDisjoint(Ctx, SlotFootprint(SA), SlotFootprint(SB),
+                                ArenaElems))
+          return planErr(
+              Context,
+              formatString("symbolic arena re-check could not prove slots "
+                           "for t%lld and t%lld disjoint over an unknown "
+                           "base (packer/engine inconsistency)",
+                           (long long)SA.TensorId, (long long)SB.TensorId));
+      }
     }
   }
   return Status::ok();

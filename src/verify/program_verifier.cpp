@@ -1,7 +1,7 @@
 //===- program_verifier.cpp - Bytecode program verification ---------------===//
 ///
 /// \file
-/// The compiled-Program verifier. Two layers:
+/// The compiled-Program verifier. Three layers:
 ///
 ///  1. A structural pass over every instruction and descriptor: opcode
 ///     validity, every register operand inside the register image, jump
@@ -15,18 +15,29 @@
 ///     flow the program builder emits (documented at the top of
 ///     exec/program.cpp): serial loops are recognized from their
 ///     JumpIfGeI guard + LoopNext back edge, parallel nests from their
-///     guard + ParallelFor descriptor. Loop variables are widened to
-///     [begin, end-1], induction registers to their entry value plus
-///     (trips-1) increments, every other register written inside a body
-///     is invalidated for the body walk — which makes a single pass per
-///     body sound without a fixpoint. Within that state, every scalar
-///     load/store offset register and every kernel-call buffer offset is
+///     guard + ParallelFor descriptor. Register values live in the
+///     symbolic domain of verify/symbolic.h: below the relational tier
+///     every value is an interval box (the PR-6 analysis unchanged); at
+///     GC_VERIFY=relational loop variables become bound-carrying symbols
+///     and strength-reduced induction registers are reconstructed as
+///     entry + (Imm/Step)·(var − begin), so correlated edge-tile offsets
+///     are proven exactly. Within that state, every scalar load/store
+///     offset register, every kernel-call buffer offset — and, at the
+///     relational tier, every kernel-call tile/flat footprint — is
 ///     proven inside its buffer's element extent. Control flow that does
-///     not fit the canonical shapes (stray back edges, jumps escaping a
-///     loop region) is rejected as unstructured — the executor's dispatch
-///     loop has no checks, so only programs the verifier can understand
-///     are accepted. This is the precondition for ever executing
-///     mmap-loaded Programs from a persistent cache.
+///     not fit the canonical shapes is rejected as unstructured — the
+///     executor's dispatch loop has no checks, so only programs the
+///     verifier can understand are accepted.
+///
+///  3. At the relational tier, a static race proof per parallel loop:
+///     the body walk collects the load/store/kernel-call footprints of
+///     one abstract iteration, and verify/relational.h proves every
+///     cross-iteration pair with a write on a shared (non-thread-local)
+///     buffer disjoint, or rejects with a Status naming the two
+///     conflicting footprints. Layers 2+3 at full relational strength
+///     are the precondition for executing mmap-loaded Programs from the
+///     persistent cache, which is why verifyLoadedProgram always runs
+///     them regardless of GC_VERIFY.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +45,8 @@
 
 #include "exec/program.h"
 #include "support/str.h"
-#include "verify/interval.h"
+#include "verify/relational.h"
+#include "verify/symbolic.h"
 
 #include <vector>
 
@@ -48,28 +60,34 @@ using exec::Instr;
 using exec::Opcode;
 using exec::ParDesc;
 using exec::Program;
+using tir::Intrinsic;
 
-/// Abstract frame: one interval per register (I field only; float values
-/// are never used for addressing).
-using RegState = std::vector<Interval>;
+/// Abstract frame: one symbolic value per register (I field only; float
+/// values are never used for addressing).
+using RegState = std::vector<SymVal>;
 
 class ProgramVerifier {
 public:
-  ProgramVerifier(const Program &P, const char *Context)
-      : P(P), Context(Context) {}
+  ProgramVerifier(const Program &P, const char *Context, bool Relational)
+      : P(P), Context(Context), Ctx(Relational) {}
 
   Status run() {
     if (Status S = checkStructure(); !S.isOk())
       return S;
-    RegState R(P.NumRegs, Interval::top());
+    RegState R(P.NumRegs, SymVal::top());
     for (size_t I = 0; I < P.InitRegs.size(); ++I)
-      R[I] = Interval::constant(P.InitRegs[I].I);
+      R[I] = SymVal::constant(P.InitRegs[I].I);
     return walkRegion(0, P.Code.size(), R);
   }
 
 private:
   const Program &P;
   const char *Context;
+  SymCtx Ctx;
+  /// Non-null while walking a parallel body at the relational tier:
+  /// every footprint the body touches is appended for the race proof.
+  std::vector<Footprint> *Collect = nullptr;
+  bool InParallel = false;
 
   Status err(size_t Pc, const std::string &What) const {
     return Status::error(
@@ -112,8 +130,8 @@ private:
     }
   }
 
-  int64_t bufferElems(uint16_t BufferId) const {
-    const exec::BufferInfo &B = P.Buffers[BufferId];
+  int64_t bufferElems(int BufferId) const {
+    const exec::BufferInfo &B = P.Buffers[static_cast<size_t>(BufferId)];
     return B.ElemSize > 0 ? B.Bytes / B.ElemSize : 0;
   }
 
@@ -266,19 +284,283 @@ private:
     return Out;
   }
 
-  Status checkOffset(size_t Pc, uint16_t BufferId, const Interval &Off,
-                     const char *What) const {
+  Status checkOffset(size_t Pc, uint16_t BufferId, const SymVal &Off,
+                     const char *What) {
     const int64_t Elems = bufferElems(BufferId);
-    if (Off.bounded() && (Off.Lo < 0 || Off.Hi >= Elems))
+    const Interval R = Ctx.range(Off);
+    if (!R.bounded()) {
+      noteBoundsUndecided();
+      return Status::ok();
+    }
+    if (R.Lo < 0 || R.Hi >= Elems)
       return err(Pc, formatString("%s offset range [%lld, %lld] is outside "
                                   "buffer %u's %lld elements",
-                                  What, (long long)Off.Lo, (long long)Off.Hi,
+                                  What, (long long)R.Lo, (long long)R.Hi,
                                   BufferId, (long long)Elems));
+    noteBoundsProved();
+    return Status::ok();
+  }
+
+  void record(Footprint F) {
+    if (Collect)
+      Collect->push_back(std::move(F));
+  }
+
+  /// Builds the per-buffer-argument footprints of one kernel call from
+  /// the documented scalar conventions (tir/intrinsics.h) and appends
+  /// them to \p Out. Tile footprints whose leading dimension is not a
+  /// compile-time constant degrade to Whole (sound for the race proof;
+  /// counted undecided for bounds). Returns false for an intrinsic the
+  /// table does not cover (none today; future-proofing).
+  void callFootprints(size_t Pc, const CallDesc &C, const RegState &R,
+                      std::vector<Footprint> &Out,
+                      std::vector<bool> &Degraded) {
+    SymVal Sc[12];
+    for (int I = 0; I < 12; ++I)
+      Sc[I] = SymVal::constant(C.SI[I]);
+    for (uint8_t DI = 0; DI < C.NumDyn; ++DI)
+      if (!C.Dyns[DI].IsF64 && C.Dyns[DI].Idx < 12)
+        Sc[C.Dyns[DI].Idx] = R[C.Dyns[DI].Reg];
+    const SymVal One = SymVal::constant(1);
+    const uint8_t WMask = tir::intrinsicWriteMask(C.In);
+    const auto ArgOff = [&](int Arg) {
+      return C.Bufs[Arg].HasOffset ? R[C.Bufs[Arg].OffsetReg]
+                                   : SymVal::constant(0);
+    };
+    const auto Base = [&](int Arg, const char *AN) {
+      Footprint F;
+      F.Buffer = C.Bufs[Arg].BufferId;
+      F.Write = (WMask >> Arg) & 1;
+      F.Site = formatString("instr %zu (%s arg %s)", Pc,
+                            tir::intrinsicName(C.In), AN);
+      return F;
+    };
+    const auto Tile = [&](int Arg, const SymVal &Rows, const SymVal &Cols,
+                          const SymVal &Ld, const char *AN) {
+      Footprint F = Base(Arg, AN);
+      int64_t LdC;
+      if (Ld.isConstant(LdC)) {
+        F.Sh = Footprint::Shape::Tile;
+        F.Off = ArgOff(Arg);
+        F.Rows = Rows;
+        F.Cols = Cols;
+        F.Ld = LdC;
+        Degraded.push_back(false);
+      } else {
+        F.Sh = Footprint::Shape::Whole;
+        Degraded.push_back(true);
+      }
+      Out.push_back(std::move(F));
+    };
+    const auto Flat = [&](int Arg, const SymVal &Len, const char *AN) {
+      Footprint F = Base(Arg, AN);
+      F.Sh = Footprint::Shape::Flat;
+      F.Off = ArgOff(Arg);
+      F.Len = Len;
+      Degraded.push_back(false);
+      Out.push_back(std::move(F));
+    };
+    const auto Whole = [&](int Arg, const char *AN) {
+      // Genuine by-construction whole-buffer access (pack destinations /
+      // packed unpack sources): trivially in-bounds, not a degradation.
+      Out.push_back(Base(Arg, AN));
+      Degraded.push_back(false);
+    };
+
+    switch (C.In) {
+    case Intrinsic::BrgemmF32:
+    case Intrinsic::BrgemmU8S8: {
+      // A flat span: (Batch-1)*AStrideB + (M-1)*Lda + K.
+      const SymVal BatchM1 = Ctx.add(Sc[8], SymVal::constant(-1));
+      Flat(0,
+           Ctx.add(Ctx.mul(BatchM1, Sc[6]),
+                   Ctx.add(Ctx.mul(Ctx.sub(Sc[0], One), Sc[3]), Sc[2])),
+           "A");
+      if (C.In == Intrinsic::BrgemmF32) {
+        Flat(1,
+             Ctx.add(Ctx.mul(BatchM1, Sc[7]),
+                     Ctx.add(Ctx.mul(Ctx.sub(Sc[2], One), Sc[4]), Sc[1])),
+             "B");
+      } else {
+        // VNNI layout reads ceil(K/4) row groups of 4*NPadded.
+        int64_t KC;
+        const SymVal KPad = Sc[2].isConstant(KC)
+                                ? SymVal::constant(((KC + 3) / 4) * 4)
+                                : Ctx.add(Sc[2], SymVal::constant(3));
+        Flat(1, Ctx.add(Ctx.mul(BatchM1, Sc[7]), Ctx.mul(KPad, Sc[4])),
+             "B");
+      }
+      Tile(2, Sc[0], Sc[1], Sc[5], "C");
+      return;
+    }
+    case Intrinsic::ReluTile:
+    case Intrinsic::ExpTile:
+    case Intrinsic::TanhTile:
+    case Intrinsic::SqrtTile:
+    case Intrinsic::RecipTile:
+    case Intrinsic::SquareTile:
+    case Intrinsic::SigmoidTile:
+    case Intrinsic::GeluTile:
+    case Intrinsic::AffineTile:
+    case Intrinsic::FillTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "X");
+      return;
+    case Intrinsic::AddTile:
+    case Intrinsic::SubTile:
+    case Intrinsic::MulTile:
+    case Intrinsic::DivTile:
+    case Intrinsic::MaxTile:
+    case Intrinsic::MinTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "X");
+      Tile(1, Sc[0], Sc[1], Sc[3], "Y");
+      return;
+    case Intrinsic::AddRowVecTile:
+    case Intrinsic::SubRowVecTile:
+    case Intrinsic::MulRowVecTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "X");
+      Flat(1, Sc[1], "V");
+      return;
+    case Intrinsic::AddColVecTile:
+    case Intrinsic::SubColVecTile:
+    case Intrinsic::MulColVecTile:
+    case Intrinsic::DivColVecTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "X");
+      Flat(1, Sc[0], "V");
+      return;
+    case Intrinsic::ReduceSumRowsTile:
+    case Intrinsic::ReduceMaxRowsTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "X");
+      Flat(1, Sc[0], "Out");
+      return;
+    case Intrinsic::CopyTile:
+    case Intrinsic::CopyTileRaw:
+      Tile(0, Sc[0], Sc[1], Sc[2], "D");
+      Tile(1, Sc[0], Sc[1], Sc[3], "S");
+      return;
+    case Intrinsic::TransposeTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "D");
+      Tile(1, Sc[1], Sc[0], Sc[3], "S");
+      return;
+    case Intrinsic::Permute0213: {
+      const SymVal Prod =
+          Ctx.mul(Ctx.mul(Sc[0], Sc[1]), Ctx.mul(Sc[2], Sc[3]));
+      Flat(0, Prod, "D");
+      Flat(1, Prod, "S");
+      return;
+    }
+    case Intrinsic::QuantU8Tile:
+    case Intrinsic::QuantS8Tile:
+    case Intrinsic::DequantU8Tile:
+    case Intrinsic::CastS32F32Tile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "D");
+      Tile(1, Sc[0], Sc[1], Sc[3], "S");
+      return;
+    case Intrinsic::DequantS8PerChannelTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "D");
+      Tile(1, Sc[0], Sc[1], Sc[3], "S");
+      Flat(2, Sc[1], "Scale");
+      return;
+    case Intrinsic::DequantAccTile:
+      Tile(0, Sc[0], Sc[1], Sc[2], "D");
+      Tile(1, Sc[0], Sc[1], Sc[3], "S");
+      Flat(2, Sc[1], "Comp");
+      Flat(3, Sc[1], "Scale");
+      return;
+    case Intrinsic::PackAF32:
+    case Intrinsic::PackAU8: {
+      Whole(0, "D");
+      int64_t Tr;
+      if (Sc[5].isConstant(Tr))
+        Tile(1, Tr ? Sc[1] : Sc[0], Tr ? Sc[0] : Sc[1], Sc[2], "S");
+      else {
+        Out.push_back(Base(1, "S"));
+        Degraded.push_back(true);
+      }
+      return;
+    }
+    case Intrinsic::PackBF32:
+    case Intrinsic::PackBS8Vnni: {
+      Whole(0, "D");
+      int64_t Tr;
+      if (Sc[5].isConstant(Tr))
+        Tile(1, Tr ? Sc[1] : Sc[0], Tr ? Sc[0] : Sc[1], Sc[2], "S");
+      else {
+        Out.push_back(Base(1, "S"));
+        Degraded.push_back(true);
+      }
+      return;
+    }
+    case Intrinsic::UnpackAF32:
+    case Intrinsic::UnpackAU8:
+      Tile(0, Sc[0], Sc[1], Sc[4], "D");
+      Whole(1, "S");
+      return;
+    }
+  }
+
+  /// Bounds verdict for one footprint (relational tier only — the box
+  /// tier keeps the PR-6 base-offset-only checks to stay regression-free
+  /// on min-shaped extents it cannot express).
+  Status checkFootprintBounds(size_t Pc, const Footprint &F, bool Degraded) {
+    const int64_t Elems = bufferElems(F.Buffer);
+    switch (F.Sh) {
+    case Footprint::Shape::Whole:
+      if (Degraded)
+        noteBoundsUndecided(); // lost shape, cannot decide
+      return Status::ok();     // genuine whole-buffer: in-bounds by design
+    case Footprint::Shape::Flat: {
+      if (Ctx.ub(F.Len) <= 0) {
+        noteBoundsProved();
+        return Status::ok();
+      }
+      const int64_t Lo = Ctx.lb(F.Off);
+      const int64_t Hi =
+          Ctx.ub(Ctx.add(F.Off, Ctx.add(F.Len, SymVal::constant(-1))));
+      if (Lo != Interval::kMin && Hi != Interval::kMax &&
+          !(Lo >= 0 && Hi < Elems))
+        return err(Pc, formatString("%s: flat footprint [%lld, %lld] is "
+                                    "outside buffer %d's %lld elements",
+                                    F.Site.c_str(), (long long)Lo,
+                                    (long long)Hi, F.Buffer,
+                                    (long long)Elems));
+      if (Lo == Interval::kMin || Hi == Interval::kMax) {
+        noteBoundsUndecided();
+        return Status::ok();
+      }
+      noteBoundsProved();
+      return Status::ok();
+    }
+    case Footprint::Shape::Tile: {
+      if (Ctx.ub(F.Rows) <= 0 || Ctx.ub(F.Cols) <= 0) {
+        noteBoundsProved();
+        return Status::ok();
+      }
+      const SymVal RowsM1 = Ctx.add(F.Rows, SymVal::constant(-1));
+      const int64_t Lo = Ctx.lb(
+          Ctx.add(F.Off, Ctx.scale(RowsM1, std::min<int64_t>(F.Ld, 0))));
+      const int64_t Hi = Ctx.ub(Ctx.add(
+          F.Off, Ctx.add(Ctx.scale(RowsM1, std::max<int64_t>(F.Ld, 0)),
+                         Ctx.add(F.Cols, SymVal::constant(-1)))));
+      if (Lo != Interval::kMin && Hi != Interval::kMax &&
+          !(Lo >= 0 && Hi < Elems))
+        return err(Pc, formatString("%s: tile footprint [%lld, %lld] is "
+                                    "outside buffer %d's %lld elements",
+                                    F.Site.c_str(), (long long)Lo,
+                                    (long long)Hi, F.Buffer,
+                                    (long long)Elems));
+      if (Lo == Interval::kMin || Hi == Interval::kMax) {
+        noteBoundsUndecided();
+        return Status::ok();
+      }
+      noteBoundsProved();
+      return Status::ok();
+    }
+    }
     return Status::ok();
   }
 
   /// Straight-line transfer of one non-control-flow instruction.
-  Status step(size_t Pc, RegState &R) const {
+  Status step(size_t Pc, RegState &R) {
     const Instr &I = P.Code[Pc];
     switch (I.Op) {
     case Opcode::Mov:
@@ -288,31 +570,31 @@ private:
       // Writes only the F view; the I view of A is PRESERVED by the
       // executor (Value fields are independent) — but being conservative
       // about Value-struct semantics costs nothing here.
-      R[I.A] = Interval::top();
+      R[I.A] = SymVal::top();
       return Status::ok();
     case Opcode::F2I:
-      R[I.A] = Interval::top();
+      R[I.A] = SymVal::top();
       return Status::ok();
     case Opcode::AddI:
-      R[I.A] = intervalAdd(R[I.B], R[I.C]);
+      R[I.A] = Ctx.add(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::SubI:
-      R[I.A] = intervalSub(R[I.B], R[I.C]);
+      R[I.A] = Ctx.sub(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::MulI:
-      R[I.A] = intervalMul(R[I.B], R[I.C]);
+      R[I.A] = Ctx.mul(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::DivI:
-      R[I.A] = intervalDiv(R[I.B], R[I.C]);
+      R[I.A] = Ctx.div(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::ModI:
-      R[I.A] = intervalMod(R[I.B], R[I.C]);
+      R[I.A] = Ctx.mod(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::MinI:
-      R[I.A] = intervalMin(R[I.B], R[I.C]);
+      R[I.A] = Ctx.min(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::MaxI:
-      R[I.A] = intervalMax(R[I.B], R[I.C]);
+      R[I.A] = Ctx.max(R[I.B], R[I.C]);
       return Status::ok();
     case Opcode::AddF:
     case Opcode::SubF:
@@ -323,7 +605,7 @@ private:
     case Opcode::MaxF:
       return Status::ok(); // float-only: the I view is untouched
     case Opcode::AddImmI:
-      R[I.A] = intervalAdd(R[I.A], Interval::constant(I.Imm));
+      R[I.A] = Ctx.add(R[I.A], SymVal::constant(I.Imm));
       return Status::ok();
     case Opcode::LoadF32:
     case Opcode::LoadF64:
@@ -332,13 +614,33 @@ private:
     case Opcode::LoadU8:
       if (Status S = checkOffset(Pc, I.B, R[I.C], "load"); !S.isOk())
         return S;
-      R[I.A] = Interval::top();
+      if (Collect) {
+        Footprint F;
+        F.Buffer = I.B;
+        F.Write = false;
+        F.Sh = Footprint::Shape::Flat;
+        F.Off = R[I.C];
+        F.Len = SymVal::constant(1);
+        F.Site = formatString("instr %zu (load)", Pc);
+        record(std::move(F));
+      }
+      R[I.A] = SymVal::top();
       return Status::ok();
     case Opcode::StoreF32:
     case Opcode::StoreF64:
     case Opcode::StoreS32:
     case Opcode::StoreS8:
     case Opcode::StoreU8:
+      if (Collect) {
+        Footprint F;
+        F.Buffer = I.B;
+        F.Write = true;
+        F.Sh = Footprint::Shape::Flat;
+        F.Off = R[I.C];
+        F.Len = SymVal::constant(1);
+        F.Site = formatString("instr %zu (store)", Pc);
+        record(std::move(F));
+      }
       return checkOffset(Pc, I.B, R[I.C], "store");
     case Opcode::CallKernel: {
       const CallDesc &C = P.Calls[static_cast<size_t>(I.Target)];
@@ -349,12 +651,32 @@ private:
                   R[C.Bufs[BI].OffsetReg], "kernel-call buffer");
               !S.isOk())
             return S;
+      if (Ctx.relational()) {
+        std::vector<Footprint> FPs;
+        std::vector<bool> Degraded;
+        callFootprints(Pc, C, R, FPs, Degraded);
+        for (size_t FI = 0; FI < FPs.size(); ++FI) {
+          if (Status S = checkFootprintBounds(Pc, FPs[FI], Degraded[FI]);
+              !S.isOk())
+            return S;
+          record(FPs[FI]);
+        }
+      }
       return Status::ok();
     }
     default:
       return err(Pc, "internal: control-flow opcode reached straight-line "
                      "transfer");
     }
+  }
+
+  /// Box-join of the registers written in [Begin, End) with \p Other
+  /// (both states agree outside that set by construction, so their
+  /// symbolic values survive the merge untouched).
+  void joinWritten(size_t Begin, size_t End, RegState &R,
+                   const RegState &Other) {
+    for (uint16_t W : writtenRegs(Begin, End))
+      R[W] = SymVal::box(Ctx.range(R[W]).join(Ctx.range(Other[W])));
   }
 
   /// Walks [Begin, End) updating \p R. Control flow must fit the
@@ -420,8 +742,7 @@ private:
           return S;
         if (Status S = walkParallel(Q, T, R); !S.isOk())
           return S;
-        for (size_t I = 0; I < R.size(); ++I)
-          R[I] = R[I].join(Taken[I]);
+        joinWritten(Guard + 1, T, R, Taken);
         return Status::ok();
       }
       break;
@@ -432,8 +753,7 @@ private:
     RegState Taken = R;
     if (Status S = walkRegion(Guard + 1, T, R); !S.isOk())
       return S;
-    for (size_t I = 0; I < R.size(); ++I)
-      R[I] = R[I].join(Taken[I]);
+    joinWritten(Guard + 1, T, R, Taken);
     return Status::ok();
   }
 
@@ -469,9 +789,12 @@ private:
     if (WritesReg(G.B) || WritesReg(LN.B))
       return err(Guard, "loop bound register is mutated inside the body");
 
-    const Interval BeginI = R[G.A]; // var was Mov'd from begin just before
-    const Interval EndI = R[G.B];
-    const Interval StepI = R[LN.B];
+    const SymVal BeginV = R[G.A]; // var was Mov'd from begin just before
+    const SymVal EndV = R[G.B];
+    const SymVal StepV = R[LN.B];
+    const Interval BeginI = Ctx.range(BeginV);
+    const Interval EndI = Ctx.range(EndV);
+    const Interval StepI = Ctx.range(StepV);
     if (StepI.boundedAbove() && StepI.Hi <= 0)
       return err(T - 1, formatString("non-positive loop step %lld",
                                      (long long)StepI.Hi));
@@ -484,9 +807,8 @@ private:
 
     // Entry block: runs with var == begin (and var < end, or it would
     // have been skipped).
-    R[G.A] = BeginI.meet(Interval{Interval::kMin, VarRange.Hi});
-    const size_t EntryEnd = Top;
-    if (Status S = walkRegion(Guard + 1, EntryEnd, R); !S.isOk())
+    R[G.A] = BeginV.withBox(BeginI.meet(Interval{Interval::kMin, VarRange.Hi}));
+    if (Status S = walkRegion(Guard + 1, Top, R); !S.isOk())
       return S;
 
     // Identify this loop's induction advances: the AddImmI run directly
@@ -505,20 +827,41 @@ private:
       MaxIncr = Span <= 0 ? 0 : (Span - 1) / StepI.Lo;
     }
 
+    // The loop symbol carries its symbolic bounds v >= begin and
+    // v <= end - 1 — min-shaped clamped ends enter the relational
+    // domain here.
+    const SymVal UpperV = Ctx.add(EndV, SymVal::constant(-1));
+    const SymVal LoopV = Ctx.makeLoopSym(
+        formatString("v%u", static_cast<unsigned>(G.A)), VarRange, &BeginV,
+        &UpperV);
+
     // Widen the body-entry state: everything the body writes becomes
-    // unknown, except the loop var (guard range) and the induction
-    // registers (entry value + up to MaxIncr advances).
+    // unknown, except the loop var (its symbol) and the induction
+    // registers. A strength-reduced induction register advancing by Imm
+    // per iteration is reconstructed exactly as
+    //   entry + (Imm/step) * (var - begin)
+    // when step is a positive constant dividing Imm (the builder emits
+    // Imm = coeff*step); the interval widening entry + [0, MaxIncr]*Imm
+    // is kept as the box either way.
     RegState Body = R;
     for (uint16_t W : BodyWrites)
-      Body[W] = Interval::top();
-    Body[G.A] = VarRange;
+      Body[W] = SymVal::top();
+    Body[G.A] = LoopV;
     for (size_t Pc = IncrBegin; Pc < T - 1; ++Pc) {
       const Instr &Adv = P.Code[Pc];
-      const Interval Entry = R[Adv.A];
-      const Interval Total =
-          intervalMul(Interval::constant(Adv.Imm),
-                      Interval{0, MaxIncr});
-      Body[Adv.A] = intervalAdd(Entry, Total);
+      const SymVal Entry = R[Adv.A];
+      const Interval WidenBox = intervalAdd(
+          Ctx.range(Entry),
+          intervalMul(Interval::constant(Adv.Imm), Interval{0, MaxIncr}));
+      if (Ctx.relational() && StepI.isConst() && StepI.Lo > 0 &&
+          Adv.Imm % StepI.Lo == 0) {
+        const SymVal Sym = Ctx.add(
+            Entry,
+            Ctx.scale(Ctx.sub(LoopV, BeginV), Adv.Imm / StepI.Lo));
+        Body[Adv.A] = Sym.withBox(WidenBox);
+      } else {
+        Body[Adv.A] = SymVal::box(WidenBox);
+      }
     }
     if (Status S = walkRegion(Top, IncrBegin, Body); !S.isOk())
       return S;
@@ -526,13 +869,15 @@ private:
     // Post-loop state: body-written registers (and the loop var) hold
     // iteration-dependent values.
     for (uint16_t W : BodyWrites)
-      R[W] = Interval::top();
-    R[G.A] = Interval::top();
+      R[W] = SymVal::top();
+    R[G.A] = SymVal::top();
     return Status::ok();
   }
 
   /// ParallelFor at \p Pc: workers run the body over a frame copy; the
-  /// submitting frame is unchanged by the body.
+  /// submitting frame is unchanged by the body. At the relational tier
+  /// the body walk additionally collects one abstract iteration's
+  /// footprints and hands them to the static race checker.
   Status walkParallel(size_t Pc, size_t End, RegState &R) {
     const ParDesc &D = P.Pars[static_cast<size_t>(P.Code[Pc].Target)];
     const size_t BodyBegin = Pc + 1;
@@ -540,36 +885,84 @@ private:
     if (BodyEnd > End)
       return err(Pc, "parallel body extends past the enclosing region");
 
+    const Interval BeginI = Ctx.range(R[D.BeginReg]);
+    const Interval EndI = Ctx.range(R[D.EndReg]);
+    const Interval VarRange{BeginI.Lo, satAdd(EndI.Hi, -1)};
+    if (BeginI.boundedBelow() && EndI.boundedAbove() && VarRange.empty())
+      return Status::ok(); // definitely zero-trip (and guarded anyway)
+
     RegState Worker = R;
     for (uint16_t W : writtenRegs(BodyBegin, BodyEnd))
-      Worker[W] = Interval::top();
-    const Interval VarRange{R[D.BeginReg].Lo, satAdd(R[D.EndReg].Hi, -1)};
-    if (R[D.BeginReg].boundedBelow() && R[D.EndReg].boundedAbove() &&
-        VarRange.empty())
-      return Status::ok(); // definitely zero-trip (and guarded anyway)
-    Worker[D.VarReg] = VarRange;
-    return walkRegion(BodyBegin, BodyEnd, Worker);
+      Worker[W] = SymVal::top();
+
+    if (!Ctx.relational()) {
+      Worker[D.VarReg] = SymVal::box(VarRange);
+      return walkRegion(BodyBegin, BodyEnd, Worker);
+    }
+
+    // The race analysis models exactly one level of parallelism (the
+    // builder hoists guards and never nests ParallelFor); a nested
+    // parallel loop would need a product iteration space.
+    if (InParallel)
+      return err(Pc, "nested parallel loop is outside the static race "
+                     "analysis");
+
+    const SymVal BeginV = R[D.BeginReg];
+    const SymVal UpperV = Ctx.add(R[D.EndReg], SymVal::constant(-1));
+    const int32_t Watermark = Ctx.numSyms();
+    const SymVal LoopV = Ctx.makeLoopSym(
+        formatString("p%u", static_cast<unsigned>(D.VarReg)), VarRange,
+        &BeginV, &UpperV);
+    Worker[D.VarReg] = LoopV;
+
+    std::vector<Footprint> FPs;
+    std::vector<Footprint> *SavedCollect = Collect;
+    Collect = &FPs;
+    InParallel = true;
+    Status WalkS = walkRegion(BodyBegin, BodyEnd, Worker);
+    InParallel = false;
+    Collect = SavedCollect;
+    if (!WalkS.isOk())
+      return WalkS;
+
+    ParallelRaceQuery Q;
+    Q.Var = Watermark; // the loop symbol is the first past the watermark
+    Q.Watermark = Watermark;
+    const Interval StepI = Ctx.range(R[D.StepReg]);
+    Q.Step = (StepI.boundedBelow() && StepI.Lo > 0) ? StepI.Lo : 1;
+    Q.FPs = std::move(FPs);
+    Q.BufferElems = [this](int B) { return bufferElems(B); };
+    Q.BufferIsThreadLocal = [this](int B) {
+      return P.Buffers[static_cast<size_t>(B)].Scope ==
+             tir::BufferScope::ThreadLocal;
+    };
+    Q.BufferName = [](int B) { return formatString("buffer %d", B); };
+    Q.LoopDesc = formatString("%s: instr %zu", P.Name.c_str(), Pc);
+    return checkParallelRaces(Ctx, Q);
   }
 };
 
 } // namespace
 
 Status verifyProgram(const Program &P, const char *Context) {
-  return ProgramVerifier(P, Context).run();
+  return ProgramVerifier(P, Context,
+                         verifyLevel() >= VerifyLevel::Relational)
+      .run();
 }
 
 Status verifyLoadedProgram(const Program &P, const char *Context) {
   // Deliberately ignores verifyLevel(): a Program deserialized from the
   // persistent artifact cache is untrusted input headed for the unchecked
-  // dispatch loop, so the full bytecode verification runs even when
-  // GC_VERIFY=off. Kernel calls must additionally have been relinked.
+  // dispatch loop, so the FULL verification — relational bounds AND the
+  // static race proof — runs even when GC_VERIFY=off. Kernel calls must
+  // additionally have been relinked.
   for (size_t I = 0; I < P.Calls.size(); ++I)
     if (!P.Calls[I].Fn)
       return Status::error(
           StatusCode::InvalidArgument,
           formatString("%s: call %zu has no relinked kernel pointer",
                        Context, I));
-  return ProgramVerifier(P, Context).run();
+  return ProgramVerifier(P, Context, /*Relational=*/true).run();
 }
 
 } // namespace verify

@@ -3,29 +3,37 @@
 /// \file
 /// The Tensor IR verifier: buffer-table consistency, variable
 /// def-before-use in execution order, loop-bound sanity, intrinsic-call
-/// arity against the documented conventions (tir/intrinsics.h), and an
-/// affine interval analysis that bounds every loop variable from its
-/// For statement and proves scalar Load/Store offsets — and the tile
-/// footprints of intrinsic calls — stay inside their buffer's extent.
+/// arity against the documented conventions (tir/intrinsics.h), and a
+/// bounds analysis proving every Load/Store/BufferRef element offset —
+/// and the tile/flat footprints of intrinsic calls — stays inside its
+/// buffer's extent for all loop iterations.
+///
+/// The analysis runs over the symbolic domain of verify/symbolic.h. At
+/// GC_VERIFY levels below `relational` the SymCtx creates no symbols and
+/// every value is an interval box, reproducing the PR-6 interval
+/// analysis bit for bit (including its deliberate skip of non-constant
+/// tile extents, which a non-relational domain cannot decide without
+/// false positives). At `relational`, loop variables become symbols
+/// carrying their bounds as symbolic values — min-shaped upper bounds
+/// included — so correlated edge-tile footprints like
+/// Off = i*TILE, Rows = min(TILE, N - i*TILE) are proven exactly and a
+/// genuinely escaping access is rejected with a located Status.
 ///
 /// The analysis is deliberately one-pass (no fixpoint): a loop body is
 /// interpreted once with the loop variable widened to [lo(Begin),
 /// hi(End)-1], which is sound because TIR expressions are pure and
 /// loop-carried scalar state does not exist in the lowered form (every
-/// Let re-binds from loop variables downward). Unknown quantities become
-/// unbounded intervals, and an access is only rejected when its whole
-/// over-approximated range is known and still escapes — so the verifier
-/// can never reject a program it merely failed to understand.
+/// Let re-binds from loop variables downward).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "verify/verify.h"
 
 #include "support/str.h"
-#include "verify/interval.h"
+#include "verify/relational.h"
+#include "verify/symbolic.h"
 
 #include <unordered_map>
-#include <unordered_set>
 
 namespace gc {
 namespace verify {
@@ -173,7 +181,9 @@ void bufferTypesOf(Intrinsic In, DataType (&Ty)[4]) {
 /// Per-function verification state.
 class FuncVerifier {
 public:
-  FuncVerifier(const Func &F, const char *Context) : F(F), Context(Context) {}
+  FuncVerifier(const Func &F, const char *Context)
+      : F(F), Context(Context),
+        Ctx(verifyLevel() >= VerifyLevel::Relational) {}
 
   Status run() {
     if (Status S = checkBuffers(); !S.isOk())
@@ -184,10 +194,11 @@ public:
 private:
   const Func &F;
   const char *Context;
-  /// Defined variables with their value interval (top when unknown).
+  SymCtx Ctx;
+  /// Defined variables with their symbolic value (top when unknown).
   /// Execution-order accumulation matches the executor's frame-slot
   /// semantics: a binding stays readable after its scope exits.
-  std::unordered_map<const VarNode *, Interval> Env;
+  std::unordered_map<const VarNode *, SymVal> Env;
 
   Status err(const std::string &Where, const std::string &What) const {
     return Status::error(
@@ -240,15 +251,15 @@ private:
     return Status::ok();
   }
 
-  /// Evaluates the interval of an integer expression, checking
+  /// Evaluates the symbolic value of an integer expression, checking
   /// def-before-use and any embedded Load bounds along the way.
-  Status evalExpr(const Expr &E, const std::string &Where, Interval &Out) {
+  Status evalExpr(const Expr &E, const std::string &Where, SymVal &Out) {
     switch (E->kind()) {
     case ExprNode::Kind::IntImm:
-      Out = Interval::constant(static_cast<const IntImmNode &>(*E).Value);
+      Out = SymVal::constant(static_cast<const IntImmNode &>(*E).Value);
       return Status::ok();
     case ExprNode::Kind::FloatImm:
-      Out = Interval::top(); // float values are not tracked
+      Out = SymVal::top(); // float values are not tracked
       return Status::ok();
     case ExprNode::Kind::Var: {
       const auto *V = static_cast<const VarNode *>(E.get());
@@ -262,28 +273,28 @@ private:
                    formatString("variable %s has slot %d outside the "
                                 "%d-slot frame",
                                 V->Name.c_str(), V->Slot, F.NumSlots));
-      Out = E->type() == ScalarType::I64 ? It->second : Interval::top();
+      Out = E->type() == ScalarType::I64 ? It->second : SymVal::top();
       return Status::ok();
     }
     case ExprNode::Kind::Binary: {
       const auto &B = static_cast<const BinaryNode &>(*E);
-      Interval A, C;
+      SymVal A, C;
       if (Status S = evalExpr(B.A, Where, A); !S.isOk())
         return S;
       if (Status S = evalExpr(B.B, Where, C); !S.isOk())
         return S;
       if (E->type() == ScalarType::F64) {
-        Out = Interval::top();
+        Out = SymVal::top();
         return Status::ok();
       }
       switch (B.Op) {
-      case BinOp::Add: Out = intervalAdd(A, C); break;
-      case BinOp::Sub: Out = intervalSub(A, C); break;
-      case BinOp::Mul: Out = intervalMul(A, C); break;
-      case BinOp::Div: Out = intervalDiv(A, C); break;
-      case BinOp::Mod: Out = intervalMod(A, C); break;
-      case BinOp::Min: Out = intervalMin(A, C); break;
-      case BinOp::Max: Out = intervalMax(A, C); break;
+      case BinOp::Add: Out = Ctx.add(A, C); break;
+      case BinOp::Sub: Out = Ctx.sub(A, C); break;
+      case BinOp::Mul: Out = Ctx.mul(A, C); break;
+      case BinOp::Div: Out = Ctx.div(A, C); break;
+      case BinOp::Mod: Out = Ctx.mod(A, C); break;
+      case BinOp::Min: Out = Ctx.min(A, C); break;
+      case BinOp::Max: Out = Ctx.max(A, C); break;
       }
       return Status::ok();
     }
@@ -292,12 +303,39 @@ private:
       if (Status S = checkAccess(L.BufferId, L.Indices, Where, "load");
           !S.isOk())
         return S;
-      Out = Interval::top();
+      Out = SymVal::top();
       return Status::ok();
     }
     }
-    Out = Interval::top();
+    Out = SymVal::top();
     return Status::ok();
+  }
+
+  /// Shared verdict for a fully-constructed [MinIdx, MaxIdx] touched
+  /// range: proved / undecided (counted) / rejected. \p Precise gates
+  /// rejection: the caller sets it when the bounds are exact enough that
+  /// an escaping over-approximation means a real escape (always true for
+  /// the relational domain on the forms the lowering emits; for the box
+  /// domain only when the old constant-extent preconditions held).
+  Status judge(const BufferDecl &B, int64_t MinIdx, int64_t MaxIdx,
+               bool Precise, const std::string &Where, const char *ArgName) {
+    const int64_t Elems = B.numElements();
+    const bool Bounded =
+        MinIdx != Interval::kMin && MaxIdx != Interval::kMax;
+    if (Bounded && MinIdx >= 0 && MaxIdx < Elems) {
+      noteBoundsProved();
+      return Status::ok();
+    }
+    if (!Bounded || !Precise) {
+      noteBoundsUndecided();
+      return Status::ok(); // cannot decide — never a false positive
+    }
+    return err(Where,
+               formatString("%s footprint of %s reaches elements "
+                            "[%lld, %lld], outside the buffer's %lld "
+                            "elements",
+                            ArgName, B.Name.c_str(), (long long)MinIdx,
+                            (long long)MaxIdx, (long long)Elems));
   }
 
   /// Bounds-checks a (possibly multi-dimensional) element access against
@@ -315,7 +353,7 @@ private:
                               "buffer",
                               What, B.Name.c_str(), Indices.size(),
                               B.Dims.size()));
-    Interval Flat = Interval::constant(0);
+    SymVal Flat = SymVal::constant(0);
     if (Indices.size() == B.Dims.size()) {
       int64_t Stride = 1;
       std::vector<int64_t> Strides(B.Dims.size());
@@ -324,78 +362,65 @@ private:
         Stride = satMul(Stride, B.Dims[D]);
       }
       for (size_t D = 0; D < Indices.size(); ++D) {
-        Interval Idx;
+        SymVal Idx;
         if (Status S = evalExpr(Indices[D], Where, Idx); !S.isOk())
           return S;
-        Flat = intervalAdd(Flat,
-                           intervalMul(Idx, Interval::constant(Strides[D])));
+        Flat = Ctx.add(Flat, Ctx.scale(Idx, Strides[D]));
       }
     } else {
       if (Status S = evalExpr(Indices[0], Where, Flat); !S.isOk())
         return S;
     }
-    const int64_t Elems = B.numElements();
-    if (Flat.bounded() && (Flat.Lo < 0 || Flat.Hi >= Elems))
-      return err(Where,
-                 formatString("%s of %s reaches elements [%lld, %lld], "
-                              "outside the buffer's %lld elements",
-                              What, B.Name.c_str(), (long long)Flat.Lo,
-                              (long long)Flat.Hi, (long long)Elems));
-    return Status::ok();
+    return judge(B, Ctx.lb(Flat), Ctx.ub(Flat), /*Precise=*/true, Where,
+                 What);
   }
 
   /// Proves a strided 2-D tile access Base[Off + r*Ld + c] (r < Rows,
-  /// c < Cols) in bounds when every involved bound is known.
-  Status checkTileFootprint(const BufferDecl &B, const Interval &Off,
-                            const Interval &Rows, const Interval &Cols,
-                            const Interval &Ld, const std::string &Where,
-                            const char *ArgName) const {
-    // Extents must be compile-time constants: edge tiles pass
-    // min(TILE, N - i)-shaped extents whose maximum never coincides with
-    // the offset's maximum, and a non-relational interval domain cannot
-    // see that correlation. Offsets alone are fine — loop nests are
-    // rectangular, so Off.Hi is attained.
-    if (!Off.bounded() || !Rows.isConst() || !Cols.isConst() ||
-        !Ld.isConst())
-      return Status::ok(); // cannot decide — never a false positive
-    if (Rows.Hi <= 0 || Cols.Hi <= 0)
+  /// c < Cols) in bounds. The maximum touched element for a non-empty
+  /// tile is Off + (Rows-1)*Ld + (Cols-1); evaluating it as one symbolic
+  /// expression is what keeps correlated min-extents exact at the
+  /// relational level. The box domain keeps the PR-6 preconditions
+  /// (constant extents) before an escape may reject.
+  Status checkTileFootprint(const BufferDecl &B, const SymVal &Off,
+                            const SymVal &Rows, const SymVal &Cols,
+                            const SymVal &Ld, const std::string &Where,
+                            const char *ArgName) {
+    int64_t LdC;
+    if (!Ld.isConstant(LdC)) {
+      noteBoundsUndecided();
+      return Status::ok(); // non-constant stride: outside every tier
+    }
+    if (Ctx.ub(Rows) <= 0 || Ctx.ub(Cols) <= 0) {
+      noteBoundsProved();
       return Status::ok(); // no elements touched
-    const int64_t MaxRow = satMul(satAdd(Rows.Hi, -1), std::max<int64_t>(
-                                                           Ld.Hi, 0));
-    const int64_t MinRow = satMul(satAdd(Rows.Hi, -1), std::min<int64_t>(
-                                                           Ld.Lo, 0));
-    const int64_t MaxIdx = satAdd(satAdd(Off.Hi, MaxRow),
-                                  satAdd(Cols.Hi, -1));
-    const int64_t MinIdx = satAdd(Off.Lo, MinRow);
-    const int64_t Elems = B.numElements();
-    if (MinIdx < 0 || MaxIdx >= Elems)
-      return err(Where,
-                 formatString("%s tile footprint of %s reaches elements "
-                              "[%lld, %lld], outside the buffer's %lld "
-                              "elements",
-                              ArgName, B.Name.c_str(), (long long)MinIdx,
-                              (long long)MaxIdx, (long long)Elems));
-    return Status::ok();
+    }
+    int64_t RC, CC;
+    const bool Precise =
+        Ctx.relational() ||
+        (Rows.isConstant(RC) && Cols.isConstant(CC) &&
+         Ctx.range(Off).bounded());
+    const SymVal RowsM1 = Ctx.add(Rows, SymVal::constant(-1));
+    const SymVal MaxV = Ctx.add(
+        Off, Ctx.add(Ctx.scale(RowsM1, std::max<int64_t>(LdC, 0)),
+                     Ctx.add(Cols, SymVal::constant(-1))));
+    const SymVal MinV =
+        Ctx.add(Off, Ctx.scale(RowsM1, std::min<int64_t>(LdC, 0)));
+    return judge(B, Ctx.lb(MinV), Ctx.ub(MaxV), Precise, Where, ArgName);
   }
 
   /// Flat footprint: Base[Off .. Off + Len) must be inside the buffer.
-  Status checkFlatFootprint(const BufferDecl &B, const Interval &Off,
-                            const Interval &Len, const std::string &Where,
-                            const char *ArgName) const {
-    if (!Off.bounded() || !Len.isConst())
-      return Status::ok(); // same correlation caveat as tile footprints
-    if (Len.Hi <= 0)
+  Status checkFlatFootprint(const BufferDecl &B, const SymVal &Off,
+                            const SymVal &Len, const std::string &Where,
+                            const char *ArgName) {
+    if (Ctx.ub(Len) <= 0) {
+      noteBoundsProved();
       return Status::ok();
-    const int64_t MaxIdx = satAdd(Off.Hi, satAdd(Len.Hi, -1));
-    if (Off.Lo < 0 || MaxIdx >= B.numElements())
-      return err(Where,
-                 formatString("%s footprint of %s reaches elements "
-                              "[%lld, %lld], outside the buffer's %lld "
-                              "elements",
-                              ArgName, B.Name.c_str(), (long long)Off.Lo,
-                              (long long)MaxIdx,
-                              (long long)B.numElements()));
-    return Status::ok();
+    }
+    int64_t LC;
+    const bool Precise =
+        Ctx.relational() || (Len.isConstant(LC) && Ctx.range(Off).bounded());
+    const SymVal MaxV = Ctx.add(Off, Ctx.add(Len, SymVal::constant(-1)));
+    return judge(B, Ctx.lb(Off), Ctx.ub(MaxV), Precise, Where, ArgName);
   }
 
   Status checkCall(const CallNode &C, const std::string &Where) {
@@ -419,7 +444,7 @@ private:
       if (tir::asConstInt(C.Scalars[4], AZp) && AZp == 0)
         ExpectTy[2] = kAnyTy;
     }
-    std::vector<Interval> Offs(C.Buffers.size());
+    std::vector<SymVal> Offs(C.Buffers.size());
     for (size_t I = 0; I < C.Buffers.size(); ++I) {
       const BufferRef &R = C.Buffers[I];
       if (R.BufferId < 0 || R.BufferId >= static_cast<int>(F.Buffers.size()))
@@ -435,24 +460,23 @@ private:
                                 intrinsicName(C.In), I, B.Name.c_str(),
                                 dataTypeName(B.ElemTy),
                                 dataTypeName(ExpectTy[I])));
-      Offs[I] = Interval::constant(0);
+      Offs[I] = SymVal::constant(0);
       if (R.Offset)
         if (Status S = evalExpr(R.Offset, Where, Offs[I]); !S.isOk())
           return S;
       // Base offset must itself be inside the buffer whenever provable.
-      if (Offs[I].bounded() &&
-          (Offs[I].Lo < 0 || Offs[I].Hi >= F.buffer(R.BufferId)
-                                               .numElements()))
+      const Interval OffR = Ctx.range(Offs[I]);
+      if (OffR.bounded() && (OffR.Lo < 0 || OffR.Hi >= B.numElements()))
         return err(Where,
                    formatString("%s buffer arg %zu offset range "
                                 "[%lld, %lld] is outside %s's %lld "
                                 "elements",
-                                intrinsicName(C.In), I, (long long)Offs[I].Lo,
-                                (long long)Offs[I].Hi, B.Name.c_str(),
+                                intrinsicName(C.In), I, (long long)OffR.Lo,
+                                (long long)OffR.Hi, B.Name.c_str(),
                                 (long long)B.numElements()));
     }
 
-    std::vector<Interval> Sc(C.Scalars.size());
+    std::vector<SymVal> Sc(C.Scalars.size());
     for (size_t I = 0; I < C.Scalars.size(); ++I)
       if (Status S = evalExpr(C.Scalars[I], Where, Sc[I]); !S.isOk())
         return S;
@@ -461,6 +485,7 @@ private:
     const auto Buf = [&](size_t I) -> const BufferDecl & {
       return F.buffer(C.Buffers[I].BufferId);
     };
+    const SymVal One = SymVal::constant(1);
     switch (C.In) {
     case Intrinsic::ReluTile:
     case Intrinsic::ExpTile:
@@ -517,6 +542,14 @@ private:
         return S;
       return checkTileFootprint(Buf(1), Offs[1], Sc[0], Sc[1], Sc[3], Where,
                                 "S");
+    case Intrinsic::CopyTileRaw:
+      // B[D,S] S[Rows,Cols,LdD,LdS,ElemSize]: same tile shape both sides.
+      if (Status S = checkTileFootprint(Buf(0), Offs[0], Sc[0], Sc[1],
+                                        Sc[2], Where, "D");
+          !S.isOk())
+        return S;
+      return checkTileFootprint(Buf(1), Offs[1], Sc[0], Sc[1], Sc[3], Where,
+                                "S");
     case Intrinsic::TransposeTile:
       // Dst is Rows x Cols; Src is read as Src[c*LdS + r].
       if (Status S = checkTileFootprint(Buf(0), Offs[0], Sc[0], Sc[1],
@@ -525,6 +558,16 @@ private:
         return S;
       return checkTileFootprint(Buf(1), Offs[1], Sc[1], Sc[0], Sc[3], Where,
                                 "S");
+    case Intrinsic::Permute0213: {
+      // 4-D [A,B,C,D] -> [A,C,B,D]: both sides touch exactly the flat
+      // product of the four extents.
+      const SymVal Prod =
+          Ctx.mul(Ctx.mul(Sc[0], Sc[1]), Ctx.mul(Sc[2], Sc[3]));
+      if (Status S = checkFlatFootprint(Buf(0), Offs[0], Prod, Where, "D");
+          !S.isOk())
+        return S;
+      return checkFlatFootprint(Buf(1), Offs[1], Prod, Where, "S");
+    }
     case Intrinsic::QuantU8Tile:
     case Intrinsic::QuantS8Tile:
     case Intrinsic::DequantU8Tile:
@@ -559,11 +602,72 @@ private:
           !S.isOk())
         return S;
       return checkFlatFootprint(Buf(3), Offs[3], Sc[1], Where, "Scale");
-    default:
-      // brgemm / pack / unpack / raw movement footprints are blocked-
-      // layout dependent; the base-offset range check above still applies.
-      return Status::ok();
+    case Intrinsic::BrgemmF32:
+    case Intrinsic::BrgemmU8S8: {
+      // C tile: M x N on stride Ldc (both layouts keep Ldc at S[5]).
+      if (Status S = checkTileFootprint(Buf(2), Offs[2], Sc[0], Sc[1],
+                                        Sc[5], Where, "C");
+          !S.isOk())
+        return S;
+      // A flat span: (Batch-1)*AStrideB + (M-1)*Lda + K.
+      const SymVal BatchM1 = Ctx.add(Sc[8], SymVal::constant(-1));
+      const SymVal ALen = Ctx.add(
+          Ctx.mul(BatchM1, Sc[6]),
+          Ctx.add(Ctx.mul(Ctx.sub(Sc[0], One), Sc[3]), Sc[2]));
+      if (Status S = checkFlatFootprint(Buf(0), Offs[0], ALen, Where, "A");
+          !S.isOk())
+        return S;
+      // B flat span: f32 reads (K-1)*Ldb + N per batch; the VNNI layout
+      // reads ceil(K/4) row groups of 4*NPadded.
+      SymVal BLen;
+      if (C.In == Intrinsic::BrgemmF32) {
+        BLen = Ctx.add(Ctx.mul(BatchM1, Sc[7]),
+                       Ctx.add(Ctx.mul(Ctx.sub(Sc[2], One), Sc[4]), Sc[1]));
+      } else {
+        int64_t KC;
+        // ceil(K/4)*4 <= K+3 bounds the non-constant case soundly.
+        const int64_t KGroups4 =
+            Sc[2].isConstant(KC) ? ((KC + 3) / 4) * 4 : -1;
+        const SymVal KPad = KGroups4 >= 0
+                                ? SymVal::constant(KGroups4)
+                                : Ctx.add(Sc[2], SymVal::constant(3));
+        BLen = Ctx.add(Ctx.mul(BatchM1, Sc[7]), Ctx.mul(KPad, Sc[4]));
+      }
+      return checkFlatFootprint(Buf(1), Offs[1], BLen, Where, "B");
     }
+    case Intrinsic::PackAF32:
+    case Intrinsic::PackAU8: {
+      // S[M,K,SrcLd,MB,KB,Transposed]: src tile is M x K (or K x M when
+      // transposed) on SrcLd. The packed dest covers its whole buffer by
+      // construction; its base-offset check above is the documented
+      // precision limit.
+      int64_t Tr;
+      if (!Sc[5].isConstant(Tr)) {
+        noteBoundsUndecided();
+        return Status::ok();
+      }
+      return checkTileFootprint(Buf(1), Offs[1], Tr ? Sc[1] : Sc[0],
+                                Tr ? Sc[0] : Sc[1], Sc[2], Where, "S");
+    }
+    case Intrinsic::PackBF32:
+    case Intrinsic::PackBS8Vnni: {
+      // S[K,N,SrcLd,KB,NB,Transposed]: src tile is K x N (or N x K).
+      int64_t Tr;
+      if (!Sc[5].isConstant(Tr)) {
+        noteBoundsUndecided();
+        return Status::ok();
+      }
+      return checkTileFootprint(Buf(1), Offs[1], Tr ? Sc[1] : Sc[0],
+                                Tr ? Sc[0] : Sc[1], Sc[2], Where, "S");
+    }
+    case Intrinsic::UnpackAF32:
+    case Intrinsic::UnpackAU8:
+      // S[M,K,MB,KB,DstLd]: dest tile is M x K on DstLd; the packed src
+      // is read whole (base-offset check only, same limit as pack dest).
+      return checkTileFootprint(Buf(0), Offs[0], Sc[0], Sc[1], Sc[4], Where,
+                                "D");
+    }
+    return Status::ok();
   }
 
   Status walkStmts(const StmtList &L, const std::string &Path) {
@@ -586,18 +690,18 @@ private:
       const auto &Let = static_cast<const LetNode &>(*St);
       if (!Let.BoundVar)
         return err(Path, "let binds no variable");
-      Interval V = Interval::top();
+      SymVal V = SymVal::top();
       if (Status S = evalExpr(Let.Value, Path + ".let", V); !S.isOk())
         return S;
       if (Status S = checkVar(Let.BoundVar, Path + ".let"); !S.isOk())
         return S;
       Env[Let.BoundVar.get()] =
-          Let.BoundVar->type() == ScalarType::I64 ? V : Interval::top();
+          Let.BoundVar->type() == ScalarType::I64 ? V : SymVal::top();
       return Status::ok();
     }
     case StmtNode::Kind::Store: {
       const auto &S = static_cast<const StoreNode &>(*St);
-      Interval V;
+      SymVal V;
       if (Status E = evalExpr(S.Value, Path + ".store", V); !E.isOk())
         return E;
       return checkAccess(S.BufferId, S.Indices, Path + ".store", "store");
@@ -614,16 +718,17 @@ private:
           (For.LoopVar ? For.LoopVar->Name : std::string("?")) + ")";
       if (!For.LoopVar)
         return err(P, "loop has no induction variable");
-      Interval Begin, End, Step;
+      SymVal Begin, End, Step;
       if (Status S = evalExpr(For.Begin, P, Begin); !S.isOk())
         return S;
       if (Status S = evalExpr(For.End, P, End); !S.isOk())
         return S;
       if (Status S = evalExpr(For.Step, P, Step); !S.isOk())
         return S;
-      if (Step.boundedAbove() && Step.Hi <= 0)
+      const Interval StepR = Ctx.range(Step);
+      if (StepR.boundedAbove() && StepR.Hi <= 0)
         return err(P, formatString("non-positive loop step %lld",
-                                   (long long)Step.Hi));
+                                   (long long)StepR.Hi));
       if (For.LoopVar->type() != ScalarType::I64)
         return err(P, "loop variable must be an integer");
       if (Status S = checkVar(For.LoopVar, P); !S.isOk())
@@ -631,15 +736,23 @@ private:
       // Definitely-zero-trip loop: the body can never execute, so there
       // is nothing to prove inside it (and proving against the empty
       // iteration space would reject vacuously-safe bodies).
-      const Interval VarRange{Begin.Lo, satAdd(End.Hi, -1)};
-      Env[For.LoopVar.get()] = VarRange;
-      if (!(VarRange.empty() && Begin.isConst() && End.boundedAbove())) {
+      const Interval BeginR = Ctx.range(Begin);
+      const Interval EndR = Ctx.range(End);
+      const Interval VarRange{BeginR.Lo, satAdd(EndR.Hi, -1)};
+      if (!(VarRange.empty() && BeginR.isConst() && EndR.boundedAbove())) {
+        // The loop symbol carries its symbolic bounds (v >= Begin,
+        // v <= End - 1) — this is where min-shaped clamped loop ends
+        // like nsi < min(NSN, NBlocks - npi*NSN) enter the relational
+        // domain.
+        const SymVal UpperB = Ctx.add(End, SymVal::constant(-1));
+        Env[For.LoopVar.get()] =
+            Ctx.makeLoopSym(For.LoopVar->Name, VarRange, &Begin, &UpperB);
         if (Status S = walkStmts(For.Body, P); !S.isOk())
           return S;
       }
       // After the loop the variable holds begin + k*step for some k the
       // analysis does not track exactly.
-      Env[For.LoopVar.get()] = Interval::top();
+      Env[For.LoopVar.get()] = SymVal::top();
       return Status::ok();
     }
     }

@@ -34,8 +34,11 @@ VerifyLevel resolveFromEnv() {
     return VerifyLevel::Passes;
   if (V == "all")
     return VerifyLevel::All;
+  if (V == "relational")
+    return VerifyLevel::Relational;
   const std::string Msg =
-      "GC_VERIFY must be one of off|graph|passes|all, got \"" + V + "\"";
+      "GC_VERIFY must be one of off|graph|passes|all|relational, got \"" +
+      V + "\"";
   fatalError(Msg.c_str());
 }
 
@@ -58,6 +61,10 @@ VerifyLevel setVerifyLevel(VerifyLevel Level) {
   const VerifyLevel Prev = verifyLevel();
   CachedLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
   return Prev;
+}
+
+void clearVerifyLevelCache() {
+  CachedLevel.store(-1, std::memory_order_relaxed);
 }
 
 } // namespace verify

@@ -68,17 +68,28 @@ enum class VerifyLevel : uint8_t {
   Graph = 1,  ///< graph verified once per Session::compile entry
   Passes = 2, ///< + after every graph pass and Tensor IR pass
   All = 3,    ///< + final TIR, bytecode Program and memory plan
+  /// All, with the TIR/bytecode bounds engines running over the
+  /// relational symbolic domain (verify/symbolic.h): correlated
+  /// min(TILE, N - i) edge-tile extents and strength-reduced induction
+  /// offsets are proven exactly instead of skipped, and every parallel
+  /// bytecode loop gets the static race proof (verify/relational.h).
+  Relational = 4,
 };
 
-/// Resolved verification level: GC_VERIFY=off|graph|passes|all, defaulting
-/// to All in Debug builds and Graph in Release builds. Cached after the
-/// first call (reading it on every pass hook must be free).
+/// Resolved verification level: GC_VERIFY=off|graph|passes|all|relational,
+/// defaulting to All in Debug builds and Graph in Release builds. Cached
+/// after the first call (reading it on every pass hook must be free).
 VerifyLevel verifyLevel();
 
-/// Test seam: overrides the cached level (pass std::nullopt-like
-/// Level=... to restore env resolution is not needed — tests set an
-/// explicit level and restore the previous value).
+/// Test seam: overrides the cached level and returns the previous one —
+/// tests set an explicit level and restore the previous value.
 VerifyLevel setVerifyLevel(VerifyLevel Level);
+
+/// Test seam: invalidates the cached level so the next verifyLevel()
+/// call re-resolves from GC_VERIFY. Without this, a test that changes
+/// the environment variable after any earlier test (or fixture setup)
+/// already touched verifyLevel() silently keeps the stale cached level.
+void clearVerifyLevelCache();
 
 /// Full Graph IR verification (structure, per-op shape/dtype rules,
 /// dynamic-dim flow). \p Context prefixes the error message, e.g. the

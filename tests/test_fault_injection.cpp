@@ -737,6 +737,10 @@ TEST(Degrade, BytecodeCompileFallsBackToTree) {
   const Graph G = buildMlpGraph();
   core::CompileOptions Opts;
   Opts.Exec = exec::Backend::Bytecode;
+  // A warm artifact cache would serve the bytecode without running the
+  // faulted compile, so degradation would never trigger; keep the cache
+  // out of this test regardless of GC_CACHE in the environment.
+  Opts.CacheMode = runtime::CacheMode::Off;
   api::Session S(Opts);
   std::vector<runtime::TensorData> Ins = makeInputs(G, 71);
   const std::vector<runtime::TensorData> Want = referenceOutputs(G, Ins);

@@ -15,12 +15,17 @@
 #include "support/str.h"
 #include "tir/function.h"
 #include "tir/stmt.h"
+#include "verify/relational.h"
 #include "verify/verify.h"
+#include "workloads/mha.h"
 #include "workloads/mlp.h"
 
 #include "test_utils.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace gc;
 using namespace gc::graph;
@@ -411,6 +416,284 @@ TEST(VerifyMemPlan, MissingSlotRejected) {
                  {"t2", "no arena slot"});
 }
 
+TEST(VerifyMemPlan, DuplicateProducerRejected) {
+  MemoryPlanView V = chainPlan();
+  // Partition 2 also claims t2, which partition 1 already produces: a
+  // write-write conflict under the async scheduler.
+  V.Partitions[2].Outputs = {2, 3};
+  expectRejected(verifyMemoryPlan(V), StatusCode::Internal,
+                 {"t2", "written by both"});
+}
+
+//===----------------------------------------------------------------------===//
+// Relational tier: Tensor IR edge-tile bounds
+//===----------------------------------------------------------------------===//
+
+/// for i in [0,3): for j in [0, min(4, N - 4*i)): buf[4*i + j] = 1.0 —
+/// the correlated edge-tile pattern the interval tier cannot decide
+/// (interval of the inner extent is [*, 4], so 4*i + j reaches 11).
+tir::Func edgeTileFunc(int64_t Elems, int64_t N) {
+  tir::Func F;
+  F.Name = "edge";
+  const int B = F.addBuffer("buf", DataType::F32, {Elems},
+                            tir::BufferScope::Param, 0);
+  tir::Var I = tir::makeVar("i");
+  tir::Var J = tir::makeVar("j");
+  tir::Expr Extent = tir::minExpr(
+      tir::makeInt(4), tir::makeInt(N) - tir::makeInt(4) * tir::Expr(I));
+  tir::Expr Idx = tir::makeInt(4) * tir::Expr(I) + tir::Expr(J);
+  F.Body.push_back(tir::makeFor(
+      I, tir::makeInt(0), tir::makeInt(3), tir::makeInt(1),
+      {tir::makeFor(J, tir::makeInt(0), std::move(Extent), tir::makeInt(1),
+                    {tir::makeStore(B, {std::move(Idx)},
+                                    tir::makeFloat(1.0))})}));
+  return F;
+}
+
+TEST(VerifyFuncRelational, EdgeTileExactExtentProved) {
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Relational);
+  resetVerifyStats();
+  const Status S = verifyFunc(edgeTileFunc(/*Elems=*/9, /*N=*/9));
+  EXPECT_TRUE(S.isOk()) << S.toString();
+  const VerifyStats St = verifyStats();
+  EXPECT_GT(St.BoundsProved, 0u);
+  EXPECT_EQ(St.BoundsUndecided, 0u)
+      << "edge-tile access fell back to the undecided skip";
+  setVerifyLevel(Prev);
+}
+
+TEST(VerifyFuncRelational, EdgeTileOffByOneRejected) {
+  // Same loop with the source extent off by one (N = 10 over 9
+  // elements): i = 2 reaches buf[9].
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Relational);
+  expectRejected(verifyFunc(edgeTileFunc(/*Elems=*/9, /*N=*/10)),
+                 StatusCode::Internal, {"buf", "9 elements"});
+  setVerifyLevel(Prev);
+}
+
+TEST(VerifyFuncRelational, IntervalTierCannotProveEdgeTile) {
+  // The interval tier sees j in [0,3] independent of i, so the exact
+  // extent still reaches a bounded index 11 and gets rejected — the
+  // correlated-bounds imprecision the relational tier exists to fix
+  // (real compiled code routes tiles through intrinsic footprints,
+  // which the interval tier conservatively skips instead).
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::All);
+  EXPECT_FALSE(verifyFunc(edgeTileFunc(9, 9)).isOk());
+  setVerifyLevel(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Relational tier: static race analysis over bytecode
+//===----------------------------------------------------------------------===//
+
+/// Parallel loop over r0 in [0,4) whose body stores buf[r0] and, when
+/// \p Racy, also buf[r0 + 1] — iterations i and i+1 then collide on
+/// element i+1.
+exec::Program parallelStoreProgram(bool Racy) {
+  using exec::Instr;
+  using exec::Opcode;
+  exec::Program P;
+  P.Name = "pp";
+  P.NumRegs = 5;
+  P.InitRegs.resize(5);
+  P.InitRegs[1].I = 0; // begin
+  P.InitRegs[2].I = 4; // end
+  P.InitRegs[3].I = 1; // step
+  exec::BufferInfo B;
+  B.Bytes = 20; // 5 f32 elements
+  B.ElemSize = 4;
+  B.Scope = tir::BufferScope::Param;
+  P.Buffers.push_back(B);
+  exec::ParDesc D;
+  D.VarReg = 0;
+  D.BeginReg = 1;
+  D.EndReg = 2;
+  D.StepReg = 3;
+  D.BodyLen = Racy ? 4 : 1;
+  P.Pars.push_back(D);
+  P.Code.push_back(Instr{Opcode::ParallelFor, 0, 0, 0, 0, 0});
+  P.Code.push_back(Instr{Opcode::StoreF32, 1, 0, 0, 0, 0}); // buf[r0]
+  if (Racy) {
+    P.Code.push_back(Instr{Opcode::Mov, 4, 0, 0, 0, 0});
+    P.Code.push_back(Instr{Opcode::AddImmI, 4, 0, 0, 0, 1}); // r4 = r0+1
+    P.Code.push_back(Instr{Opcode::StoreF32, 1, 0, 4, 0, 0}); // buf[r0+1]
+  }
+  return P;
+}
+
+TEST(VerifyProgramRelational, DisjointParallelStoresProved) {
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Relational);
+  resetVerifyStats();
+  const Status S = verifyProgram(parallelStoreProgram(/*Racy=*/false));
+  EXPECT_TRUE(S.isOk()) << S.toString();
+  EXPECT_GT(verifyStats().RacePairsProved, 0u);
+  setVerifyLevel(Prev);
+}
+
+TEST(VerifyProgramRelational, OverlappingParallelStoresRejected) {
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Relational);
+  expectRejected(verifyProgram(parallelStoreProgram(/*Racy=*/true)),
+                 StatusCode::Internal,
+                 {"static race", "instr 1 (store)", "instr 4 (store)"});
+  setVerifyLevel(Prev);
+}
+
+TEST(VerifyProgramRelational, IntervalTierAcceptsWithoutRaceProof) {
+  // Below the relational tier the race analysis is off; the racy program
+  // must still pass the plain bounds walk (back-compat fallback).
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::All);
+  const Status S = verifyProgram(parallelStoreProgram(/*Racy=*/true));
+  EXPECT_TRUE(S.isOk()) << S.toString();
+  setVerifyLevel(Prev);
+}
+
+TEST(VerifyLoadedProgram, RacingArtifactRejectedEvenAtOff) {
+  // verifyLoadedProgram is the gate ArtifactCodec::deserialize runs on
+  // every cache load; a crafted artifact with a racing parallel loop
+  // must be rejected even when the session runs at GC_VERIFY=off.
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Off);
+  expectRejected(verifyLoadedProgram(parallelStoreProgram(/*Racy=*/true),
+                                     "cache load"),
+                 StatusCode::Internal,
+                 {"static race", "instr 1 (store)", "instr 4 (store)"});
+  setVerifyLevel(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Relational tier: zero conservative skips on standard workloads
+//===----------------------------------------------------------------------===//
+
+Graph softmaxGraph(int64_t Rows, int64_t Cols) {
+  Graph G;
+  const std::vector<int64_t> Shape = {Rows, Cols};
+  const int64_t In = G.addTensor(DataType::F32, Shape, "x");
+  G.markInput(In);
+  const int64_t Out = G.addOp(OpKind::Softmax, {In}, DataType::F32, Shape,
+                              {{"axis", int64_t(-1)}});
+  G.markOutput(Out);
+  return G;
+}
+
+Graph mhaGraph() {
+  workloads::MhaSpec Spec;
+  Spec.Batch = 2; // multi-head grid => div/mod-decomposed parallel index
+  return workloads::buildMha(Spec);
+}
+
+TEST(VerifyRelationalStats, StandardWorkloadsHaveZeroSkips) {
+  // The acceptance bar for the relational tier: every footprint in the
+  // standard workload set is decided (proved in-bounds), none fall into
+  // the "deliberately out of scope" undecided class, and the parallel
+  // loops get real race proofs.
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Relational);
+  resetVerifyStats();
+  for (const bool Int8 : {false, true}) {
+    workloads::MlpSpec Spec;
+    Spec.Batch = 8;
+    Spec.LayerDims = {16, 32, 24};
+    Spec.Int8 = Int8;
+    api::Session S;
+    auto CG = S.compile(workloads::buildMlp(Spec));
+    ASSERT_TRUE(CG.hasValue()) << CG.status().toString();
+  }
+  {
+    api::Session S;
+    auto CG = S.compile(mhaGraph());
+    ASSERT_TRUE(CG.hasValue()) << CG.status().toString();
+  }
+  {
+    api::Session S;
+    auto CG = S.compile(softmaxGraph(64, 64));
+    ASSERT_TRUE(CG.hasValue()) << CG.status().toString();
+  }
+  const VerifyStats St = verifyStats();
+  EXPECT_GT(St.BoundsProved, 0u);
+  EXPECT_EQ(St.BoundsUndecided, 0u)
+      << "a standard-workload footprint fell back to the undecided skip";
+  EXPECT_GT(St.RacePairsProved, 0u);
+  setVerifyLevel(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Relational tier: differential execution vs GC_VERIFY=off
+//===----------------------------------------------------------------------===//
+
+/// Compiles and runs \p G with deterministic inputs; dynamic leading
+/// dims are bound to \p DynBatch. Asserts compile + execute succeed.
+runtime::TensorData runGraph(const Graph &G, int64_t DynBatch = 8) {
+  api::Session S;
+  auto CG = S.compile(G);
+  EXPECT_TRUE(CG.hasValue()) << CG.status().toString();
+  if (!CG.hasValue())
+    return runtime::TensorData(DataType::F32, {1});
+  const auto Bind = [&](std::vector<int64_t> Shape) {
+    for (int64_t &D : Shape)
+      if (D == LogicalTensor::kDynamicDim)
+        D = DynBatch;
+    return Shape;
+  };
+  std::vector<runtime::TensorData> Ins;
+  Ins.reserve(G.inputs().size());
+  for (const int64_t Id : G.inputs()) {
+    const LogicalTensor &T = G.tensor(Id);
+    Ins.push_back(test::randomTensor(T.Ty, Bind(T.Shape),
+                                     1234 + static_cast<uint64_t>(Id)));
+  }
+  std::vector<runtime::TensorData *> InPtrs;
+  for (runtime::TensorData &T : Ins)
+    InPtrs.push_back(&T);
+  const LogicalTensor &OutT = G.tensor(G.outputs()[0]);
+  runtime::TensorData Out(OutT.Ty, Bind(OutT.Shape));
+  const Status St = S.stream().execute(**CG, InPtrs, {&Out});
+  EXPECT_TRUE(St.isOk()) << St.toString();
+  return Out;
+}
+
+TEST(VerifyRelationalDifferential, BitIdenticalExecutionAcrossTiers) {
+  // Full workload sweep: relational verification must neither reject a
+  // standard workload (zero conservative rejections) nor perturb its
+  // execution — outputs are compared bit-for-bit against GC_VERIFY=off.
+  std::vector<Graph> Graphs;
+  for (const bool Int8 : {false, true}) {
+    workloads::MlpSpec Spec;
+    Spec.Batch = 8;
+    Spec.LayerDims = {16, 32, 24};
+    Spec.Int8 = Int8;
+    Graphs.push_back(workloads::buildMlp(Spec));
+  }
+  Graphs.push_back(mhaGraph());
+  Graphs.push_back(softmaxGraph(64, 64));
+  {
+    // Dynamic-batch MLP: leading dim compiled polymorphically.
+    Graph G;
+    const int64_t W = 32;
+    const int64_t X = G.addTensor(
+        DataType::F32, {LogicalTensor::kDynamicDim, W}, "x");
+    G.markInput(X);
+    const int64_t Wt =
+        G.addTensor(DataType::F32, {W, W}, "w", TensorProperty::Constant);
+    G.setConstantData(Wt, test::randomTensor(DataType::F32, {W, W}, 5));
+    const int64_t Mm = G.addOp(OpKind::MatMul, {X, Wt}, DataType::F32,
+                               {LogicalTensor::kDynamicDim, W});
+    const int64_t Out = G.addOp(OpKind::ReLU, {Mm}, DataType::F32,
+                                {LogicalTensor::kDynamicDim, W});
+    G.markOutput(Out);
+    Graphs.push_back(std::move(G));
+  }
+
+  for (const Graph &G : Graphs) {
+    const VerifyLevel Prev = setVerifyLevel(VerifyLevel::Off);
+    const runtime::TensorData Base = runGraph(G);
+    setVerifyLevel(VerifyLevel::Relational);
+    const runtime::TensorData Checked = runGraph(G);
+    setVerifyLevel(Prev);
+    ASSERT_EQ(Base.numBytes(), Checked.numBytes());
+    EXPECT_EQ(0, std::memcmp(Base.data(), Checked.data(),
+                             static_cast<size_t>(Base.numBytes())))
+        << "verification tier changed execution results";
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Level plumbing
 //===----------------------------------------------------------------------===//
@@ -419,6 +702,32 @@ TEST(VerifyLevelApi, SetReturnsPrevious) {
   const VerifyLevel Orig = setVerifyLevel(VerifyLevel::Off);
   EXPECT_EQ(setVerifyLevel(VerifyLevel::All), VerifyLevel::Off);
   setVerifyLevel(Orig);
+}
+
+TEST(VerifyLevelApi, ClearCacheRereadsEnvironment) {
+  // Regression: the env-level cache used to survive setVerifyLevel-free
+  // test orderings, so a GC_VERIFY change between tests was invisible.
+  // clearVerifyLevelCache must force re-resolution from the environment.
+  const char *Orig = std::getenv("GC_VERIFY");
+  const std::string Saved = Orig ? Orig : "";
+  const VerifyLevel Prev = setVerifyLevel(VerifyLevel::All);
+
+  ::setenv("GC_VERIFY", "off", 1);
+  EXPECT_EQ(verifyLevel(), VerifyLevel::All); // programmatic value cached
+  clearVerifyLevelCache();
+  EXPECT_EQ(verifyLevel(), VerifyLevel::Off); // re-resolved from env
+
+  ::setenv("GC_VERIFY", "relational", 1);
+  EXPECT_EQ(verifyLevel(), VerifyLevel::Off); // still cached
+  clearVerifyLevelCache();
+  EXPECT_EQ(verifyLevel(), VerifyLevel::Relational);
+
+  if (Orig)
+    ::setenv("GC_VERIFY", Saved.c_str(), 1);
+  else
+    ::unsetenv("GC_VERIFY");
+  clearVerifyLevelCache();
+  setVerifyLevel(Prev);
 }
 
 } // namespace
